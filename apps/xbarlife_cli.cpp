@@ -1,0 +1,200 @@
+// xbarlife command-line interface.
+//
+//   xbarlife train     --model lenet5|vgg16|mlp [--skewed] [--out w.bin]
+//   xbarlife lifetime  --model ... --scenario tt|stt|stat [--sessions N]
+//   xbarlife device    [--pulses N] [--target-r OHMS]
+//   xbarlife info
+//
+// A thin, scriptable wrapper over core/experiment.hpp for users who want
+// the experiments without writing C++.
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+#include "device/memristor.hpp"
+#include "nn/serialize.hpp"
+
+using namespace xbarlife;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+  bool flag(const std::string& name) const {
+    return options.count(name) > 0;
+  }
+  std::string get(const std::string& name,
+                  const std::string& fallback) const {
+    auto it = options.find(name);
+    return it != options.end() && !it->second.empty() ? it->second
+                                                      : fallback;
+  }
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  if (argc > 1) {
+    args.command = argv[1];
+  }
+  for (int i = 2; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      throw xbarlife::InvalidArgument("unexpected argument: " + token);
+    }
+    token = token.substr(2);
+    std::string value;
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      value = argv[++i];
+    }
+    args.options[token] = value;
+  }
+  return args;
+}
+
+core::ExperimentConfig config_for(const Args& args) {
+  const std::string model = args.get("model", "lenet5");
+  core::ExperimentConfig cfg;
+  if (model == "lenet5") {
+    cfg = core::lenet_experiment_config();
+  } else if (model == "vgg16") {
+    cfg = core::vgg_experiment_config();
+  } else if (model == "mlp") {
+    cfg = core::lenet_experiment_config();
+    cfg.name = "MLP / SynthCifar10";
+    cfg.model = core::ExperimentConfig::Model::kMlp;
+    cfg.mlp_hidden = {64, 32};
+  } else {
+    throw xbarlife::InvalidArgument("unknown --model '" + model +
+                          "' (expected lenet5|vgg16|mlp)");
+  }
+  if (args.flag("sessions")) {
+    cfg.lifetime.max_sessions =
+        static_cast<std::size_t>(std::stoul(args.get("sessions", "100")));
+  }
+  if (args.flag("seed")) {
+    cfg.seed = std::stoull(args.get("seed", "7"));
+  }
+  return cfg;
+}
+
+int cmd_train(const Args& args) {
+  core::ExperimentConfig cfg = config_for(args);
+  const bool skewed = args.flag("skewed");
+  std::cout << "Training " << cfg.name
+            << (skewed ? " with the skewed regularizer" : " with L2")
+            << "...\n";
+  core::TrainedModel tm = core::train_model(cfg, skewed);
+  std::cout << tm.network.summary();
+  TablePrinter table({"epoch", "loss", "train acc", "test acc"});
+  for (const core::EpochStats& e : tm.history.epochs) {
+    table.add_row({std::to_string(e.epoch), format_double(e.loss, 4),
+                   format_double(e.train_accuracy, 3),
+                   format_double(e.test_accuracy, 3)});
+  }
+  std::cout << table.render();
+  if (args.flag("out")) {
+    const std::string path = args.get("out", "weights.bin");
+    nn::save_parameters(tm.network, path);
+    std::cout << "Parameters written to " << path << "\n";
+  }
+  return 0;
+}
+
+int cmd_lifetime(const Args& args) {
+  core::ExperimentConfig cfg = config_for(args);
+  const std::string scenario_name = args.get("scenario", "stat");
+  core::Scenario scenario;
+  if (scenario_name == "tt") {
+    scenario = core::Scenario::kTT;
+  } else if (scenario_name == "stt") {
+    scenario = core::Scenario::kSTT;
+  } else if (scenario_name == "stat") {
+    scenario = core::Scenario::kSTAT;
+  } else {
+    throw xbarlife::InvalidArgument("unknown --scenario (expected tt|stt|stat)");
+  }
+  std::cout << "Scenario " << core::to_string(scenario) << " on "
+            << cfg.name << " (this trains the network first)...\n";
+  const core::ScenarioOutcome o = core::run_scenario(cfg, scenario);
+  std::cout << "software accuracy: "
+            << format_double(o.software_accuracy, 3)
+            << ", tuning target: " << format_double(o.tuning_target, 3)
+            << "\nlifetime: " << o.lifetime.lifetime_applications
+            << " applications over " << o.lifetime.sessions.size()
+            << " sessions ("
+            << (o.lifetime.died ? "died" : "survived the cap") << ")\n";
+  return 0;
+}
+
+int cmd_device(const Args& args) {
+  device::DeviceParams dev;
+  aging::AgingParams ap;
+  ap.thermal_crosstalk = 0.0;
+  aging::AgingModel model(ap);
+  device::Memristor m(&dev, &model);
+  const auto pulses =
+      static_cast<std::size_t>(std::stoul(args.get("pulses", "100")));
+  const double target = std::stod(args.get("target-r", "30000"));
+  for (std::size_t i = 0; i < pulses; ++i) {
+    m.program(target);
+  }
+  TablePrinter table({"metric", "value"});
+  table.add_row({"pulses", std::to_string(m.pulse_count())});
+  table.add_row({"stress (us)", format_double(m.stress() * 1e6, 4)});
+  table.add_row({"aged R_max (kOhm)",
+                 format_double(m.aged_window().r_max / 1e3, 2)});
+  table.add_row({"aged R_min (kOhm)",
+                 format_double(m.aged_window().r_min / 1e3, 2)});
+  table.add_row({"usable levels",
+                 std::to_string(m.usable_levels()) + " / " +
+                     std::to_string(dev.levels)});
+  std::cout << table.render();
+  return 0;
+}
+
+int cmd_info() {
+  std::cout
+      << "xbarlife — aging-aware lifetime enhancement for memristor\n"
+         "crossbars (reproduction of Zhang et al., DATE 2019).\n\n"
+         "commands:\n"
+         "  train     --model lenet5|vgg16|mlp [--skewed] [--seed N]\n"
+         "            [--out FILE]   train and optionally save weights\n"
+         "  lifetime  --model ... --scenario tt|stt|stat [--sessions N]\n"
+         "            run one lifetime scenario\n"
+         "  device    [--pulses N] [--target-r OHMS]\n"
+         "            age a single device and report its window\n"
+         "  info      this text\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse(argc, argv);
+    if (args.command == "train") {
+      return cmd_train(args);
+    }
+    if (args.command == "lifetime") {
+      return cmd_lifetime(args);
+    }
+    if (args.command == "device") {
+      return cmd_device(args);
+    }
+    if (args.command.empty() || args.command == "info" ||
+        args.command == "--help" || args.command == "-h") {
+      return cmd_info();
+    }
+    std::cerr << "unknown command '" << args.command
+              << "' (try: xbarlife info)\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

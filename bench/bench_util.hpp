@@ -1,0 +1,28 @@
+// Shared helpers for the experiment-reproduction binaries.
+//
+// Every bench prints the paper-style table/series to stdout and also
+// writes a CSV next to the binary so the numbers can be plotted.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+namespace xbarlife::bench {
+
+/// True when XBARLIFE_QUICK is set: benches shrink their workloads for
+/// smoke runs (CI) while keeping the qualitative shape.
+inline bool quick_mode() {
+  const char* env = std::getenv("XBARLIFE_QUICK");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+inline void print_header(const std::string& title,
+                         const std::string& paper_ref) {
+  std::cout << "\n==============================================\n"
+            << title << "\n(reproduces " << paper_ref
+            << " of Zhang et al., DATE 2019)\n"
+            << "==============================================\n";
+}
+
+}  // namespace xbarlife::bench

@@ -1,0 +1,44 @@
+// Fig. 7: the two-segment regularizer shape — R1(W) on the left of the
+// reference weight omega, R2(W) on the right (Eqs. (9)-(10)).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/table.hpp"
+#include "nn/regularizer.hpp"
+
+using namespace xbarlife;
+
+int main() {
+  bench::print_header("Fig. 7 — skewed regularizer penalty curves",
+                      "Fig. 7");
+
+  const double lambda1 = 5e-2;
+  const double lambda2 = 1e-3;
+  const double omega = -0.3;
+  nn::SkewedL2Regularizer reg(lambda1, lambda2, -1.0);
+  reg.freeze_omega(0, omega);
+
+  TablePrinter table({"w", "penalty", "segment"});
+  CsvWriter csv("fig7_regularizer.csv", {"w", "penalty", "segment"});
+  for (int i = -10; i <= 10; ++i) {
+    const double w = static_cast<double>(i) / 10.0;
+    Tensor single(Shape{1}, static_cast<float>(w));
+    const double pen = reg.penalty(single, 0);
+    const char* segment = w < omega ? "R1 (lambda1)" : "R2 (lambda2)";
+    table.add_row({format_double(w, 1), format_double(pen, 5), segment});
+    csv.add_row(std::vector<std::string>{format_double(w, 2),
+                                         format_double(pen, 6), segment});
+  }
+  std::cout << table.render();
+
+  // The asymmetry in one number: penalty at omega +/- 0.3.
+  Tensor left(Shape{1}, static_cast<float>(omega - 0.3));
+  Tensor right(Shape{1}, static_cast<float>(omega + 0.3));
+  std::cout << "Penalty at omega-0.3: "
+            << format_double(reg.penalty(left, 0), 5)
+            << "  vs omega+0.3: " << format_double(reg.penalty(right, 0), 5)
+            << "  (ratio " << format_double(lambda1 / lambda2, 0) << "x)\n";
+  std::cout << "CSV written to fig7_regularizer.csv\n";
+  return 0;
+}

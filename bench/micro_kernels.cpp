@@ -1,0 +1,101 @@
+// Micro-benchmarks (google-benchmark): the computational kernels under
+// the experiment harness — GEMM, im2col, crossbar VMM, programming and
+// the aging-model hot path.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "device/memristor.hpp"
+#include "mapping/mapper.hpp"
+#include "tensor/im2col.hpp"
+#include "tensor/matmul.hpp"
+#include "xbar/crossbar.hpp"
+
+using namespace xbarlife;
+
+namespace {
+
+Tensor random_matrix(std::size_t rows, std::size_t cols,
+                     std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(Shape{rows, cols});
+  t.fill_gaussian(rng, 0.0f, 1.0f);
+  return t;
+}
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Tensor a = random_matrix(n, n, 1);
+  Tensor b = random_matrix(n, n, 2);
+  for (auto _ : state) {
+    Tensor c = matmul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Im2col(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  ConvGeometry g{3, side, side, 3, 1, 1};
+  Tensor image(Shape{3 * side * side});
+  Rng rng(3);
+  image.fill_gaussian(rng, 0.0f, 1.0f);
+  for (auto _ : state) {
+    Tensor patches = im2col(image, g);
+    benchmark::DoNotOptimize(patches.data());
+  }
+}
+BENCHMARK(BM_Im2col)->Arg(16)->Arg(32);
+
+void BM_CrossbarVmm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  xbar::Crossbar xb(n, n, {}, {});
+  Rng rng(4);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      xb.program_cell(r, c, rng.uniform(1e4, 1e5));
+    }
+  }
+  std::vector<float> v(n, 0.5f);
+  std::vector<float> out(n);
+  for (auto _ : state) {
+    xb.vmm(v, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n));
+}
+BENCHMARK(BM_CrossbarVmm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_ProgramWeights(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Tensor w = random_matrix(n, n, 5);
+  const mapping::WeightRange wr = mapping::weight_range_of(w);
+  const mapping::MappingPlan plan(wr, {1e4, 1e5}, 32);
+  for (auto _ : state) {
+    state.PauseTiming();
+    xbar::Crossbar xb(n, n, {}, {});
+    state.ResumeTiming();
+    auto report = mapping::program_weights(xb, w, plan);
+    benchmark::DoNotOptimize(report.programmed_cells);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n));
+}
+BENCHMARK(BM_ProgramWeights)->Arg(64)->Arg(128);
+
+void BM_StressIncrement(benchmark::State& state) {
+  aging::AgingModel model({});
+  double current = 1e-5;
+  for (auto _ : state) {
+    const double ds = model.stress_increment(1e-7, 310.0, current);
+    benchmark::DoNotOptimize(ds);
+    current = 1e-5 + ds;  // defeat constant folding
+  }
+}
+BENCHMARK(BM_StressIncrement);
+
+}  // namespace
+
+BENCHMARK_MAIN();

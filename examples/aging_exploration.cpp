@@ -1,0 +1,73 @@
+// Device-level exploration of the aging model: how programming current,
+// temperature and pulse count shape the usable resistance window (the
+// physics behind Fig. 4 and the skewed-training intuition).
+#include <iostream>
+
+#include "common/table.hpp"
+#include "device/memristor.hpp"
+
+using namespace xbarlife;
+
+int main() {
+  device::DeviceParams dev;
+  aging::AgingParams ap;
+  ap.thermal_crosstalk = 0.0;  // single isolated device
+  aging::AgingModel model(ap);
+
+  std::cout << "Memristor aging exploration\n"
+            << "fresh window: " << dev.r_min_fresh / 1e3 << "-"
+            << dev.r_max_fresh / 1e3 << " kOhm, " << dev.levels
+            << " levels, Vprog=" << dev.v_prog << " V\n\n";
+
+  // 1. Current dependence: program three devices at different operating
+  // points and compare their decay.
+  std::cout << "1) Programming-current dependence (200 pulses each):\n";
+  TablePrinter t1({"target R (kOhm)", "I_prog (uA)", "stress (us)",
+                   "aged R_max (kOhm)", "levels left"});
+  for (double target : {1e4, 3e4, 1e5}) {
+    device::Memristor m(&dev, &model);
+    for (int i = 0; i < 200; ++i) {
+      m.program(target);
+    }
+    t1.add_row({format_double(target / 1e3, 0),
+                format_double(dev.v_prog / target * 1e6, 1),
+                format_double(m.stress() * 1e6, 3),
+                format_double(m.aged_window().r_max / 1e3, 1),
+                std::to_string(m.usable_levels())});
+  }
+  std::cout << t1.render() << "\n";
+
+  // 2. Temperature dependence (Arrhenius).
+  std::cout << "2) Temperature dependence (100 pulses at mid-range):\n";
+  TablePrinter t2({"T (K)", "stress (us)", "aged R_max (kOhm)"});
+  for (double temp : {280.0, 300.0, 325.0, 350.0}) {
+    device::DeviceParams hot_dev = dev;
+    hot_dev.temperature_k = temp;
+    device::Memristor m(&hot_dev, &model);
+    for (int i = 0; i < 100; ++i) {
+      m.program(3e4);
+    }
+    t2.add_row({format_double(temp, 0),
+                format_double(m.stress() * 1e6, 3),
+                format_double(m.aged_window().r_max / 1e3, 1)});
+  }
+  std::cout << t2.render() << "\n";
+
+  // 3. The irreversibility that distinguishes aging from drift ([8] vs
+  // [9][10] in the paper). Use a gently-used device so it is still alive.
+  std::cout << "3) Aging vs drift:\n";
+  device::Memristor m(&dev, &model);
+  for (int i = 0; i < 20; ++i) {
+    m.program(6e4);
+  }
+  const double aged_rmax = m.aged_window().r_max;
+  m.drift_to(8e4);   // recoverable disturbance
+  m.program(6e4);    // reprogramming recovers the value...
+  std::cout << "   after drift + reprogram: R = " << m.resistance() / 1e3
+            << " kOhm (recovered to its target)\n";
+  std::cout << "   but aged R_max moved " << aged_rmax / 1e3 << " -> "
+            << m.aged_window().r_max / 1e3
+            << " kOhm (irreversible, and the recovery pulse cost a bit "
+               "more)\n";
+  return 0;
+}

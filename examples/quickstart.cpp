@@ -1,0 +1,62 @@
+// Quickstart: train a small MLP, deploy it on memristor crossbars, watch it
+// age through re-tune sessions, and compare the three scenarios of the
+// paper (T+T, ST+T, ST+AT) on a toy problem.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+
+using namespace xbarlife;
+
+int main() {
+  core::ExperimentConfig cfg;
+  cfg.name = "Quickstart MLP / blobs-like synthetic";
+  cfg.model = core::ExperimentConfig::Model::kMlp;
+  cfg.mlp_hidden = {32};
+  cfg.dataset.classes = 8;
+  cfg.dataset.channels = 1;
+  cfg.dataset.height = 8;
+  cfg.dataset.width = 8;
+  cfg.dataset.train_per_class = 60;
+  cfg.dataset.test_per_class = 12;
+  cfg.dataset.noise = 0.15;
+  cfg.train_config.epochs = 6;
+  cfg.train_config.batch = 16;
+  cfg.train_config.learning_rate = 0.05;
+  cfg.skew.lambda1 = 5e-2;
+  cfg.skew.lambda2 = 1e-3;
+  cfg.skew.omega_factor = -1.0;
+  cfg.lifetime.max_sessions = 400;
+  cfg.lifetime.tuning.eval_samples = 96;
+  cfg.lifetime.tuning.max_iterations = 100;
+  cfg.lifetime.tuning.min_grad_fraction = 2.0;
+  cfg.lifetime.drift.sigma = 0.08;
+  cfg.target_accuracy_fraction = 0.93;
+
+  std::cout << "Running the three lifetime scenarios (this trains the\n"
+               "network twice and simulates re-tune sessions)...\n\n";
+
+  const core::ExperimentResult result = core::run_experiment(cfg);
+
+  TablePrinter table({"scenario", "software acc", "sessions",
+                      "lifetime (apps)", "ratio vs T+T", "died"});
+  for (core::Scenario s : {core::Scenario::kTT, core::Scenario::kSTT,
+                           core::Scenario::kSTAT}) {
+    const core::ScenarioOutcome& o = result.outcome(s);
+    table.add_row({core::to_string(s),
+                   format_double(o.software_accuracy, 3),
+                   std::to_string(o.lifetime.sessions.size()),
+                   std::to_string(o.lifetime.lifetime_applications),
+                   format_double(result.lifetime_ratio(s), 2),
+                   o.lifetime.died ? "yes" : "no (cap)"});
+  }
+  std::cout << table.render() << "\n";
+  std::cout << "Interpretation: skewed training (ST) maps weights to high\n"
+               "resistances -> lower programming currents -> slower aging;\n"
+               "aging-aware mapping (AT) additionally remaps into the aged\n"
+               "window so tuning needs fewer pulses. Lifetime should rise\n"
+               "from T+T to ST+T to ST+AT.\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Skewed-weight training demo: train the same LeNet-5 twice (traditional
+// L2 vs the paper's two-segment regularizer) and compare the weight
+// distributions, quantization error and programming currents.
+#include <iostream>
+
+#include "common/histogram.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+#include "mapping/mapper.hpp"
+
+using namespace xbarlife;
+
+namespace {
+
+struct MappedStats {
+  double skew = 0.0;
+  double rmse_rel = 0.0;        ///< quantization RMSE / weight span
+  double mean_current_ua = 0.0;  ///< mean programming current
+};
+
+MappedStats analyze(nn::Network& net, const core::ExperimentConfig& cfg) {
+  MappedStats out;
+  std::vector<double> weights;
+  double rmse_acc = 0.0;
+  double current_acc = 0.0;
+  std::size_t layers = 0;
+  const mapping::ResistanceRange fresh{cfg.device.r_min_fresh,
+                                       cfg.device.r_max_fresh};
+  for (const nn::MappableWeight& mw : net.mappable_weights()) {
+    const mapping::WeightRange wr = mapping::weight_range_of(*mw.value);
+    const mapping::MappingPlan plan(wr, fresh, cfg.lifetime.levels);
+    xbar::Crossbar xb(mw.value->shape()[0], mw.value->shape()[1],
+                      cfg.device, cfg.aging);
+    const mapping::MappingReport report =
+        mapping::program_weights(xb, *mw.value, plan);
+    rmse_acc += report.quantization_rmse / wr.span();
+    current_acc +=
+        report.mean_target_conductance * cfg.device.v_prog * 1e6;
+    ++layers;
+    for (std::size_t i = 0; i < mw.value->numel(); ++i) {
+      weights.push_back(static_cast<double>((*mw.value)[i]));
+    }
+  }
+  out.skew = skewness(std::span<const double>(weights));
+  out.rmse_rel = rmse_acc / static_cast<double>(layers);
+  out.mean_current_ua = current_acc / static_cast<double>(layers);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  core::ExperimentConfig cfg = core::lenet_experiment_config();
+
+  std::cout << "Training LeNet-5 twice on " << cfg.name << "...\n";
+  core::TrainedModel traditional = core::train_model(cfg, false);
+  core::TrainedModel skewed = core::train_model(cfg, true);
+
+  const MappedStats ts = analyze(traditional.network, cfg);
+  const MappedStats ss = analyze(skewed.network, cfg);
+
+  TablePrinter table({"metric", "traditional (T)", "skewed (ST)"});
+  table.add_row({"test accuracy",
+                 format_double(traditional.history.final_test_accuracy, 3),
+                 format_double(skewed.history.final_test_accuracy, 3)});
+  table.add_row({"weight skewness", format_double(ts.skew, 3),
+                 format_double(ss.skew, 3)});
+  table.add_row({"quantization RMSE / span",
+                 format_double(ts.rmse_rel, 4),
+                 format_double(ss.rmse_rel, 4)});
+  table.add_row({"mean programming current (uA)",
+                 format_double(ts.mean_current_ua, 1),
+                 format_double(ss.mean_current_ua, 1)});
+  std::cout << "\n" << table.render();
+
+  std::cout << "\nSkewed-training takeaways (Section IV-A of the paper):\n"
+               "  * accuracy is preserved — networks have weight-space\n"
+               "    flexibility,\n"
+               "  * the distribution skews right (mass near w_min),\n"
+               "  * quantization error drops (denser levels near g_min),\n"
+               "  * the mean programming current drops (slower aging).\n";
+  return 0;
+}

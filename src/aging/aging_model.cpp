@@ -1,0 +1,84 @@
+#include "aging/aging_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace xbarlife::aging {
+
+void AgingParams::validate() const {
+  XB_CHECK(activation_energy_ev > 0.0, "Ea must be positive");
+  XB_CHECK(reference_temp_k > 0.0, "T_ref must be positive");
+  XB_CHECK(reference_current_a > 0.0, "I_ref must be positive");
+  XB_CHECK(current_exponent >= 0.0, "alpha must be non-negative");
+  XB_CHECK(a_f >= 0.0 && a_g >= 0.0, "degradation scales must be >= 0");
+  XB_CHECK(m_f > 0.0 && m_g > 0.0, "degradation exponents must be > 0");
+  XB_CHECK(r_floor > 0.0, "resistance floor must be positive");
+  XB_CHECK(thermal_crosstalk >= 0.0 && thermal_crosstalk <= 1.0,
+           "thermal crosstalk must lie in [0, 1]");
+}
+
+AgingModel::AgingModel(AgingParams params) : params_(params) {
+  params_.validate();
+  arrhenius_ref_ = std::exp(-params_.activation_energy_ev /
+                            (kBoltzmannEvPerK * params_.reference_temp_k));
+}
+
+double AgingModel::stress_increment(double t_pulse_s, double temp_k,
+                                    double current_a) const {
+  XB_CHECK(t_pulse_s >= 0.0, "pulse width must be non-negative");
+  XB_CHECK(temp_k > 0.0, "temperature must be positive");
+  XB_CHECK(current_a >= 0.0, "current must be non-negative");
+  const double arrhenius =
+      std::exp(-params_.activation_energy_ev /
+               (kBoltzmannEvPerK * temp_k)) /
+      arrhenius_ref_;
+  const double current_factor = std::pow(
+      current_a / params_.reference_current_a, params_.current_exponent);
+  return t_pulse_s * arrhenius * current_factor;
+}
+
+double AgingModel::aged_r_max(double r_fresh_max, double s) const {
+  XB_CHECK(s >= 0.0, "stress must be non-negative");
+  const double delta = params_.a_f * std::pow(s, params_.m_f);
+  return std::max(params_.r_floor, r_fresh_max - delta);
+}
+
+double AgingModel::aged_r_min(double r_fresh_min, double s) const {
+  XB_CHECK(s >= 0.0, "stress must be non-negative");
+  const double delta = params_.a_g * std::pow(s, params_.m_g);
+  return std::max(params_.r_floor, r_fresh_min - delta);
+}
+
+AgedWindow AgingModel::aged_window(double r_fresh_min, double r_fresh_max,
+                                   double s) const {
+  XB_CHECK(r_fresh_min < r_fresh_max,
+           "fresh window must satisfy r_min < r_max");
+  AgedWindow w;
+  w.r_min = aged_r_min(r_fresh_min, s);
+  w.r_max = aged_r_max(r_fresh_max, s);
+  return w;
+}
+
+std::size_t AgingModel::usable_levels(double r_fresh_min,
+                                      double r_fresh_max,
+                                      std::size_t levels, double s) const {
+  XB_CHECK(levels >= 2, "need at least two levels");
+  const AgedWindow w = aged_window(r_fresh_min, r_fresh_max, s);
+  if (!w.usable()) {
+    return 0;
+  }
+  std::size_t usable = 0;
+  const double step =
+      (r_fresh_max - r_fresh_min) / static_cast<double>(levels - 1);
+  for (std::size_t k = 0; k < levels; ++k) {
+    const double r = r_fresh_min + static_cast<double>(k) * step;
+    if (r >= w.r_min && r <= w.r_max) {
+      ++usable;
+    }
+  }
+  return usable;
+}
+
+}  // namespace xbarlife::aging

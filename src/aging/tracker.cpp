@@ -1,0 +1,82 @@
+#include "aging/tracker.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace xbarlife::aging {
+
+RepresentativeTracker::RepresentativeTracker(std::size_t rows,
+                                             std::size_t cols)
+    : rows_(rows),
+      cols_(cols),
+      block_rows_((rows + 2) / 3),
+      block_cols_((cols + 2) / 3),
+      stress_(block_rows_ * block_cols_, 0.0),
+      pulses_(block_rows_ * block_cols_, 0) {
+  XB_CHECK(rows > 0 && cols > 0, "tracker needs a non-empty array");
+}
+
+std::size_t RepresentativeTracker::block_index(std::size_t r,
+                                               std::size_t c) const {
+  XB_CHECK(r < rows_ && c < cols_, "tracker cell out of range");
+  return (r / 3) * block_cols_ + (c / 3);
+}
+
+bool RepresentativeTracker::is_representative(std::size_t r,
+                                              std::size_t c) const {
+  const auto [rr, rc] = representative_for(r, c);
+  return rr == r && rc == c;
+}
+
+std::pair<std::size_t, std::size_t> RepresentativeTracker::representative_for(
+    std::size_t r, std::size_t c) const {
+  XB_CHECK(r < rows_ && c < cols_, "tracker cell out of range");
+  // Center of the 3x3 block, clamped into the array for edge blocks.
+  const std::size_t br = (r / 3) * 3;
+  const std::size_t bc = (c / 3) * 3;
+  return {std::min(br + 1, rows_ - 1), std::min(bc + 1, cols_ - 1)};
+}
+
+void RepresentativeTracker::record_pulse(std::size_t r, std::size_t c,
+                                         double stress_increment,
+                                         double ambient_increment) {
+  XB_CHECK(stress_increment >= 0.0, "stress increment must be >= 0");
+  XB_CHECK(ambient_increment >= 0.0, "ambient increment must be >= 0");
+  ambient_ += ambient_increment;
+  if (!is_representative(r, c)) {
+    return;  // untraced cell: the hardware has no per-cell counter here
+  }
+  const std::size_t b = block_index(r, c);
+  stress_[b] += stress_increment;
+  ++pulses_[b];
+}
+
+double RepresentativeTracker::stress_estimate(std::size_t r,
+                                              std::size_t c) const {
+  return stress_[block_index(r, c)] + ambient_;
+}
+
+std::uint64_t RepresentativeTracker::pulse_estimate(std::size_t r,
+                                                    std::size_t c) const {
+  return pulses_[block_index(r, c)];
+}
+
+std::vector<AgedWindow> RepresentativeTracker::estimated_windows(
+    const AgingModel& model, double r_fresh_min, double r_fresh_max) const {
+  std::vector<AgedWindow> windows;
+  windows.reserve(stress_.size());
+  for (double s : stress_) {
+    windows.push_back(
+        model.aged_window(r_fresh_min, r_fresh_max, s + ambient_));
+  }
+  return windows;
+}
+
+void RepresentativeTracker::reset() {
+  std::fill(stress_.begin(), stress_.end(), 0.0);
+  std::fill(pulses_.begin(), pulses_.end(), 0);
+  ambient_ = 0.0;
+}
+
+}  // namespace xbarlife::aging

@@ -1,0 +1,81 @@
+// Representative aging tracer (Section IV-B of the paper).
+//
+// Tracing the programming history of every memristor would need bookkeeping
+// hardware per cell; the paper instead traces one out of nine memristors —
+// the center of every 3x3 block — and estimates the aged bounds of the whole
+// array from those representatives. This class is that estimation tool: the
+// lifetime simulator records pulses into it, and the aging-aware mapper is
+// only allowed to look at the tracker (never at the true per-device state).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "aging/aging_model.hpp"
+
+namespace xbarlife::aging {
+
+class RepresentativeTracker {
+ public:
+  /// Traces a rows x cols array. Representatives sit at the centers of the
+  /// 3x3 tiling: cells whose row % 3 == 1 and col % 3 == 1 (with edge tiles
+  /// clamped, every cell belongs to exactly one representative).
+  RepresentativeTracker(std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  /// True when (r, c) is a traced cell.
+  bool is_representative(std::size_t r, std::size_t c) const;
+
+  /// Representative responsible for cell (r, c) — the center of its block.
+  std::pair<std::size_t, std::size_t> representative_for(
+      std::size_t r, std::size_t c) const;
+
+  /// Records one programming pulse on cell (r, c). Per-cell stress is only
+  /// stored for traced cells (the hardware has no counters elsewhere), but
+  /// the array-wide ambient share is a single accumulator the controller
+  /// can always afford — pass the pulse's thermal-crosstalk contribution
+  /// as `ambient_increment`.
+  void record_pulse(std::size_t r, std::size_t c, double stress_increment,
+                    double ambient_increment = 0.0);
+
+  /// Traced array-wide ambient (thermal) stress.
+  double ambient_stress() const { return ambient_; }
+
+  /// Accumulated traced stress of the representative covering (r, c).
+  double stress_estimate(std::size_t r, std::size_t c) const;
+
+  /// All representative stress values (row-major over blocks).
+  const std::vector<double>& representative_stresses() const {
+    return stress_;
+  }
+
+  /// Traced pulse count of the representative covering (r, c).
+  std::uint64_t pulse_estimate(std::size_t r, std::size_t c) const;
+
+  /// Estimated aged windows of all representatives, given fresh bounds.
+  std::vector<AgedWindow> estimated_windows(const AgingModel& model,
+                                            double r_fresh_min,
+                                            double r_fresh_max) const;
+
+  std::size_t block_rows() const { return block_rows_; }
+  std::size_t block_cols() const { return block_cols_; }
+
+  /// Resets all traced history (fresh array).
+  void reset();
+
+ private:
+  std::size_t block_index(std::size_t r, std::size_t c) const;
+
+  std::size_t rows_;
+  std::size_t cols_;
+  std::size_t block_rows_;
+  std::size_t block_cols_;
+  std::vector<double> stress_;         // per block
+  std::vector<std::uint64_t> pulses_;  // per block
+  double ambient_ = 0.0;               // array-wide thermal share
+};
+
+}  // namespace xbarlife::aging

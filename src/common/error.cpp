@@ -1,0 +1,26 @@
+#include "common/error.hpp"
+
+#include <cstring>
+#include <sstream>
+
+namespace xbarlife::detail {
+
+void throw_check_failure(const char* kind, const char* expr, const char* file,
+                         int line, const std::string& msg) {
+  // Strip leading directories so messages stay short and stable across
+  // build locations.
+  const char* base = std::strrchr(file, '/');
+  base = (base != nullptr) ? base + 1 : file;
+
+  std::ostringstream oss;
+  oss << kind << " violated: (" << expr << ") at " << base << ":" << line;
+  if (!msg.empty()) {
+    oss << " — " << msg;
+  }
+  if (std::strcmp(kind, "invariant") == 0) {
+    throw InternalError(oss.str());
+  }
+  throw InvalidArgument(oss.str());
+}
+
+}  // namespace xbarlife::detail

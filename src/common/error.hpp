@@ -1,0 +1,61 @@
+// Error handling primitives for xbarlife.
+//
+// All library code reports precondition violations and invariant breaks via
+// exceptions derived from xbarlife::Error so callers can distinguish library
+// failures from std library failures.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace xbarlife {
+
+/// Base class for all errors thrown by xbarlife libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an argument violates a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when two tensors/matrices have incompatible shapes.
+class ShapeError : public Error {
+ public:
+  explicit ShapeError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an internal invariant is violated (a library bug).
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* kind, const char* expr,
+                                      const char* file, int line,
+                                      const std::string& msg);
+}  // namespace detail
+
+}  // namespace xbarlife
+
+/// Precondition check: throws xbarlife::InvalidArgument when `cond` is false.
+#define XB_CHECK(cond, msg)                                                  \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::xbarlife::detail::throw_check_failure("precondition", #cond,        \
+                                              __FILE__, __LINE__, (msg));   \
+    }                                                                        \
+  } while (false)
+
+/// Internal invariant check: throws xbarlife::InternalError when false.
+#define XB_ASSERT(cond, msg)                                                 \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::xbarlife::detail::throw_check_failure("invariant", #cond, __FILE__, \
+                                              __LINE__, (msg));             \
+    }                                                                        \
+  } while (false)

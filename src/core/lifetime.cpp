@@ -1,0 +1,109 @@
+#include "core/lifetime.hpp"
+
+#include "common/error.hpp"
+
+namespace xbarlife::core {
+
+LifetimeSimulator::LifetimeSimulator(LifetimeConfig config)
+    : config_(config) {
+  XB_CHECK(config.levels >= 2, "need at least two levels");
+  XB_CHECK(config.apps_per_session > 0, "apps_per_session must be > 0");
+  XB_CHECK(config.max_sessions > 0, "need at least one session");
+  XB_CHECK(config.drift.sigma >= 0.0, "drift sigma must be >= 0");
+}
+
+void LifetimeSimulator::apply_drift(tuning::HardwareNetwork& hw, Rng& rng) {
+  if (config_.drift.sigma == 0.0) {
+    return;
+  }
+  for (std::size_t li = 0; li < hw.layer_count(); ++li) {
+    xbar::Crossbar& xb = *hw.layer(li).xbar;
+    for (std::size_t r = 0; r < xb.rows(); ++r) {
+      for (std::size_t c = 0; c < xb.cols(); ++c) {
+        const double factor =
+            1.0 + rng.gaussian(0.0, config_.drift.sigma);
+        const double drifted =
+            xb.cell(r, c).resistance() * std::max(factor, 0.05);
+        xb.drift_cell(r, c, drifted);
+      }
+    }
+  }
+}
+
+LifetimeResult LifetimeSimulator::run(tuning::HardwareNetwork& hw,
+                                      const data::Dataset& tune_data,
+                                      const data::Dataset& eval_data,
+                                      tuning::MappingPolicy policy) {
+  tune_data.validate();
+  eval_data.validate();
+  Rng drift_rng(config_.drift_seed);
+  tuning::OnlineTuner tuner(config_.tuning);
+
+  // Evaluator for the aging-aware range selection: accuracy of the network
+  // as currently loaded, on a small validation slice.
+  const data::Dataset selection_slice =
+      eval_data.head(config_.selection_eval_samples);
+  nn::Network& net = hw.network();
+  const tuning::NetworkEvaluator evaluator = [&]() {
+    return net.evaluate(selection_slice.images, selection_slice.labels);
+  };
+
+  // Initial hardware mapping (Fig. 5). On a fresh array the aging-aware
+  // selection degenerates to the fresh range, so both policies start
+  // identically.
+  hw.deploy(policy, config_.levels,
+            policy == tuning::MappingPolicy::kAgingAware ? evaluator
+                                                         : nullptr);
+
+  LifetimeResult result;
+  for (std::size_t session = 0; session < config_.max_sessions; ++session) {
+    // Recoverable drift accumulated while processing the previous chunk
+    // of applications; online tuning is the routine corrector.
+    if (session > 0) {
+      apply_drift(hw, drift_rng);
+    }
+    tuning::TuningResult tr = tuner.tune(hw, tune_data, eval_data);
+
+    SessionRecord rec;
+    rec.session = session;
+    rec.tuning_iterations = tr.iterations;
+    rec.start_accuracy = tr.start_accuracy;
+
+    if (!tr.converged) {
+      // Rescue: remap under the scenario policy and retry once. The
+      // fresh-range policies rewrite toward the same unreachable targets;
+      // the aging-aware policy re-selects the common range (Fig. 8).
+      rec.rescued = true;
+      hw.deploy(policy, config_.levels,
+                policy == tuning::MappingPolicy::kAgingAware ? evaluator
+                                                             : nullptr,
+                /*keep_threshold=*/config_.tuning.target_accuracy,
+                config_.rescue_switch_margin);
+      tr = tuner.tune(hw, tune_data, eval_data);
+      rec.tuning_iterations += tr.iterations;
+    }
+
+    rec.converged = tr.converged;
+    rec.accuracy = tr.final_accuracy;
+    rec.pulses_total = hw.total_pulses();
+    for (const xbar::CrossbarAgingStats& stats : hw.aging_stats()) {
+      rec.layer_mean_aged_rmax.push_back(stats.mean_aged_r_max);
+      rec.layer_mean_usable_levels.push_back(stats.mean_usable_levels);
+    }
+
+    if (!tr.converged) {
+      // Even the rescue failed: end-of-life; these applications were not
+      // processed successfully.
+      rec.applications = result.lifetime_applications;
+      result.sessions.push_back(rec);
+      result.died = true;
+      break;
+    }
+    result.lifetime_applications += config_.apps_per_session;
+    rec.applications = result.lifetime_applications;
+    result.sessions.push_back(rec);
+  }
+  return result;
+}
+
+}  // namespace xbarlife::core

@@ -1,0 +1,90 @@
+// Lifetime simulation (Section V, Fig. 10 / Table I protocol).
+//
+// Applications are processed in sessions of `apps_per_session`. Between
+// sessions the programmed conductances drift (recoverable read/retention
+// disturbance — distinct from aging, see [8] vs [9][10]); online tuning
+// pulls the array back to the target accuracy every session. Tuning
+// pulses age the devices irreversibly.
+//
+// Hardware *mapping* is an event, not a session routine (Fig. 5): the
+// array is mapped once at deployment, and remapped only as a rescue when
+// tuning stops converging. The rescue follows the scenario policy — a
+// fresh-range rewrite for the baselines, the Fig. 8 aging-aware common-
+// range selection for ST+AT. When even the rescue's retry fails, the
+// crossbar is end-of-life and the lifetime is the number of applications
+// completed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "data/dataset.hpp"
+#include "tuning/online_tuner.hpp"
+
+namespace xbarlife::core {
+
+struct DriftConfig {
+  /// Per-session multiplicative lognormal-ish resistance drift:
+  /// r <- r * (1 + N(0, sigma)), clamped into the device's aged window.
+  double sigma = 0.04;
+};
+
+struct LifetimeConfig {
+  std::size_t levels = 32;
+  std::uint64_t apps_per_session = 100000;
+  std::size_t max_sessions = 200;  ///< safety cap; "survived" if reached
+  tuning::TuningConfig tuning;
+  DriftConfig drift;
+  std::uint64_t drift_seed = 99;
+  /// Samples for the aging-aware range-selection evaluator.
+  std::size_t selection_eval_samples = 96;
+  /// Predicted-accuracy gain a rescue's candidate range must deliver over
+  /// the incumbent to justify rewriting the array.
+  double rescue_switch_margin = 0.10;
+};
+
+/// One re-tune session's outcome.
+struct SessionRecord {
+  std::size_t session = 0;
+  std::uint64_t applications = 0;      ///< cumulative after this session
+  std::size_t tuning_iterations = 0;   ///< incl. the rescue retry, if any
+  bool rescued = false;                ///< a remap rescue was attempted
+  bool converged = false;
+  double start_accuracy = 0.0;         ///< right after mapping
+  double accuracy = 0.0;               ///< after tuning
+  std::uint64_t pulses_total = 0;      ///< cumulative programming pulses
+  /// Ground-truth mean aged R_max per deployed layer (Fig. 11 series).
+  std::vector<double> layer_mean_aged_rmax;
+  /// Mean usable levels per deployed layer.
+  std::vector<double> layer_mean_usable_levels;
+};
+
+struct LifetimeResult {
+  std::vector<SessionRecord> sessions;
+  std::uint64_t lifetime_applications = 0;
+  bool died = false;  ///< true if a session failed before max_sessions
+};
+
+class LifetimeSimulator {
+ public:
+  explicit LifetimeSimulator(LifetimeConfig config);
+
+  const LifetimeConfig& config() const { return config_; }
+
+  /// Runs the full lifetime protocol on an already-deployed-able network:
+  /// `hw` must hold captured software targets. `policy` selects fresh vs
+  /// aging-aware remapping. Returns the session log and lifetime.
+  LifetimeResult run(tuning::HardwareNetwork& hw,
+                     const data::Dataset& tune_data,
+                     const data::Dataset& eval_data,
+                     tuning::MappingPolicy policy);
+
+ private:
+  /// Applies one session's recoverable drift to every crossbar cell.
+  void apply_drift(tuning::HardwareNetwork& hw, Rng& rng);
+
+  LifetimeConfig config_;
+};
+
+}  // namespace xbarlife::core

@@ -1,0 +1,42 @@
+// The three evaluation scenarios of the paper (Table I, Fig. 10):
+//   T+T   — traditional (L2) training + online tuning
+//   ST+T  — skewed training + online tuning
+//   ST+AT — skewed training + aging-aware mapping + online tuning
+#pragma once
+
+#include <string>
+
+#include "tuning/hardware_network.hpp"
+
+namespace xbarlife::core {
+
+enum class Scenario {
+  kTT,    ///< traditional training, fresh-range mapping
+  kSTT,   ///< skewed training, fresh-range mapping
+  kSTAT,  ///< skewed training, aging-aware mapping
+};
+
+inline const char* to_string(Scenario s) {
+  switch (s) {
+    case Scenario::kTT:
+      return "T+T";
+    case Scenario::kSTT:
+      return "ST+T";
+    case Scenario::kSTAT:
+      return "ST+AT";
+  }
+  return "?";
+}
+
+/// True when the scenario trains with the skewed regularizer.
+inline bool uses_skewed_training(Scenario s) {
+  return s != Scenario::kTT;
+}
+
+/// Mapping policy used at every (re)deployment.
+inline tuning::MappingPolicy mapping_policy(Scenario s) {
+  return s == Scenario::kSTAT ? tuning::MappingPolicy::kAgingAware
+                              : tuning::MappingPolicy::kFresh;
+}
+
+}  // namespace xbarlife::core

@@ -1,0 +1,83 @@
+#include "core/trainer.hpp"
+
+#include "common/error.hpp"
+#include "nn/optimizer.hpp"
+
+namespace xbarlife::core {
+
+TrainHistory train(nn::Network& net, const data::TrainTest& data,
+                   const TrainConfig& config,
+                   nn::Regularizer* regularizer) {
+  XB_CHECK(config.epochs > 0, "need at least one epoch");
+  XB_CHECK(config.batch > 0, "batch must be positive");
+  data.train.validate();
+  data.test.validate();
+
+  auto* skewed = dynamic_cast<nn::SkewedL2Regularizer*>(regularizer);
+  if (skewed != nullptr && config.omega_freeze_epoch == 0) {
+    std::vector<const Tensor*> weights;
+    for (const nn::MappableWeight& mw : net.mappable_weights()) {
+      weights.push_back(mw.value);
+    }
+    skewed->freeze_omegas(weights);
+  }
+
+  nn::SgdOptimizer optimizer(
+      {config.learning_rate, config.momentum});
+  Rng shuffle_rng(config.shuffle_seed);
+
+  TrainHistory history;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    const auto order =
+        data::shuffled_indices(data.train.size(), shuffle_rng);
+    const data::Dataset shuffled = data.train.subset(order);
+
+    double loss_sum = 0.0;
+    double penalty_sum = 0.0;
+    double acc_sum = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < shuffled.size();
+         start += config.batch) {
+      const data::Batch batch =
+          data::make_batch(shuffled, start, config.batch);
+      const nn::TrainStats stats =
+          net.train_batch(batch.images, batch.labels, optimizer,
+                          regularizer);
+      loss_sum += stats.loss;
+      penalty_sum += stats.penalty;
+      acc_sum += stats.accuracy;
+      ++batches;
+    }
+
+    EpochStats es;
+    es.epoch = epoch;
+    es.loss = loss_sum / static_cast<double>(batches);
+    es.penalty = penalty_sum / static_cast<double>(batches);
+    es.train_accuracy = acc_sum / static_cast<double>(batches);
+    es.test_accuracy =
+        net.evaluate(data.test.images, data.test.labels);
+    history.epochs.push_back(es);
+
+    optimizer.set_learning_rate(optimizer.learning_rate() *
+                                config.lr_decay);
+
+    // Freeze the skew reference points once the distribution has settled.
+    if (skewed != nullptr && epoch + 1 == config.omega_freeze_epoch) {
+      std::vector<const Tensor*> weights;
+      for (const nn::MappableWeight& mw : net.mappable_weights()) {
+        weights.push_back(mw.value);
+      }
+      skewed->freeze_omegas(weights);
+    }
+  }
+  history.final_test_accuracy = history.epochs.back().test_accuracy;
+  return history;
+}
+
+std::shared_ptr<nn::SkewedL2Regularizer> make_skewed_regularizer(
+    const SkewedTrainingParams& params) {
+  return std::make_shared<nn::SkewedL2Regularizer>(
+      params.lambda1, params.lambda2, params.omega_factor);
+}
+
+}  // namespace xbarlife::core

@@ -1,0 +1,61 @@
+// Software training driver (Section II-A of the paper): minibatch SGD with
+// either the traditional L2 regularizer or the proposed skewed two-segment
+// regularizer (Section IV-A).
+#pragma once
+
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "nn/network.hpp"
+#include "nn/regularizer.hpp"
+
+namespace xbarlife::core {
+
+struct TrainConfig {
+  std::size_t epochs = 10;
+  std::size_t batch = 32;
+  double learning_rate = 0.05;
+  double momentum = 0.9;
+  /// Multiplies the learning rate after each epoch (1.0 = constant).
+  double lr_decay = 0.97;
+  /// For skewed training: freeze the per-layer omegas after this many
+  /// epochs so the reference weights stop chasing the shrinking
+  /// distribution. 0 = freeze immediately from the initialized weights.
+  std::size_t omega_freeze_epoch = 1;
+  std::uint64_t shuffle_seed = 17;
+};
+
+struct EpochStats {
+  std::size_t epoch = 0;
+  double loss = 0.0;
+  double penalty = 0.0;
+  double train_accuracy = 0.0;
+  double test_accuracy = 0.0;
+};
+
+struct TrainHistory {
+  std::vector<EpochStats> epochs;
+  double final_test_accuracy = 0.0;
+};
+
+/// Trains `net` in place. `regularizer` may be null (no penalty), an
+/// L2Regularizer (traditional training, "T") or a SkewedL2Regularizer
+/// (skewed training, "ST" — omegas are frozen at omega_freeze_epoch).
+TrainHistory train(nn::Network& net, const data::TrainTest& data,
+                   const TrainConfig& config,
+                   nn::Regularizer* regularizer);
+
+/// Paper-style parameter bundle for skewed training (Table II): the
+/// reference weight is omega_factor * sigma_i per layer, with penalties
+/// lambda1 (left of omega) and lambda2 (right of omega).
+struct SkewedTrainingParams {
+  double lambda1 = 5e-4;
+  double lambda2 = 5e-5;
+  double omega_factor = -1.0;  ///< omega_i = factor * stddev(W_i)
+};
+
+/// Convenience: builds the skewed regularizer from `params`.
+std::shared_ptr<nn::SkewedL2Regularizer> make_skewed_regularizer(
+    const SkewedTrainingParams& params);
+
+}  // namespace xbarlife::core

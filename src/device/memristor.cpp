@@ -1,0 +1,66 @@
+#include "device/memristor.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace xbarlife::device {
+
+void DeviceParams::validate() const {
+  XB_CHECK(r_min_fresh > 0.0, "r_min_fresh must be positive");
+  XB_CHECK(r_max_fresh > r_min_fresh, "need r_max_fresh > r_min_fresh");
+  XB_CHECK(levels >= 2, "need at least two levels");
+  XB_CHECK(v_prog > 0.0, "programming voltage must be positive");
+  XB_CHECK(t_pulse_s > 0.0, "pulse width must be positive");
+  XB_CHECK(temperature_k > 0.0, "temperature must be positive");
+  XB_CHECK(compliance_current_a > 0.0, "compliance current must be > 0");
+}
+
+Memristor::Memristor(const DeviceParams* params,
+                     const aging::AgingModel* model,
+                     const double* ambient_stress)
+    : params_(params),
+      model_(model),
+      ambient_stress_(ambient_stress),
+      resistance_(0.0) {
+  XB_CHECK(params != nullptr && model != nullptr,
+           "memristor needs device params and aging model");
+  params_->validate();
+  resistance_ = params_->r_max_fresh;
+}
+
+aging::AgedWindow Memristor::aged_window() const {
+  return model_->aged_window(params_->r_min_fresh, params_->r_max_fresh,
+                             stress());
+}
+
+std::size_t Memristor::usable_levels() const {
+  return model_->usable_levels(params_->r_min_fresh, params_->r_max_fresh,
+                               params_->levels, stress());
+}
+
+double Memristor::program(double target_r) {
+  XB_CHECK(target_r > 0.0, "target resistance must be positive");
+  const aging::AgedWindow w = aged_window();
+  // A dead window (r_max collapsed onto r_min) still clamps — the device
+  // just becomes a near-constant resistor.
+  const double achieved =
+      std::clamp(target_r, std::min(w.r_min, w.r_max), std::max(w.r_min, w.r_max));
+  const double current =
+      std::min(params_->v_prog / achieved, params_->compliance_current_a);
+  last_increment_ = model_->stress_increment(params_->t_pulse_s,
+                                             params_->temperature_k, current);
+  stress_ += last_increment_;
+  ++pulses_;
+  resistance_ = achieved;
+  return achieved;
+}
+
+void Memristor::drift_to(double r) {
+  XB_CHECK(r > 0.0, "drift target must be positive");
+  const aging::AgedWindow w = aged_window();
+  resistance_ = std::clamp(r, std::min(w.r_min, w.r_max),
+                           std::max(w.r_min, w.r_max));
+}
+
+}  // namespace xbarlife::device

@@ -1,0 +1,89 @@
+// Behavioural memristor device model.
+//
+// A device owns its programmed resistance and its irreversible aging state.
+// Programming clamps the target into the *aged* window and charges one
+// pulse of stress, with the stress increment proportional to the Arrhenius
+// temperature factor and the programming current (see aging/aging_model.hpp).
+#pragma once
+
+#include <cstdint>
+
+#include "aging/aging_model.hpp"
+
+namespace xbarlife::device {
+
+struct DeviceParams {
+  double r_min_fresh = 1.0e4;    ///< ohms, low-resistance state bound
+  double r_max_fresh = 1.0e5;    ///< ohms, high-resistance state bound
+  std::size_t levels = 16;       ///< quantized resistance levels (fresh)
+  double v_prog = 2.0;           ///< programming pulse amplitude (V)
+  double t_pulse_s = 100e-9;     ///< programming pulse width (s)
+  double temperature_k = 300.0;  ///< operating/junction temperature (K)
+  /// Compliance limit of the programming driver: the select transistor
+  /// caps the pulse current regardless of how conductive the cell is.
+  double compliance_current_a = 3e-4;
+
+  double g_min() const { return 1.0 / r_max_fresh; }
+  double g_max() const { return 1.0 / r_min_fresh; }
+  void validate() const;
+};
+
+class Memristor {
+ public:
+  /// `params` and `model` must outlive the device; one shared instance per
+  /// crossbar keeps the per-cell footprint at two doubles and a counter.
+  /// `ambient_stress`, when non-null, points to an array-wide shared
+  /// stress pool (thermal crosstalk) the owning crossbar maintains; the
+  /// device's effective stress is its own plus the ambient share.
+  Memristor(const DeviceParams* params, const aging::AgingModel* model,
+            const double* ambient_stress = nullptr);
+
+  /// Programmed resistance (ohms). Devices power up at r_max_fresh (HRS).
+  double resistance() const { return resistance_; }
+  double conductance() const { return 1.0 / resistance_; }
+
+  /// Stress accumulated by this device's own pulses (s).
+  double own_stress() const { return stress_; }
+  /// Effective stress: own pulses plus the shared ambient (thermal) pool.
+  double stress() const {
+    return stress_ + (ambient_stress_ != nullptr ? *ambient_stress_ : 0.0);
+  }
+  std::uint64_t pulse_count() const { return pulses_; }
+
+  /// Current aged window of this device.
+  aging::AgedWindow aged_window() const;
+
+  /// Usable fresh levels remaining at the current stress.
+  std::size_t usable_levels() const;
+
+  /// Programs the device toward `target_r` ohms. The achieved resistance is
+  /// the target clamped into the aged window *before* this pulse's damage.
+  /// Accrues one pulse of stress with I = v_prog / achieved_r. Returns the
+  /// achieved resistance, also recording the stress increment so callers
+  /// (the tracker hook) can mirror it.
+  double program(double target_r);
+
+  /// Stress increment charged by the most recent program() call.
+  double last_stress_increment() const { return last_increment_; }
+
+  /// Recoverable conductance drift (read/retention disturbance, [8] in the
+  /// paper): moves the stored resistance without a programming pulse and
+  /// without aging. Clamped into the current aged window.
+  void drift_to(double r);
+
+  /// Reads the cell as a conductance under a small read voltage; reading
+  /// does not age the device (the paper distinguishes aging from read
+  /// drift, which is recoverable and out of scope here).
+  double read_conductance() const { return conductance(); }
+
+ private:
+  const DeviceParams* params_;
+  const aging::AgingModel* model_;
+  const double* ambient_stress_;
+  double resistance_;
+  double stress_ = 0.0;
+  double last_increment_ = 0.0;
+  std::uint64_t pulses_ = 0;
+};
+
+}  // namespace xbarlife::device

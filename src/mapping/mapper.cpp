@@ -1,0 +1,156 @@
+#include "mapping/mapper.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace xbarlife::mapping {
+
+MappingPlan::MappingPlan(WeightRange weights, ResistanceRange fresh,
+                         std::size_t fresh_levels, double upper_cut)
+    // The weight range maps onto the *usable* conductance range so every
+    // target stays on a usable level.
+    : quantizer_(fresh, fresh_levels, upper_cut),
+      map_(weights, quantizer_.range().g_min(),
+           quantizer_.range().g_max()) {}
+
+MappingPlan::MappingPlan(WeightRange weights, ResistanceRange fresh,
+                         std::size_t fresh_levels)
+    : MappingPlan(weights, fresh, fresh_levels, fresh.r_hi) {}
+
+double MappingPlan::target_resistance(double weight) const {
+  const double g = map_.weight_to_conductance(weight);
+  const std::size_t level = quantizer_.nearest_level_for_conductance(g);
+  return quantizer_.level_resistance(level);
+}
+
+double MappingPlan::weight_of_resistance(double r) const {
+  XB_CHECK(r > 0.0, "resistance must be positive");
+  return map_.conductance_to_weight(1.0 / r);
+}
+
+Tensor predict_effective_weights(
+    const Tensor& weights, const MappingPlan& plan,
+    const std::function<aging::AgedWindow(std::size_t, std::size_t)>&
+        window_of) {
+  XB_CHECK(weights.shape().rank() == 2, "weights must be rank-2");
+  XB_CHECK(window_of != nullptr, "window functor required");
+  const std::size_t rows = weights.shape()[0];
+  const std::size_t cols = weights.shape()[1];
+  Tensor eff(weights.shape());
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double target =
+          plan.target_resistance(static_cast<double>(weights.at(r, c)));
+      const aging::AgedWindow w = window_of(r, c);
+      const double achieved =
+          std::clamp(target, std::min(w.r_min, w.r_max),
+                     std::max(w.r_min, w.r_max));
+      eff.at(r, c) = static_cast<float>(plan.weight_of_resistance(achieved));
+    }
+  }
+  return eff;
+}
+
+MappingReport program_weights(xbar::Crossbar& xbar, const Tensor& weights,
+                              const MappingPlan& plan, bool skip_unchanged,
+                              std::vector<std::uint8_t>* stuck,
+                              std::vector<float>* pinned_g) {
+  XB_CHECK(weights.shape().rank() == 2 &&
+               weights.shape()[0] == xbar.rows() &&
+               weights.shape()[1] == xbar.cols(),
+           "weight matrix must match crossbar dimensions");
+  MappingReport report;
+  report.total_cells = xbar.rows() * xbar.cols();
+  XB_CHECK(stuck == nullptr || stuck->size() == report.total_cells,
+           "stuck map size must match the crossbar");
+  XB_CHECK(stuck == nullptr ||
+               (pinned_g != nullptr &&
+                pinned_g->size() == report.total_cells),
+           "a stuck map needs a matching pinned-conductance map");
+  // Skip cells already within half a quantization step of the target *in
+  // conductance space*: weight error is proportional to conductance error
+  // (Eq. 4 is linear in g), so this is the fidelity criterion a
+  // read-verify-program controller actually cares about.
+  const auto& range = plan.quantizer().range();
+  const double skip_tol =
+      0.5 * (range.g_max() - range.g_min()) /
+      static_cast<double>(plan.quantizer().levels() - 1);
+  double sq_err = 0.0;
+  double sum_g = 0.0;
+  for (std::size_t r = 0; r < xbar.rows(); ++r) {
+    for (std::size_t c = 0; c < xbar.cols(); ++c) {
+      const auto w = static_cast<double>(weights.at(r, c));
+      const double target = plan.target_resistance(w);
+      const double g_target = 1.0 / target;
+      sum_g += g_target;
+      const std::size_t idx = r * xbar.cols() + c;
+      double achieved = xbar.cell(r, c).resistance();
+      const std::uint8_t cell_state =
+          stuck != nullptr ? (*stuck)[idx] : kCellHealthy;
+      if (cell_state == kCellDead) {
+        // A dead cell's window is pinned: writes cannot move it and drift
+        // cannot either, so the controller retires it completely.
+        const double w_eff = plan.weight_of_resistance(achieved);
+        sq_err += (w_eff - w) * (w_eff - w);
+        continue;
+      }
+      bool needs_write =
+          !skip_unchanged || std::fabs(1.0 / achieved - g_target) > skip_tol;
+      if (cell_state == kCellClamped) {
+        // The target is known unreachable; pulse only to correct material
+        // drift away from the pinned best-achievable value.
+        needs_write = std::fabs(1.0 / achieved -
+                                static_cast<double>((*pinned_g)[idx])) >
+                      skip_tol;
+      }
+      if (needs_write) {
+        const double g_before = 1.0 / achieved;
+        achieved = xbar.program_cell(r, c, target);
+        ++report.programmed_cells;
+        if (std::fabs(1.0 / achieved - g_target) > skip_tol) {
+          if (cell_state == kCellHealthy) {
+            // Write-verify failed: the aged window no longer covers the
+            // target. Blacklist the cell for the tuning controller and
+            // pin its best-achievable value.
+            ++report.clamped_cells;
+            if (stuck != nullptr) {
+              (*stuck)[idx] = kCellClamped;
+              (*pinned_g)[idx] = static_cast<float>(1.0 / achieved);
+            }
+          } else if (std::fabs(1.0 / achieved - g_before) <
+                     0.05 * skip_tol) {
+            // The pulse moved nothing: the window has collapsed. Retire
+            // the cell so later sessions stop burning it.
+            (*stuck)[idx] = kCellDead;
+          } else {
+            // Still alive but still clamped: refresh the pin.
+            (*pinned_g)[idx] = static_cast<float>(1.0 / achieved);
+          }
+        }
+      }
+      const double w_eff = plan.weight_of_resistance(achieved);
+      sq_err += (w_eff - w) * (w_eff - w);
+    }
+  }
+  report.quantization_rmse =
+      std::sqrt(sq_err / static_cast<double>(report.total_cells));
+  report.mean_target_conductance =
+      sum_g / static_cast<double>(report.total_cells);
+  return report;
+}
+
+Tensor effective_weights(const xbar::Crossbar& xbar,
+                         const MappingPlan& plan) {
+  Tensor eff(Shape{xbar.rows(), xbar.cols()});
+  for (std::size_t r = 0; r < xbar.rows(); ++r) {
+    for (std::size_t c = 0; c < xbar.cols(); ++c) {
+      eff.at(r, c) = static_cast<float>(
+          plan.weight_of_resistance(xbar.cell(r, c).resistance()));
+    }
+  }
+  return eff;
+}
+
+}  // namespace xbarlife::mapping

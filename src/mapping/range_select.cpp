@@ -1,0 +1,197 @@
+#include "mapping/range_select.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace xbarlife::mapping {
+
+std::vector<double> candidate_upper_bounds(
+    const aging::RepresentativeTracker& tracker,
+    const aging::AgingModel& model, double r_fresh_min, double r_fresh_max,
+    double merge_tol) {
+  XB_CHECK(r_fresh_min < r_fresh_max, "invalid fresh window");
+  XB_CHECK(merge_tol >= 0.0, "merge tolerance must be >= 0");
+  std::vector<double> bounds;
+  for (double s : tracker.representative_stresses()) {
+    bounds.push_back(
+        model.aged_r_max(r_fresh_max, s + tracker.ambient_stress()));
+  }
+  std::sort(bounds.begin(), bounds.end());
+  // Merge near-duplicates.
+  const double tol = merge_tol * (r_fresh_max - r_fresh_min);
+  std::vector<double> merged;
+  for (double b : bounds) {
+    if (merged.empty() || b - merged.back() > tol) {
+      merged.push_back(b);
+    }
+  }
+  return merged;
+}
+
+std::function<aging::AgedWindow(std::size_t, std::size_t)>
+tracker_window_functor(const aging::RepresentativeTracker& tracker,
+                       const aging::AgingModel& model, double r_fresh_min,
+                       double r_fresh_max) {
+  return [&tracker, &model, r_fresh_min, r_fresh_max](std::size_t r,
+                                                      std::size_t c) {
+    const double s = tracker.stress_estimate(r, c);
+    return model.aged_window(r_fresh_min, r_fresh_max, s);
+  };
+}
+
+namespace {
+
+// Cells whose target is *materially* unreachable: the achievable
+// conductance misses the target by more than half a quantization step —
+// the same criterion the write-verify controller uses. Each such cell
+// costs a wasted pulse per session and a tuning blind spot.
+std::size_t count_clamped(
+    const Tensor& weights, const MappingPlan& plan,
+    const std::function<aging::AgedWindow(std::size_t, std::size_t)>&
+        window_of) {
+  std::size_t clamped = 0;
+  const auto& range = plan.quantizer().range();
+  const double half_step =
+      0.5 * (range.g_max() - range.g_min()) /
+      static_cast<double>(plan.quantizer().levels() - 1);
+  const std::size_t rows = weights.shape()[0];
+  const std::size_t cols = weights.shape()[1];
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double target =
+          plan.target_resistance(static_cast<double>(weights.at(r, c)));
+      const double achievable_r =
+          std::min(target, window_of(r, c).r_max);
+      if (1.0 / achievable_r - 1.0 / target > half_step) {
+        ++clamped;
+      }
+    }
+  }
+  return clamped;
+}
+
+}  // namespace
+
+RangeSelectionResult select_common_range(
+    const aging::RepresentativeTracker& tracker,
+    const aging::AgingModel& model, double r_fresh_min, double r_fresh_max,
+    const Tensor& weights, std::size_t levels,
+    const EffectiveWeightEvaluator& evaluate,
+    const ResistanceRange* incumbent, double keep_threshold,
+    double switch_margin, std::size_t max_candidates,
+    std::function<aging::AgedWindow(std::size_t, std::size_t)> window_of) {
+  XB_CHECK(evaluate != nullptr, "range selection needs an evaluator");
+  XB_CHECK(weights.shape().rank() == 2, "weights must be rank-2");
+  XB_CHECK(max_candidates >= 1, "need at least one candidate");
+
+  RangeSelectionResult result;
+  const WeightRange wr = weight_range_of(weights);
+  if (window_of == nullptr) {
+    window_of =
+        tracker_window_functor(tracker, model, r_fresh_min, r_fresh_max);
+  }
+
+  // Remap-on-demand: when the currently programmed range still predicts an
+  // accuracy above `keep_threshold`, keep it without scanning candidates.
+  // Re-ranging rewrites the whole array, so it must earn its pulses.
+  double incumbent_score = -1.0;
+  if (incumbent != nullptr && incumbent->valid()) {
+    const MappingPlan plan(wr, ResistanceRange{r_fresh_min, r_fresh_max},
+                           levels, incumbent->r_hi);
+    const Tensor eff = predict_effective_weights(weights, plan, window_of);
+    incumbent_score = evaluate(eff);
+    ++result.candidates_tried;
+    // Keep outright while the incumbent still predicts an acceptable
+    // accuracy. (Clamped cells are cheap under the pinned write-verify
+    // controller, so they do not by themselves justify a rewrite.)
+    if (incumbent_score >= keep_threshold) {
+      result.selected = *incumbent;
+      result.best_score = incumbent_score;
+      result.kept_incumbent = true;
+      return result;
+    }
+  }
+
+  result.candidate_bounds =
+      candidate_upper_bounds(tracker, model, r_fresh_min, r_fresh_max);
+  XB_ASSERT(!result.candidate_bounds.empty(),
+            "tracker always yields at least one representative");
+  if (result.candidate_bounds.size() > max_candidates) {
+    // Even subsample keeping the extremes (R^L and R^U of Fig. 8).
+    std::vector<double> kept;
+    kept.reserve(max_candidates);
+    const double stride =
+        static_cast<double>(result.candidate_bounds.size() - 1) /
+        static_cast<double>(max_candidates - 1);
+    for (std::size_t i = 0; i < max_candidates; ++i) {
+      kept.push_back(result.candidate_bounds[static_cast<std::size_t>(
+          std::llround(static_cast<double>(i) * stride))]);
+    }
+    kept.erase(std::unique(kept.begin(), kept.end()), kept.end());
+    result.candidate_bounds = std::move(kept);
+  }
+
+  double best_score = -1.0;
+  for (double upper : result.candidate_bounds) {
+    // A candidate too close to the lower bound cannot host a quantizer.
+    if (upper <= r_fresh_min * (1.0 + 1e-9)) {
+      result.candidate_scores.push_back(-1.0);
+      result.candidate_clamps.push_back(weights.numel());
+      continue;
+    }
+    // Candidate = the fresh level grid truncated at this aged bound.
+    const MappingPlan plan(wr, ResistanceRange{r_fresh_min, r_fresh_max},
+                           levels, upper);
+    const Tensor eff = predict_effective_weights(weights, plan, window_of);
+    const double score = evaluate(eff);
+    result.candidate_scores.push_back(score);
+    result.candidate_clamps.push_back(
+        count_clamped(weights, plan, window_of));
+    ++result.candidates_tried;
+    best_score = std::max(best_score, score);
+  }
+  // Epsilon-tolerant argmax, resolved toward the LARGEST bound: the
+  // evaluator scores are noisy (small validation slice), and shrinking the
+  // common range pushes every cell to a higher conductance — i.e. a higher
+  // programming current — so the range should only shrink when a smaller
+  // bound wins by a clear margin.
+  constexpr double kScoreTolerance = 0.02;
+  // Among the candidates near-tied on accuracy the LARGEST bound wins:
+  // shrinking the common range pushes every cell to a higher conductance
+  // (a higher programming current), so the range only shrinks when a
+  // smaller bound buys a clear accuracy improvement.
+  ResistanceRange best_range;
+  for (std::size_t i = 0; i < result.candidate_bounds.size(); ++i) {
+    if (result.candidate_scores[i] < best_score - kScoreTolerance ||
+        result.candidate_scores[i] < 0.0) {
+      continue;
+    }
+    // Candidates iterate ascending: keep overwriting -> largest wins.
+    best_range = ResistanceRange{r_fresh_min, result.candidate_bounds[i]};
+  }
+  if (best_score < 0.0) {
+    // Every candidate degenerate (fully collapsed windows): fall back to
+    // the fresh range; the crossbar is effectively dead and the caller's
+    // tuning loop will detect it.
+    best_range = ResistanceRange{r_fresh_min, r_fresh_max};
+    best_score = 0.0;
+  }
+  // The incumbent is displaced only by a LARGE predicted-accuracy gain:
+  // re-ranging rewrites the whole array at higher conductances (higher
+  // programming currents), so in pulse-budget terms a switch is expensive
+  // and must buy a material recovery, not a marginal win.
+  if (incumbent_score >= best_score - switch_margin &&
+      incumbent_score >= 0.0) {
+    result.selected = *incumbent;
+    result.best_score = incumbent_score;
+    result.kept_incumbent = true;
+    return result;
+  }
+  result.selected = best_range;
+  result.best_score = best_score;
+  return result;
+}
+
+}  // namespace xbarlife::mapping

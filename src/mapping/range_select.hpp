@@ -1,0 +1,82 @@
+// Aging-aware common-range selection (Section IV-B, Fig. 8 of the paper).
+//
+// The traced representatives report different aged upper bounds
+// R_aged,max. Every distinct estimate between the smallest (R^L_aged,max)
+// and the largest (R^U_aged,max) is a candidate common upper bound; each
+// candidate is evaluated by *predicting* the mapped network's accuracy
+// (no programming pulses are spent) and the argmax is selected.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "aging/tracker.hpp"
+#include "mapping/mapper.hpp"
+
+namespace xbarlife::mapping {
+
+/// Distinct candidate aged upper bounds from the tracker's representative
+/// estimates, sorted ascending. Estimates closer than `merge_tol` (relative
+/// to the fresh span) are merged to keep the iteration cheap.
+std::vector<double> candidate_upper_bounds(
+    const aging::RepresentativeTracker& tracker,
+    const aging::AgingModel& model, double r_fresh_min, double r_fresh_max,
+    double merge_tol = 1e-3);
+
+/// Scores one candidate range by predicting the effective weights under the
+/// tracker-estimated windows and calling `evaluate` on them. Higher is
+/// better (classification accuracy in the paper).
+using EffectiveWeightEvaluator = std::function<double(const Tensor&)>;
+
+struct RangeSelectionResult {
+  ResistanceRange selected;
+  double best_score = 0.0;
+  bool kept_incumbent = false;  ///< selection stayed on the current range
+  std::size_t candidates_tried = 0;
+  std::vector<double> candidate_bounds;  ///< all candidate r_hi values
+  std::vector<double> candidate_scores;  ///< score per candidate
+  /// Predicted unreachable-target cells per candidate. Clamped targets are
+  /// the paper's failure trigger (more tuning iterations -> more aging),
+  /// so near-ties in accuracy resolve toward fewer clamps.
+  std::vector<std::size_t> candidate_clamps;
+};
+
+/// Iterative selection: tries [r_fresh_min, u] for every candidate upper
+/// bound u and returns the accuracy-argmax (ties -> larger range, which
+/// keeps more levels). Falls back to the fresh range when the tracker has
+/// seen no pulses yet. At most `max_candidates` candidates are evaluated
+/// (evenly subsampled between R^L_aged,max and R^U_aged,max, endpoints
+/// always included) to bound the selection cost on large arrays.
+/// `incumbent`, when provided, is the common range currently programmed
+/// into the array. It is scored first: if its predicted accuracy is at
+/// least `keep_threshold` it is kept outright (remap-on-demand), and it
+/// also wins all near-ties against candidates — switching ranges rewrites
+/// every cell (a full array's worth of aging pulses), so the selection
+/// only moves when a candidate buys a clear accuracy improvement.
+/// `window_of`, when provided, supplies the per-cell achievable window used
+/// to *predict* each candidate's effective weights (e.g. the simulator's
+/// ground truth — the paper evaluates candidates by simulated
+/// classification accuracy). When null, the tracker's block-representative
+/// estimate is used. The candidate bounds themselves always come from the
+/// traced representatives (Fig. 8).
+RangeSelectionResult select_common_range(
+    const aging::RepresentativeTracker& tracker,
+    const aging::AgingModel& model, double r_fresh_min, double r_fresh_max,
+    const Tensor& weights, std::size_t levels,
+    const EffectiveWeightEvaluator& evaluate,
+    const ResistanceRange* incumbent = nullptr,
+    double keep_threshold = 2.0,  // > any accuracy: disabled by default
+    double switch_margin = 0.05,  // candidate must beat incumbent by this
+    std::size_t max_candidates = 8,
+    std::function<aging::AgedWindow(std::size_t, std::size_t)> window_of =
+        nullptr);
+
+/// Tracker-estimated achievable window for cell (r, c): the window of the
+/// representative covering its 3x3 block. This is the `window_of` functor
+/// the selection (and aging-aware programming preview) uses.
+std::function<aging::AgedWindow(std::size_t, std::size_t)>
+tracker_window_functor(const aging::RepresentativeTracker& tracker,
+                       const aging::AgingModel& model, double r_fresh_min,
+                       double r_fresh_max);
+
+}  // namespace xbarlife::mapping

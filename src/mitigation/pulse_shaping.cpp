@@ -1,0 +1,73 @@
+#include "mitigation/pulse_shaping.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace xbarlife::mitigation {
+
+std::string to_string(PulseShape shape) {
+  switch (shape) {
+    case PulseShape::kRectangular:
+      return "rectangular";
+    case PulseShape::kTriangular:
+      return "triangular";
+    case PulseShape::kSinusoidal:
+      return "sinusoidal";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Numerical integral of (v(t)/V)^alpha over one normalized period.
+double normalized_stress_integral(PulseShape shape, double alpha) {
+  constexpr int kSteps = 2000;
+  double acc = 0.0;
+  for (int i = 0; i < kSteps; ++i) {
+    const double t = (static_cast<double>(i) + 0.5) / kSteps;
+    double v = 1.0;
+    switch (shape) {
+      case PulseShape::kRectangular:
+        v = 1.0;
+        break;
+      case PulseShape::kTriangular:
+        v = t < 0.5 ? 2.0 * t : 2.0 * (1.0 - t);
+        break;
+      case PulseShape::kSinusoidal:
+        v = std::sin(std::numbers::pi * t);
+        break;
+    }
+    acc += std::pow(v, alpha);
+  }
+  return acc / kSteps;
+}
+
+}  // namespace
+
+double stress_factor(PulseShape shape, double alpha) {
+  XB_CHECK(alpha >= 0.0, "alpha must be non-negative");
+  if (shape == PulseShape::kRectangular) {
+    return 1.0;
+  }
+  return normalized_stress_integral(shape, alpha);
+}
+
+double time_dilation(PulseShape shape) {
+  switch (shape) {
+    case PulseShape::kRectangular:
+      return 1.0;
+    case PulseShape::kTriangular:
+      return 2.0;  // mean |v|/V = 1/2
+    case PulseShape::kSinusoidal:
+      return std::numbers::pi / 2.0;  // mean = 2/pi
+  }
+  return 1.0;
+}
+
+double net_stress_per_move(PulseShape shape, double alpha) {
+  return stress_factor(shape, alpha) * time_dilation(shape);
+}
+
+}  // namespace xbarlife::mitigation

@@ -1,0 +1,45 @@
+// Counter-aging baseline [9] (Chen et al., IEDM'11, as discussed in the
+// paper's Section I): programming with triangular or sinusoidal voltage
+// waveforms instead of rectangular DC pulses. The average applied voltage
+// (and therefore the average stress current) is lower for the same peak,
+// at the cost of a longer effective programming time per level move.
+//
+// This module models the stress-side effect: a shaped pulse delivers the
+// same programming outcome as a rectangular pulse whose stress integral is
+// scaled by the waveform's stress factor.
+#pragma once
+
+#include <string>
+
+namespace xbarlife::mitigation {
+
+enum class PulseShape {
+  kRectangular,  ///< constant amplitude (the default everywhere else)
+  kTriangular,   ///< linear ramp up/down
+  kSinusoidal,   ///< half-sine
+};
+
+std::string to_string(PulseShape shape);
+
+/// Stress-integral scale factor of a shaped pulse relative to a
+/// rectangular pulse of the same peak voltage and duration, under a
+/// current-exponent-alpha aging law:
+///
+///   factor = (1 / T) * integral_0^T (v(t) / V_peak)^alpha dt
+///
+/// Rectangular: 1. Triangular: 1/(alpha+1). Sinusoidal:
+/// (1/pi) * B(1/2, (alpha+1)/2) — evaluated numerically for general alpha.
+double stress_factor(PulseShape shape, double alpha);
+
+/// Time-dilation factor: shaped pulses transfer less charge per cycle, so
+/// reaching the same conductance move takes proportionally longer. We use
+/// the first-moment ratio (mean |v|/V_peak): rectangular 1, triangular 2,
+/// sinusoidal pi/2. Longer programming reduces throughput; the lifetime
+/// benefit is the stress saved per completed move:
+///   net = stress_factor(shape, alpha) * time_dilation(shape).
+double time_dilation(PulseShape shape);
+
+/// Net per-move stress relative to rectangular programming.
+double net_stress_per_move(PulseShape shape, double alpha);
+
+}  // namespace xbarlife::mitigation

@@ -1,0 +1,105 @@
+#include "mitigation/row_swap.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace xbarlife::mitigation {
+
+RowWearLeveler::RowWearLeveler(std::size_t rows) : rows_(rows) {
+  XB_CHECK(rows > 0, "wear leveler needs at least one row");
+  perm_.resize(rows);
+  inverse_perm_.resize(rows);
+  std::iota(perm_.begin(), perm_.end(), 0);
+  std::iota(inverse_perm_.begin(), inverse_perm_.end(), 0);
+}
+
+std::size_t RowWearLeveler::physical_row(std::size_t logical) const {
+  XB_CHECK(logical < rows_, "logical row out of range");
+  return perm_[logical];
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> RowWearLeveler::rebalance(
+    std::vector<double> physical_row_stress, double ratio_threshold,
+    std::size_t max_swaps) {
+  XB_CHECK(physical_row_stress.size() == rows_,
+           "stress vector must have one entry per row");
+  XB_CHECK(ratio_threshold >= 1.0, "ratio threshold must be >= 1");
+
+  std::vector<std::pair<std::size_t, std::size_t>> swaps;
+  // Tiny absolute slack so fresh arrays (all-zero stress) never swap.
+  constexpr double kEpsilon = 1e-12;
+  for (std::size_t n = 0; n < max_swaps; ++n) {
+    const auto hot_it = std::max_element(physical_row_stress.begin(),
+                                         physical_row_stress.end());
+    const auto cold_it = std::min_element(physical_row_stress.begin(),
+                                          physical_row_stress.end());
+    const auto hot = static_cast<std::size_t>(
+        hot_it - physical_row_stress.begin());
+    const auto cold = static_cast<std::size_t>(
+        cold_it - physical_row_stress.begin());
+    if (hot == cold ||
+        *hot_it <= ratio_threshold * (*cold_it) + kEpsilon) {
+      break;
+    }
+    // Swap the logical rows hosted by the two physical rows.
+    const std::size_t logical_hot = inverse_perm_[hot];
+    const std::size_t logical_cold = inverse_perm_[cold];
+    std::swap(perm_[logical_hot], perm_[logical_cold]);
+    std::swap(inverse_perm_[hot], inverse_perm_[cold]);
+    swaps.emplace_back(hot, cold);
+    // The swap moves future wear, not past stress; mark both rows as
+    // mid-pack so the greedy loop looks at the next extremes.
+    const double mid = (*hot_it + *cold_it) / 2.0;
+    *hot_it = mid;
+    *cold_it = mid;
+  }
+  return swaps;
+}
+
+Tensor RowWearLeveler::to_physical(const Tensor& logical_weights) const {
+  XB_CHECK(logical_weights.shape().rank() == 2 &&
+               logical_weights.shape()[0] == rows_,
+           "weight matrix must have one row per crossbar row");
+  const std::size_t cols = logical_weights.shape()[1];
+  Tensor physical(logical_weights.shape());
+  for (std::size_t l = 0; l < rows_; ++l) {
+    const std::size_t p = perm_[l];
+    for (std::size_t c = 0; c < cols; ++c) {
+      physical.at(p, c) = logical_weights.at(l, c);
+    }
+  }
+  return physical;
+}
+
+void RowWearLeveler::reset() {
+  std::iota(perm_.begin(), perm_.end(), 0);
+  std::iota(inverse_perm_.begin(), inverse_perm_.end(), 0);
+}
+
+std::vector<double> estimated_row_stress(const xbar::Crossbar& xb) {
+  std::vector<double> stress(xb.rows(), 0.0);
+  for (std::size_t r = 0; r < xb.rows(); ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < xb.cols(); ++c) {
+      acc += xb.tracker().stress_estimate(r, c);
+    }
+    stress[r] = acc / static_cast<double>(xb.cols());
+  }
+  return stress;
+}
+
+std::vector<double> true_row_stress(const xbar::Crossbar& xb) {
+  std::vector<double> stress(xb.rows(), 0.0);
+  for (std::size_t r = 0; r < xb.rows(); ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < xb.cols(); ++c) {
+      acc += xb.cell(r, c).stress();
+    }
+    stress[r] = acc / static_cast<double>(xb.cols());
+  }
+  return stress;
+}
+
+}  // namespace xbarlife::mitigation

@@ -1,0 +1,66 @@
+// Counter-aging baseline [12] (Cai et al., DAC'18, as discussed in the
+// paper's Section I): wear leveling by row swapping — rows of memristors
+// that are only slightly aged replace rows that are heavily aged.
+//
+// A crossbar row is driven by one input line, so swapping two rows plus
+// the corresponding input routing keeps the computed VMM identical while
+// redistributing programming wear. The leveler maintains the
+// logical-to-physical row permutation and decides swaps from traced
+// (tracker-visible) per-row stress estimates; each swap costs two row
+// rewrites, which the caller performs by reprogramming with the permuted
+// weight matrix.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "xbar/crossbar.hpp"
+
+namespace xbarlife::mitigation {
+
+class RowWearLeveler {
+ public:
+  explicit RowWearLeveler(std::size_t rows);
+
+  std::size_t rows() const { return rows_; }
+
+  /// Physical row currently hosting `logical`.
+  std::size_t physical_row(std::size_t logical) const;
+
+  /// Current logical -> physical permutation.
+  const std::vector<std::size_t>& permutation() const { return perm_; }
+
+  /// Greedy rebalance: while the hottest physical row carries more than
+  /// `ratio_threshold` times the stress of the coldest (plus an absolute
+  /// epsilon) and fewer than `max_swaps` swaps have been made, swap the
+  /// logical rows hosted by the hottest and coldest physical rows.
+  /// `physical_row_stress[p]` is the (estimated) stress of physical row p.
+  /// Returns the physical row pairs swapped.
+  std::vector<std::pair<std::size_t, std::size_t>> rebalance(
+      std::vector<double> physical_row_stress,
+      double ratio_threshold = 2.0, std::size_t max_swaps = 4);
+
+  /// Rearranges a logical weight matrix into physical layout: physical row
+  /// perm_[l] receives logical row l.
+  Tensor to_physical(const Tensor& logical_weights) const;
+
+  /// Resets to the identity permutation.
+  void reset();
+
+ private:
+  std::size_t rows_;
+  std::vector<std::size_t> perm_;          // logical -> physical
+  std::vector<std::size_t> inverse_perm_;  // physical -> logical
+};
+
+/// Tracker-estimated mean stress per physical row of a crossbar (what the
+/// wear-leveling controller can actually observe).
+std::vector<double> estimated_row_stress(const xbar::Crossbar& xb);
+
+/// Ground-truth mean stress per physical row (simulator-only, for tests
+/// and evaluation).
+std::vector<double> true_row_stress(const xbar::Crossbar& xb);
+
+}  // namespace xbarlife::mitigation

@@ -1,0 +1,42 @@
+#include "mitigation/series_resistor.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace xbarlife::mitigation {
+
+void SeriesResistorConfig::validate() const {
+  XB_CHECK(r_series >= 0.0, "series resistance must be non-negative");
+}
+
+double divided_current(const SeriesResistorConfig& cfg, double v,
+                       double r_cell) {
+  cfg.validate();
+  XB_CHECK(v > 0.0, "pulse amplitude must be positive");
+  XB_CHECK(r_cell > 0.0, "cell resistance must be positive");
+  return v / (r_cell + cfg.r_series);
+}
+
+double cell_voltage_fraction(const SeriesResistorConfig& cfg,
+                             double r_cell) {
+  cfg.validate();
+  XB_CHECK(r_cell > 0.0, "cell resistance must be positive");
+  return r_cell / (r_cell + cfg.r_series);
+}
+
+double pulse_count_multiplier(const SeriesResistorConfig& cfg,
+                              double r_cell) {
+  return 1.0 / cell_voltage_fraction(cfg, r_cell);
+}
+
+double net_stress_per_move(const SeriesResistorConfig& cfg, double v,
+                           double r_cell, double alpha) {
+  XB_CHECK(alpha >= 0.0, "alpha must be non-negative");
+  const double bare = v / r_cell;
+  const double divided = divided_current(cfg, v, r_cell);
+  return std::pow(divided / bare, alpha) *
+         pulse_count_multiplier(cfg, r_cell);
+}
+
+}  // namespace xbarlife::mitigation

@@ -1,0 +1,44 @@
+// Counter-aging baseline [11] (Kim et al., Scientific Reports'16, as
+// discussed in the paper's Section I): a fixed resistor in series with
+// each memristor suppresses irregular voltage drops — the voltage-divider
+// effect caps the current through the cell when it is in a low-resistance
+// state.
+//
+// With a series resistor R_s, a programming pulse of amplitude V drives
+//   I = V / (R_cell + R_s)
+// instead of V / R_cell, so the stress of low-resistance (high-current)
+// cells drops sharply while high-resistance cells barely notice. The cost:
+// the voltage actually reaching the cell shrinks by R_cell/(R_cell+R_s),
+// which slows programming (modeled as a per-move pulse-count multiplier)
+// and compresses the usable read margin.
+#pragma once
+
+namespace xbarlife::mitigation {
+
+struct SeriesResistorConfig {
+  double r_series = 0.0;  ///< ohms; 0 disables the divider
+
+  void validate() const;
+};
+
+/// Programming current through a cell of resistance `r_cell` under pulse
+/// amplitude `v` with the divider in place.
+double divided_current(const SeriesResistorConfig& cfg, double v,
+                       double r_cell);
+
+/// Fraction of the pulse amplitude that reaches the cell.
+double cell_voltage_fraction(const SeriesResistorConfig& cfg,
+                             double r_cell);
+
+/// Extra pulses needed per level move (first-order: programming rate is
+/// proportional to the cell voltage, so moves take 1/fraction pulses).
+double pulse_count_multiplier(const SeriesResistorConfig& cfg,
+                              double r_cell);
+
+/// Net per-move stress scale relative to no divider, under a
+/// current-exponent-alpha aging law:
+///   (I_divided / I_bare)^alpha * pulse_count_multiplier.
+double net_stress_per_move(const SeriesResistorConfig& cfg, double v,
+                           double r_cell, double alpha);
+
+}  // namespace xbarlife::mitigation

@@ -1,0 +1,43 @@
+// Batch normalization (per-feature, over the batch dimension).
+//
+// Not used by the paper's LeNet-5/VGG-16 topologies (the original VGG-16
+// predates BN), but a training substrate without it cannot explore deeper
+// variants; gamma/beta stay digital (not mapped onto crossbars).
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace xbarlife::nn {
+
+class BatchNorm final : public Layer {
+ public:
+  BatchNorm(std::size_t features, double momentum = 0.9,
+            double epsilon = 1e-5, std::string name = "batchnorm");
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<ParamRef> params() override;
+  std::size_t output_features(std::size_t input_features) const override;
+  LayerKind kind() const override { return LayerKind::kActivation; }
+
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+
+ private:
+  std::size_t features_;
+  double momentum_;
+  double epsilon_;
+  Tensor gamma_;
+  Tensor beta_;
+  Tensor gamma_grad_;
+  Tensor beta_grad_;
+  Tensor running_mean_;
+  Tensor running_var_;
+  // Forward cache for backward.
+  Tensor x_hat_;        // normalized input
+  Tensor batch_inv_std_;  // 1/sqrt(var+eps), per feature
+  std::size_t batch_ = 0;
+  bool last_training_ = false;
+};
+
+}  // namespace xbarlife::nn

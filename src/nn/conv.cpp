@@ -1,0 +1,101 @@
+#include "nn/conv.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "tensor/matmul.hpp"
+
+namespace xbarlife::nn {
+
+Conv2D::Conv2D(ConvGeometry geometry, std::size_t out_channels, Rng& rng,
+               std::string name)
+    : Layer(std::move(name)),
+      geometry_(geometry),
+      out_channels_(out_channels),
+      weight_(Shape{geometry.patch_size(), out_channels}),
+      bias_(Shape{out_channels}),
+      weight_grad_(Shape{geometry.patch_size(), out_channels}),
+      bias_grad_(Shape{out_channels}) {
+  geometry_.validate();
+  XB_CHECK(out_channels > 0, "Conv2D needs at least one output channel");
+  const auto scale = static_cast<float>(
+      std::sqrt(2.0 / static_cast<double>(geometry_.patch_size())));
+  weight_.fill_gaussian(rng, 0.0f, scale);
+}
+
+Tensor Conv2D::forward(const Tensor& input, bool /*training*/) {
+  const std::size_t per_sample =
+      geometry_.in_channels * geometry_.in_h * geometry_.in_w;
+  XB_CHECK(input.shape().rank() == 2 && input.shape()[1] == per_sample,
+           "Conv2D " + name() + " expected (batch, " +
+               std::to_string(per_sample) + "), got " +
+               input.shape().to_string());
+  const std::size_t batch = input.shape()[0];
+  const std::size_t pixels = geometry_.out_h() * geometry_.out_w();
+  Tensor out(Shape{batch, out_channels_ * pixels});
+  patches_.clear();
+  patches_.reserve(batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    Tensor image(Shape{per_sample},
+                 std::vector<float>(input.data() + b * per_sample,
+                                    input.data() + (b + 1) * per_sample));
+    patches_.push_back(im2col(image, geometry_));
+    // (pixels, patch) * (patch, out_ch) -> (pixels, out_ch)
+    Tensor y = matmul(patches_.back(), weight_);
+    // Transpose to channel-major (out_ch, pixels) so the flattened feature
+    // layout stays NCHW-compatible for downstream pooling.
+    for (std::size_t p = 0; p < pixels; ++p) {
+      for (std::size_t c = 0; c < out_channels_; ++c) {
+        out.at(b, c * pixels + p) = y.at(p, c) + bias_[c];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2D::backward(const Tensor& grad_output) {
+  const std::size_t batch = patches_.size();
+  const std::size_t pixels = geometry_.out_h() * geometry_.out_w();
+  XB_CHECK(grad_output.shape().rank() == 2 &&
+               grad_output.shape()[0] == batch &&
+               grad_output.shape()[1] == out_channels_ * pixels,
+           "Conv2D backward shape mismatch");
+  const std::size_t per_sample =
+      geometry_.in_channels * geometry_.in_h * geometry_.in_w;
+  Tensor grad_input(Shape{batch, per_sample});
+  for (std::size_t b = 0; b < batch; ++b) {
+    // Rebuild the (pixels, out_ch) gradient for this sample.
+    Tensor gy(Shape{pixels, out_channels_});
+    for (std::size_t p = 0; p < pixels; ++p) {
+      for (std::size_t c = 0; c < out_channels_; ++c) {
+        const float g = grad_output.at(b, c * pixels + p);
+        gy.at(p, c) = g;
+        bias_grad_[c] += g;
+      }
+    }
+    // dW += patches^T gy ; dPatches = gy W^T ; dX = col2im(dPatches)
+    weight_grad_.add_(matmul_tn(patches_[b], gy));
+    Tensor gpatches = matmul_nt(gy, weight_);
+    Tensor gimage = col2im(gpatches, geometry_);
+    for (std::size_t i = 0; i < per_sample; ++i) {
+      grad_input.at(b, i) = gimage[i];
+    }
+  }
+  return grad_input;
+}
+
+std::vector<ParamRef> Conv2D::params() {
+  return {
+      {name() + ".weight", &weight_, &weight_grad_, /*mappable=*/true},
+      {name() + ".bias", &bias_, &bias_grad_, /*mappable=*/false},
+  };
+}
+
+std::size_t Conv2D::output_features(std::size_t input_features) const {
+  XB_CHECK(input_features ==
+               geometry_.in_channels * geometry_.in_h * geometry_.in_w,
+           "Conv2D feature-count mismatch in topology");
+  return out_channels_ * geometry_.out_h() * geometry_.out_w();
+}
+
+}  // namespace xbarlife::nn

@@ -1,0 +1,76 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace xbarlife::nn {
+
+double SoftmaxCrossEntropy::forward(const Tensor& logits,
+                                    std::span<const std::int32_t> labels) {
+  XB_CHECK(logits.shape().rank() == 2, "logits must be (batch, classes)");
+  const std::size_t batch = logits.shape()[0];
+  const std::size_t classes = logits.shape()[1];
+  XB_CHECK(labels.size() == batch, "one label per batch row required");
+
+  probs_ = logits;
+  labels_.assign(labels.begin(), labels.end());
+  double total = 0.0;
+  for (std::size_t b = 0; b < batch; ++b) {
+    XB_CHECK(labels[b] >= 0 &&
+                 static_cast<std::size_t>(labels[b]) < classes,
+             "label out of range");
+    float* row = probs_.data() + b * classes;
+    const float peak = *std::max_element(row, row + classes);
+    double denom = 0.0;
+    for (std::size_t c = 0; c < classes; ++c) {
+      row[c] = std::exp(row[c] - peak);
+      denom += row[c];
+    }
+    const auto inv = static_cast<float>(1.0 / denom);
+    for (std::size_t c = 0; c < classes; ++c) {
+      row[c] *= inv;
+    }
+    const float p = row[static_cast<std::size_t>(labels[b])];
+    total -= std::log(std::max(p, 1e-12f));
+  }
+  return total / static_cast<double>(batch);
+}
+
+Tensor SoftmaxCrossEntropy::backward() const {
+  XB_CHECK(!labels_.empty(), "backward before forward");
+  Tensor grad = probs_;
+  const std::size_t batch = grad.shape()[0];
+  const std::size_t classes = grad.shape()[1];
+  const auto inv_batch = 1.0f / static_cast<float>(batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    grad.at(b, static_cast<std::size_t>(labels_[b])) -= 1.0f;
+    for (std::size_t c = 0; c < classes; ++c) {
+      grad.at(b, c) *= inv_batch;
+    }
+  }
+  return grad;
+}
+
+double accuracy(const Tensor& logits, std::span<const std::int32_t> labels) {
+  XB_CHECK(logits.shape().rank() == 2, "logits must be (batch, classes)");
+  const std::size_t batch = logits.shape()[0];
+  const std::size_t classes = logits.shape()[1];
+  XB_CHECK(labels.size() == batch, "one label per batch row required");
+  if (batch == 0) {
+    return 0.0;
+  }
+  std::size_t hits = 0;
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* row = logits.data() + b * classes;
+    const auto pred = static_cast<std::size_t>(
+        std::max_element(row, row + classes) - row);
+    if (pred == static_cast<std::size_t>(labels[b])) {
+      ++hits;
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(batch);
+}
+
+}  // namespace xbarlife::nn

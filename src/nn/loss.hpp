@@ -1,0 +1,33 @@
+// Softmax cross-entropy loss (Eq. (1), first term of the paper's cost).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "tensor/tensor.hpp"
+
+namespace xbarlife::nn {
+
+/// Combined softmax + cross-entropy head with the usual fused gradient
+/// (softmax(x) - onehot(y)) / batch.
+class SoftmaxCrossEntropy {
+ public:
+  /// Computes mean cross-entropy over the batch. `logits` is
+  /// (batch, classes); `labels` holds class indices < classes.
+  double forward(const Tensor& logits, std::span<const std::int32_t> labels);
+
+  /// Gradient of the mean loss w.r.t. the logits of the last forward call.
+  Tensor backward() const;
+
+  /// Softmax probabilities of the last forward call.
+  const Tensor& probabilities() const { return probs_; }
+
+ private:
+  Tensor probs_;
+  std::vector<std::int32_t> labels_;
+};
+
+/// Fraction of rows whose argmax equals the label.
+double accuracy(const Tensor& logits, std::span<const std::int32_t> labels);
+
+}  // namespace xbarlife::nn

@@ -1,0 +1,35 @@
+#include "nn/optimizer.hpp"
+
+#include "common/error.hpp"
+
+namespace xbarlife::nn {
+
+SgdOptimizer::SgdOptimizer(SgdConfig config) : config_(config) {
+  XB_CHECK(config.learning_rate > 0.0, "learning rate must be positive");
+  XB_CHECK(config.momentum >= 0.0 && config.momentum < 1.0,
+           "momentum must lie in [0, 1)");
+}
+
+void SgdOptimizer::step(const std::vector<ParamRef>& params) {
+  const auto lr = static_cast<float>(config_.learning_rate);
+  const auto mu = static_cast<float>(config_.momentum);
+  for (const ParamRef& p : params) {
+    XB_CHECK(p.value != nullptr && p.grad != nullptr,
+             "optimizer given null parameter");
+    auto [it, inserted] = velocity_.try_emplace(p.value, p.value->shape());
+    Tensor& v = it->second;
+    XB_ASSERT(v.shape() == p.value->shape(),
+              "velocity buffer shape drifted");
+    for (std::size_t i = 0; i < v.numel(); ++i) {
+      v[i] = mu * v[i] - lr * (*p.grad)[i];
+      (*p.value)[i] += v[i];
+    }
+  }
+}
+
+void SgdOptimizer::set_learning_rate(double lr) {
+  XB_CHECK(lr > 0.0, "learning rate must be positive");
+  config_.learning_rate = lr;
+}
+
+}  // namespace xbarlife::nn

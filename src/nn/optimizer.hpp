@@ -1,0 +1,34 @@
+// SGD optimizer with momentum (Eq. (3) of the paper plus classical
+// momentum). The regularizer gradient is folded in by Network::train_batch,
+// not here, so the optimizer stays a pure parameter updater.
+#pragma once
+
+#include <unordered_map>
+
+#include "nn/layer.hpp"
+
+namespace xbarlife::nn {
+
+struct SgdConfig {
+  double learning_rate = 0.01;
+  double momentum = 0.9;
+};
+
+class SgdOptimizer {
+ public:
+  explicit SgdOptimizer(SgdConfig config);
+
+  /// Applies one update to every parameter: v = mu*v - lr*grad; w += v.
+  void step(const std::vector<ParamRef>& params);
+
+  void set_learning_rate(double lr);
+  double learning_rate() const { return config_.learning_rate; }
+
+ private:
+  SgdConfig config_;
+  // Velocity buffers keyed by the parameter tensor's address; stable for
+  // the lifetime of the network.
+  std::unordered_map<const Tensor*, Tensor> velocity_;
+};
+
+}  // namespace xbarlife::nn

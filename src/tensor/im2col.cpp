@@ -1,0 +1,89 @@
+#include "tensor/im2col.hpp"
+
+#include "common/error.hpp"
+
+namespace xbarlife {
+
+void ConvGeometry::validate() const {
+  XB_CHECK(in_channels > 0 && in_h > 0 && in_w > 0, "empty conv input");
+  XB_CHECK(kernel > 0, "kernel must be positive");
+  XB_CHECK(stride > 0, "stride must be positive");
+  XB_CHECK(in_h + 2 * pad >= kernel && in_w + 2 * pad >= kernel,
+           "kernel larger than padded input");
+}
+
+Tensor im2col(const Tensor& image, const ConvGeometry& g) {
+  g.validate();
+  XB_CHECK(image.numel() == g.in_channels * g.in_h * g.in_w,
+           "im2col input numel mismatch");
+  const std::size_t oh = g.out_h();
+  const std::size_t ow = g.out_w();
+  Tensor patches(Shape{oh * ow, g.patch_size()});
+  const float* src = image.data();
+  float* dst = patches.data();
+  for (std::size_t oy = 0; oy < oh; ++oy) {
+    for (std::size_t ox = 0; ox < ow; ++ox) {
+      float* row = dst + (oy * ow + ox) * g.patch_size();
+      std::size_t idx = 0;
+      for (std::size_t c = 0; c < g.in_channels; ++c) {
+        for (std::size_t ky = 0; ky < g.kernel; ++ky) {
+          // Signed arithmetic for the padded coordinate.
+          const auto iy = static_cast<long long>(oy * g.stride + ky) -
+                          static_cast<long long>(g.pad);
+          for (std::size_t kx = 0; kx < g.kernel; ++kx, ++idx) {
+            const auto ix = static_cast<long long>(ox * g.stride + kx) -
+                            static_cast<long long>(g.pad);
+            if (iy < 0 || ix < 0 ||
+                iy >= static_cast<long long>(g.in_h) ||
+                ix >= static_cast<long long>(g.in_w)) {
+              row[idx] = 0.0f;
+            } else {
+              row[idx] = src[(c * g.in_h + static_cast<std::size_t>(iy)) *
+                                 g.in_w +
+                             static_cast<std::size_t>(ix)];
+            }
+          }
+        }
+      }
+    }
+  }
+  return patches;
+}
+
+Tensor col2im(const Tensor& patches, const ConvGeometry& g) {
+  g.validate();
+  const std::size_t oh = g.out_h();
+  const std::size_t ow = g.out_w();
+  XB_CHECK(patches.shape().rank() == 2 &&
+               patches.shape()[0] == oh * ow &&
+               patches.shape()[1] == g.patch_size(),
+           "col2im patch shape mismatch");
+  Tensor image(Shape{g.in_channels * g.in_h * g.in_w});
+  float* dst = image.data();
+  const float* src = patches.data();
+  for (std::size_t oy = 0; oy < oh; ++oy) {
+    for (std::size_t ox = 0; ox < ow; ++ox) {
+      const float* row = src + (oy * ow + ox) * g.patch_size();
+      std::size_t idx = 0;
+      for (std::size_t c = 0; c < g.in_channels; ++c) {
+        for (std::size_t ky = 0; ky < g.kernel; ++ky) {
+          const auto iy = static_cast<long long>(oy * g.stride + ky) -
+                          static_cast<long long>(g.pad);
+          for (std::size_t kx = 0; kx < g.kernel; ++kx, ++idx) {
+            const auto ix = static_cast<long long>(ox * g.stride + kx) -
+                            static_cast<long long>(g.pad);
+            if (iy >= 0 && ix >= 0 &&
+                iy < static_cast<long long>(g.in_h) &&
+                ix < static_cast<long long>(g.in_w)) {
+              dst[(c * g.in_h + static_cast<std::size_t>(iy)) * g.in_w +
+                  static_cast<std::size_t>(ix)] += row[idx];
+            }
+          }
+        }
+      }
+    }
+  }
+  return image;
+}
+
+}  // namespace xbarlife

@@ -1,0 +1,151 @@
+#include "tensor/matmul.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace xbarlife {
+
+namespace {
+
+void check_rank2(const Tensor& t, const char* name) {
+  if (t.shape().rank() != 2) {
+    throw ShapeError(std::string("matmul operand ") + name +
+                     " must be rank-2, got " + t.shape().to_string());
+  }
+}
+
+// Cache-blocked i-k-j kernel. The innermost loop is a contiguous
+// axpy over C's row, which the compiler auto-vectorizes.
+void gemm(const float* a, const float* b, float* c, std::size_t m,
+          std::size_t k, std::size_t n) {
+  constexpr std::size_t kBlockI = 32;
+  constexpr std::size_t kBlockK = 64;
+  for (std::size_t i0 = 0; i0 < m; i0 += kBlockI) {
+    const std::size_t i1 = std::min(i0 + kBlockI, m);
+    for (std::size_t k0 = 0; k0 < k; k0 += kBlockK) {
+      const std::size_t k1 = std::min(k0 + kBlockK, k);
+      for (std::size_t i = i0; i < i1; ++i) {
+        float* crow = c + i * n;
+        for (std::size_t kk = k0; kk < k1; ++kk) {
+          const float aik = a[i * k + kk];
+          if (aik == 0.0f) {
+            continue;
+          }
+          const float* brow = b + kk * n;
+          for (std::size_t j = 0; j < n; ++j) {
+            crow[j] += aik * brow[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  check_rank2(a, "A");
+  check_rank2(b, "B");
+  const std::size_t m = a.shape()[0];
+  const std::size_t k = a.shape()[1];
+  if (b.shape()[0] != k) {
+    throw ShapeError("matmul inner dimension mismatch: " +
+                     a.shape().to_string() + " x " + b.shape().to_string());
+  }
+  const std::size_t n = b.shape()[1];
+  Tensor c(Shape{m, n});
+  gemm(a.data(), b.data(), c.data(), m, k, n);
+  return c;
+}
+
+void matmul_accumulate(const Tensor& a, const Tensor& b, Tensor& c) {
+  check_rank2(a, "A");
+  check_rank2(b, "B");
+  check_rank2(c, "C");
+  const std::size_t m = a.shape()[0];
+  const std::size_t k = a.shape()[1];
+  if (b.shape()[0] != k || c.shape()[0] != m || c.shape()[1] != b.shape()[1]) {
+    throw ShapeError("matmul_accumulate shape mismatch");
+  }
+  gemm(a.data(), b.data(), c.data(), m, k, b.shape()[1]);
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  check_rank2(a, "A");
+  check_rank2(b, "B");
+  const std::size_t k = a.shape()[0];
+  const std::size_t m = a.shape()[1];
+  if (b.shape()[0] != k) {
+    throw ShapeError("matmul_tn inner dimension mismatch");
+  }
+  const std::size_t n = b.shape()[1];
+  Tensor c(Shape{m, n});
+  // c[i][j] = sum_kk a[kk][i] * b[kk][j]; iterate kk outermost so both
+  // operands stream contiguously.
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const float* arow = a.data() + kk * m;
+    const float* brow = b.data() + kk * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float aki = arow[i];
+      if (aki == 0.0f) {
+        continue;
+      }
+      float* crow = c.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        crow[j] += aki * brow[j];
+      }
+    }
+  }
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  check_rank2(a, "A");
+  check_rank2(b, "B");
+  const std::size_t m = a.shape()[0];
+  const std::size_t k = a.shape()[1];
+  if (b.shape()[1] != k) {
+    throw ShapeError("matmul_nt inner dimension mismatch");
+  }
+  const std::size_t n = b.shape()[0];
+  Tensor c(Shape{m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a.data() + i * k;
+    float* crow = c.data() + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = b.data() + j * k;
+      double acc = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        acc += static_cast<double>(arow[kk]) * static_cast<double>(brow[kk]);
+      }
+      crow[j] = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+Tensor matmul_naive(const Tensor& a, const Tensor& b) {
+  check_rank2(a, "A");
+  check_rank2(b, "B");
+  const std::size_t m = a.shape()[0];
+  const std::size_t k = a.shape()[1];
+  if (b.shape()[0] != k) {
+    throw ShapeError("matmul_naive inner dimension mismatch");
+  }
+  const std::size_t n = b.shape()[1];
+  Tensor c(Shape{m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        acc += static_cast<double>(a.at(i, kk)) *
+               static_cast<double>(b.at(kk, j));
+      }
+      c.at(i, j) = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+}  // namespace xbarlife

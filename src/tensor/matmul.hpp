@@ -1,0 +1,28 @@
+// Matrix multiplication kernels.
+//
+// The training substrate and the ideal software path of the crossbar
+// simulator both reduce to dense GEMM. A register-blocked kernel keeps the
+// single-core experiments fast enough for lifetime sweeps.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace xbarlife {
+
+/// C = A(MxK) * B(KxN). All tensors rank-2; C is allocated by the call.
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// C = A^T(MxK from KxM... ) * B — i.e. matmul(transpose(a), b) without
+/// materializing the transpose. a is (K x M), b is (K x N), result (M x N).
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+
+/// matmul(a, transpose(b)): a is (M x K), b is (N x K), result (M x N).
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+/// c += A * B into a preallocated (M x N) accumulator.
+void matmul_accumulate(const Tensor& a, const Tensor& b, Tensor& c);
+
+/// Reference triple-loop GEMM used by tests to validate the blocked kernel.
+Tensor matmul_naive(const Tensor& a, const Tensor& b);
+
+}  // namespace xbarlife

@@ -1,0 +1,45 @@
+#include "tuning/analog_eval.hpp"
+
+#include "common/error.hpp"
+
+namespace xbarlife::tuning {
+
+double evaluate_with_nonidealities(
+    HardwareNetwork& hw, const data::Dataset& eval_data,
+    const xbar::NonidealityConfig& config, std::uint64_t noise_seed,
+    std::optional<std::uint64_t> fault_seed, std::size_t eval_samples) {
+  config.validate();
+  eval_data.validate();
+  XB_CHECK(eval_samples > 0, "need a non-empty eval slice");
+
+  nn::Network& net = hw.network();
+  auto mappable = net.mappable_weights();
+  Rng rng(noise_seed);
+
+  for (std::size_t i = 0; i < hw.layer_count(); ++i) {
+    DeployedLayer& layer = hw.layer(i);
+    XB_CHECK(layer.plan != nullptr,
+             "analog evaluation before deployment: " + layer.name);
+    std::optional<xbar::FaultMap> faults;
+    if (fault_seed.has_value()) {
+      faults.emplace(layer.xbar->rows(), layer.xbar->cols(), config,
+                     *fault_seed + i);
+    }
+    const Tensor g = xbar::observed_conductances(
+        *layer.xbar, config, faults.has_value() ? &*faults : nullptr, rng);
+    // Recover the weights the analog periphery effectively computes with.
+    Tensor w(g.shape());
+    for (std::size_t j = 0; j < g.numel(); ++j) {
+      w[j] = static_cast<float>(layer.plan->map().conductance_to_weight(
+          static_cast<double>(g[j])));
+    }
+    *mappable[i].value = std::move(w);
+  }
+
+  const data::Dataset slice = eval_data.head(eval_samples);
+  const double acc = net.evaluate(slice.images, slice.labels);
+  hw.sync_network_to_hardware();  // restore the ideal effective weights
+  return acc;
+}
+
+}  // namespace xbarlife::tuning

@@ -1,0 +1,26 @@
+// Analog evaluation: accuracy of a deployed network when the crossbar is
+// read through a non-ideal periphery (read noise, stuck-at faults, IR
+// drop). Extends the paper's ideal-readout evaluation with the
+// non-idealities real arrays exhibit.
+#pragma once
+
+#include <optional>
+
+#include "data/dataset.hpp"
+#include "tuning/hardware_network.hpp"
+#include "xbar/nonideal.hpp"
+
+namespace xbarlife::tuning {
+
+/// Evaluates `hw`'s network with every deployed layer's weights replaced
+/// by the weights recovered from a *non-ideal observation* of its
+/// crossbar. `fault_seed`, when set, draws a manufacture-time fault map
+/// per layer (deterministic in the seed). The network is restored to the
+/// ideal effective weights before returning.
+double evaluate_with_nonidealities(
+    HardwareNetwork& hw, const data::Dataset& eval_data,
+    const xbar::NonidealityConfig& config, std::uint64_t noise_seed,
+    std::optional<std::uint64_t> fault_seed = std::nullopt,
+    std::size_t eval_samples = 128);
+
+}  // namespace xbarlife::tuning

@@ -1,0 +1,152 @@
+#include "tuning/hardware_network.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace xbarlife::tuning {
+
+HardwareNetwork::HardwareNetwork(nn::Network& net,
+                                 const device::DeviceParams& dev,
+                                 const aging::AgingParams& aging)
+    : net_(&net), dev_(dev), aging_(aging) {
+  dev_.validate();
+  aging_.validate();
+  for (const nn::MappableWeight& mw : net.mappable_weights()) {
+    XB_CHECK(mw.value->shape().rank() == 2,
+             "mappable weight must be a matrix: " + mw.name);
+    DeployedLayer layer;
+    layer.weight_index = mw.index;
+    layer.name = mw.name;
+    layer.kind = mw.layer_kind;
+    layer.xbar = std::make_unique<xbar::Crossbar>(
+        mw.value->shape()[0], mw.value->shape()[1], dev_, aging_);
+    layer.stuck.assign(mw.value->numel(), 0);
+    layer.pinned_g.assign(mw.value->numel(), 0.0f);
+    layers_.push_back(std::move(layer));
+  }
+  XB_CHECK(!layers_.empty(), "network has no mappable weights");
+  capture_targets();
+}
+
+DeployedLayer& HardwareNetwork::layer(std::size_t i) {
+  XB_CHECK(i < layers_.size(), "deployed layer index out of range");
+  return layers_[i];
+}
+
+const DeployedLayer& HardwareNetwork::layer(std::size_t i) const {
+  XB_CHECK(i < layers_.size(), "deployed layer index out of range");
+  return layers_[i];
+}
+
+void HardwareNetwork::capture_targets() {
+  targets_ = net_->save_mappable_weights();
+}
+
+std::vector<mapping::MappingReport> HardwareNetwork::deploy(
+    MappingPolicy policy, std::size_t levels,
+    const NetworkEvaluator& evaluate, double keep_threshold,
+    double switch_margin) {
+  XB_CHECK(policy == MappingPolicy::kFresh || evaluate != nullptr,
+           "aging-aware deployment needs a network evaluator");
+  std::vector<mapping::MappingReport> reports;
+  auto mappable = net_->mappable_weights();
+  XB_ASSERT(mappable.size() == layers_.size(),
+            "network mappable-weight count changed after deployment");
+
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    DeployedLayer& layer = layers_[i];
+    const Tensor& target_w = targets_[i];
+    const mapping::WeightRange wr = mapping::weight_range_of(target_w);
+
+    const mapping::ResistanceRange fresh{dev_.r_min_fresh,
+                                         dev_.r_max_fresh};
+    double upper_cut = fresh.r_hi;
+    if (policy == MappingPolicy::kAgingAware) {
+      // Score candidates by loading the layer's predicted effective
+      // weights into the evaluation engine.
+      auto scorer = [&](const Tensor& predicted) {
+        Tensor saved = *mappable[i].value;
+        *mappable[i].value = predicted;
+        const double score = evaluate();
+        *mappable[i].value = saved;
+        return score;
+      };
+      // The currently programmed range (if any) competes as the incumbent
+      // and wins near-ties, since switching rewrites the whole array.
+      const mapping::ResistanceRange* incumbent =
+          layer.plan != nullptr ? &layer.plan->resistance_range() : nullptr;
+      // Candidate bounds come from the 1-of-9 trace; candidate *scoring*
+      // uses the simulated per-cell windows, as the paper's TF simulation
+      // does when it picks the accuracy-argmax.
+      const xbar::Crossbar& xb = *layer.xbar;
+      auto true_windows = [&xb](std::size_t r, std::size_t c) {
+        return xb.cell(r, c).aged_window();
+      };
+      const mapping::RangeSelectionResult sel =
+          mapping::select_common_range(
+              layer.xbar->tracker(), layer.xbar->aging_model(),
+              dev_.r_min_fresh, dev_.r_max_fresh, target_w, levels, scorer,
+              incumbent, keep_threshold, switch_margin, 8, true_windows);
+      upper_cut = sel.selected.r_hi;
+    }
+
+    auto new_plan =
+        std::make_unique<mapping::MappingPlan>(wr, fresh, levels, upper_cut);
+    // A range change moves every target: give previously stuck cells one
+    // retry against the new targets.
+    const bool range_changed =
+        layer.plan == nullptr ||
+        layer.plan->resistance_range().r_hi !=
+            new_plan->resistance_range().r_hi;
+    if (range_changed) {
+      std::fill(layer.stuck.begin(), layer.stuck.end(), 0);
+      std::fill(layer.pinned_g.begin(), layer.pinned_g.end(), 0.0f);
+    }
+    layer.plan = std::move(new_plan);
+    // Write-verify mapping: cells already holding their target (within
+    // half a conductance step) are not pulsed, and cells whose window no
+    // longer covers the target are blacklisted after one failed retry.
+    layer.last_report = mapping::program_weights(
+        *layer.xbar, target_w, *layer.plan, /*skip_unchanged=*/true,
+        &layer.stuck, &layer.pinned_g);
+    reports.push_back(layer.last_report);
+  }
+  sync_network_to_hardware();
+  return reports;
+}
+
+void HardwareNetwork::sync_network_to_hardware() {
+  auto mappable = net_->mappable_weights();
+  XB_ASSERT(mappable.size() == layers_.size(),
+            "network mappable-weight count changed after deployment");
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    XB_CHECK(layers_[i].plan != nullptr,
+             "sync before first deploy: " + layers_[i].name);
+    *mappable[i].value =
+        mapping::effective_weights(*layers_[i].xbar, *layers_[i].plan);
+  }
+}
+
+void HardwareNetwork::restore_targets_to_network() {
+  net_->load_mappable_weights(targets_);
+}
+
+std::vector<xbar::CrossbarAgingStats> HardwareNetwork::aging_stats() const {
+  std::vector<xbar::CrossbarAgingStats> stats;
+  stats.reserve(layers_.size());
+  for (const DeployedLayer& layer : layers_) {
+    stats.push_back(layer.xbar->aging_stats());
+  }
+  return stats;
+}
+
+std::uint64_t HardwareNetwork::total_pulses() const {
+  std::uint64_t total = 0;
+  for (const DeployedLayer& layer : layers_) {
+    total += layer.xbar->total_pulses();
+  }
+  return total;
+}
+
+}  // namespace xbarlife::tuning

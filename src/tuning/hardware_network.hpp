@@ -1,0 +1,109 @@
+// HardwareNetwork: a software-trained network deployed onto one memristor
+// crossbar per mappable weight matrix.
+//
+// The object keeps three views in sync:
+//   * target weights  — what software training produced (the goal),
+//   * crossbar state  — the programmed, quantized, aged reality,
+//   * the nn::Network — used as the evaluation/gradient engine; its weights
+//     are overwritten with the *effective* hardware weights so accuracy and
+//     tuning gradients reflect what the analog array actually computes.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "mapping/mapper.hpp"
+#include "mapping/range_select.hpp"
+#include "nn/network.hpp"
+#include "xbar/crossbar.hpp"
+
+namespace xbarlife::tuning {
+
+/// How the common resistance range is chosen at (re)mapping time.
+enum class MappingPolicy {
+  kFresh,       ///< always map into the fresh window (aging-oblivious, "T")
+  kAgingAware,  ///< Fig. 8 iterative range selection ("AT")
+};
+
+/// Per-layer deployment state.
+struct DeployedLayer {
+  std::size_t weight_index = 0;          ///< index into mappable weights
+  std::string name;
+  nn::LayerKind kind = nn::LayerKind::kDense;
+  std::unique_ptr<xbar::Crossbar> xbar;
+  std::unique_ptr<mapping::MappingPlan> plan;  ///< null until first deploy
+  mapping::MappingReport last_report;
+  /// Write-verify bad-cell list (row-major); cleared on range changes.
+  std::vector<std::uint8_t> stuck;
+  /// Best-achievable conductance pinned per clamped cell (row-major).
+  std::vector<float> pinned_g;
+};
+
+/// Scores a *full network* whose weights are currently loaded into the
+/// evaluation engine; returns classification accuracy in [0, 1].
+using NetworkEvaluator = std::function<double()>;
+
+class HardwareNetwork {
+ public:
+  /// Builds one crossbar per mappable weight of `net`. `net` must outlive
+  /// this object and is mutated by sync_* calls.
+  HardwareNetwork(nn::Network& net, const device::DeviceParams& dev,
+                  const aging::AgingParams& aging);
+
+  std::size_t layer_count() const { return layers_.size(); }
+  DeployedLayer& layer(std::size_t i);
+  const DeployedLayer& layer(std::size_t i) const;
+  nn::Network& network() { return *net_; }
+
+  const device::DeviceParams& device_params() const { return dev_; }
+
+  /// Updates the software target weights from the network's current
+  /// weights (call after software training / retraining).
+  void capture_targets();
+
+  /// The captured software target weights.
+  const std::vector<Tensor>& targets() const { return targets_; }
+
+  /// (Re)maps every layer onto its crossbar under `policy`.
+  ///
+  /// For kAgingAware the candidate ranges of each layer are scored with
+  /// `evaluate`: the functor is called with this layer's *predicted*
+  /// effective weights loaded into the network (other layers hold their
+  /// current effective weights), exactly the paper's accuracy-driven
+  /// iterative selection. `evaluate` may be null for kFresh.
+  ///
+  /// `keep_threshold` enables remap-on-demand for kAgingAware: a layer's
+  /// current range is kept without a candidate scan while its predicted
+  /// accuracy stays at or above the threshold (pass the tuning target
+  /// minus a margin; values > 1 disable the shortcut).
+  ///
+  /// Afterwards the network holds the new effective weights.
+  /// `switch_margin` is the predicted-accuracy gain a candidate range
+  /// must deliver over the incumbent to justify rewriting the array.
+  std::vector<mapping::MappingReport> deploy(
+      MappingPolicy policy, std::size_t levels,
+      const NetworkEvaluator& evaluate = nullptr,
+      double keep_threshold = 2.0, double switch_margin = 0.05);
+
+  /// Writes the crossbars' current effective weights into the network.
+  void sync_network_to_hardware();
+
+  /// Restores the software target weights into the network (e.g. to
+  /// retrain in software between deployments).
+  void restore_targets_to_network();
+
+  /// Ground-truth aging statistics per deployed layer.
+  std::vector<xbar::CrossbarAgingStats> aging_stats() const;
+
+  /// Total programming pulses across all crossbars.
+  std::uint64_t total_pulses() const;
+
+ private:
+  nn::Network* net_;
+  device::DeviceParams dev_;
+  aging::AgingParams aging_;
+  std::vector<DeployedLayer> layers_;
+  std::vector<Tensor> targets_;
+};
+
+}  // namespace xbarlife::tuning

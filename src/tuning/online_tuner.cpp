@@ -1,0 +1,125 @@
+#include "tuning/online_tuner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace xbarlife::tuning {
+
+OnlineTuner::OnlineTuner(TuningConfig config) : config_(config) {
+  XB_CHECK(config.max_iterations > 0, "need at least one iteration");
+  XB_CHECK(config.target_accuracy > 0.0 && config.target_accuracy <= 1.0,
+           "target accuracy must lie in (0, 1]");
+  XB_CHECK(config.batch > 0, "tuning batch must be positive");
+  XB_CHECK(config.min_grad_fraction >= 0.0,
+           "min_grad_fraction must be >= 0");
+  XB_CHECK(config.step_fraction > 0.0 && config.step_fraction <= 1.0,
+           "step_fraction must lie in (0, 1]");
+  XB_CHECK(config.eval_samples > 0, "need a non-empty eval slice");
+}
+
+std::uint64_t OnlineTuner::apply_sign_updates(HardwareNetwork& hw) {
+  std::uint64_t pulses = 0;
+  auto mappable = hw.network().mappable_weights();
+  for (std::size_t li = 0; li < hw.layer_count(); ++li) {
+    DeployedLayer& layer = hw.layer(li);
+    XB_CHECK(layer.plan != nullptr, "tuning before deployment");
+    const Tensor& grad = *mappable[li].grad;
+    const mapping::ResistanceRange& range =
+        layer.plan->quantizer().range();
+    const double g_lo = range.g_min();
+    const double g_hi = range.g_max();
+    const double dg = config_.step_fraction * (g_hi - g_lo);
+
+    // Layer-wise selectivity threshold.
+    double mean_abs = 0.0;
+    for (std::size_t i = 0; i < grad.numel(); ++i) {
+      mean_abs += std::fabs(static_cast<double>(grad[i]));
+    }
+    mean_abs /= static_cast<double>(grad.numel());
+    const double threshold = config_.min_grad_fraction * mean_abs;
+
+    xbar::Crossbar& xb = *layer.xbar;
+    for (std::size_t r = 0; r < xb.rows(); ++r) {
+      for (std::size_t c = 0; c < xb.cols(); ++c) {
+        if (layer.stuck[r * xb.cols() + c] != 0) {
+          continue;  // write-verify blacklisted this cell
+        }
+        const auto g = static_cast<double>(grad.at(r, c));
+        if (std::fabs(g) < threshold || g == 0.0) {
+          continue;
+        }
+        // Weight must move along -grad; weight grows with conductance
+        // (Eq. (4) is monotone increasing), so the pulse polarity is the
+        // sign of -grad in conductance space.
+        const double cond = xb.cell(r, c).conductance();
+        const double target =
+            std::clamp(g < 0.0 ? cond + dg : cond - dg, g_lo, g_hi);
+        if (std::fabs(target - cond) < 0.25 * dg) {
+          continue;  // saturated at a range edge
+        }
+        xb.program_cell(r, c, 1.0 / target);
+        ++pulses;
+      }
+    }
+  }
+  return pulses;
+}
+
+TuningResult OnlineTuner::tune(HardwareNetwork& hw,
+                               const data::Dataset& tune_data,
+                               const data::Dataset& eval_data) {
+  XB_CHECK(tune_data.size() > 0 && eval_data.size() > 0,
+           "tuning needs non-empty datasets");
+  nn::Network& net = hw.network();
+  const data::Dataset eval_slice =
+      eval_data.head(config_.eval_samples);
+
+  TuningResult result;
+  hw.sync_network_to_hardware();
+  result.start_accuracy =
+      net.evaluate(eval_slice.images, eval_slice.labels);
+  double acc = result.start_accuracy;
+  double best_acc = acc;
+  std::size_t since_improvement = 0;
+
+  while (result.iterations < config_.max_iterations) {
+    if (acc >= config_.target_accuracy) {
+      result.converged = true;
+      break;
+    }
+    if (config_.plateau_iterations > 0 &&
+        since_improvement >= config_.plateau_iterations) {
+      break;  // saturated: further pulses only age the array
+    }
+    ++result.iterations;
+    // Rolling minibatch over the tuning set.
+    if (cursor_ >= tune_data.size()) {
+      cursor_ = 0;
+    }
+    const data::Batch batch =
+        data::make_batch(tune_data, cursor_, config_.batch);
+    cursor_ += batch.labels.size();
+
+    net.compute_gradients(batch.images, batch.labels);
+    result.pulses += apply_sign_updates(hw);
+    hw.sync_network_to_hardware();
+    acc = net.evaluate(eval_slice.images, eval_slice.labels);
+    if (acc > best_acc + 1e-9) {
+      best_acc = acc;
+      since_improvement = 0;
+    } else {
+      ++since_improvement;
+    }
+  }
+  // A session that exits the loop still at target counts as converged
+  // (covers the zero-iteration case where mapping alone suffices).
+  if (acc >= config_.target_accuracy) {
+    result.converged = true;
+  }
+  result.final_accuracy = acc;
+  return result;
+}
+
+}  // namespace xbarlife::tuning

@@ -1,0 +1,113 @@
+#include "xbar/crossbar.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace xbarlife::xbar {
+
+Crossbar::Crossbar(std::size_t rows, std::size_t cols,
+                   const device::DeviceParams& params,
+                   const aging::AgingParams& aging_params)
+    : rows_(rows),
+      cols_(cols),
+      params_(params),
+      model_(aging_params),
+      tracker_(rows, cols) {
+  XB_CHECK(rows > 0 && cols > 0, "crossbar must be non-empty");
+  params_.validate();
+  cells_.reserve(rows * cols);
+  for (std::size_t i = 0; i < rows * cols; ++i) {
+    cells_.emplace_back(&params_, &model_, &ambient_stress_);
+  }
+}
+
+const device::Memristor& Crossbar::cell(std::size_t r, std::size_t c) const {
+  XB_CHECK(r < rows_ && c < cols_, "crossbar cell out of range");
+  return cells_[r * cols_ + c];
+}
+
+device::Memristor& Crossbar::mutable_cell(std::size_t r, std::size_t c) {
+  XB_CHECK(r < rows_ && c < cols_, "crossbar cell out of range");
+  return cells_[r * cols_ + c];
+}
+
+double Crossbar::program_cell(std::size_t r, std::size_t c,
+                              double target_r) {
+  device::Memristor& m = mutable_cell(r, c);
+  const double achieved = m.program(target_r);
+  const double ds = m.last_stress_increment();
+  // Thermal crosstalk: a share of every pulse's stress heats the whole
+  // array (the Arrhenius common-mode component of Eqs. (6)-(7)).
+  const double ambient_share = model_.params().thermal_crosstalk * ds;
+  ambient_stress_ += ambient_share;
+  tracker_.record_pulse(r, c, ds, ambient_share);
+  ++total_pulses_;
+  return achieved;
+}
+
+void Crossbar::drift_cell(std::size_t r, std::size_t c, double new_r) {
+  mutable_cell(r, c).drift_to(new_r);
+}
+
+void Crossbar::vmm(std::span<const float> v_in,
+                   std::span<float> i_out) const {
+  XB_CHECK(v_in.size() == rows_, "vmm input size must equal rows");
+  XB_CHECK(i_out.size() == cols_, "vmm output size must equal cols");
+  std::fill(i_out.begin(), i_out.end(), 0.0f);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const float v = v_in[r];
+    if (v == 0.0f) {
+      continue;
+    }
+    const device::Memristor* row = &cells_[r * cols_];
+    for (std::size_t c = 0; c < cols_; ++c) {
+      i_out[c] += v * static_cast<float>(row[c].conductance());
+    }
+  }
+}
+
+Tensor Crossbar::conductances() const {
+  Tensor g(Shape{rows_, cols_});
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    g[i] = static_cast<float>(cells_[i].conductance());
+  }
+  return g;
+}
+
+Tensor Crossbar::resistances() const {
+  Tensor r(Shape{rows_, cols_});
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    r[i] = static_cast<float>(cells_[i].resistance());
+  }
+  return r;
+}
+
+CrossbarAgingStats Crossbar::aging_stats() const {
+  CrossbarAgingStats s;
+  s.min_aged_r_max = std::numeric_limits<double>::infinity();
+  s.min_usable_levels = std::numeric_limits<std::size_t>::max();
+  double sum_stress = 0.0;
+  double sum_rmax = 0.0;
+  double sum_levels = 0.0;
+  for (const auto& cell : cells_) {
+    const double stress = cell.stress();
+    sum_stress += stress;
+    s.max_stress = std::max(s.max_stress, stress);
+    const double rmax = cell.aged_window().r_max;
+    sum_rmax += rmax;
+    s.min_aged_r_max = std::min(s.min_aged_r_max, rmax);
+    const std::size_t levels = cell.usable_levels();
+    sum_levels += static_cast<double>(levels);
+    s.min_usable_levels = std::min(s.min_usable_levels, levels);
+    s.total_pulses += cell.pulse_count();
+  }
+  const auto n = static_cast<double>(cells_.size());
+  s.mean_stress = sum_stress / n;
+  s.mean_aged_r_max = sum_rmax / n;
+  s.mean_usable_levels = sum_levels / n;
+  return s;
+}
+
+}  // namespace xbarlife::xbar

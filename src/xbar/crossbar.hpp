@@ -1,0 +1,90 @@
+// Memristor crossbar array (Fig. 1 of the paper).
+//
+// A crossbar holds rows x cols memristor cells sharing one device-parameter
+// set and one aging model. Input voltages drive the rows; column currents
+// are I_j = sum_i V_i * g_ij. Every cell programming operation is mirrored
+// into the RepresentativeTracker (the 1-of-9 traced history the aging-aware
+// mapper is allowed to inspect) while the cells themselves keep the exact
+// ground-truth stress used by the simulator.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "aging/aging_model.hpp"
+#include "aging/tracker.hpp"
+#include "device/memristor.hpp"
+#include "tensor/tensor.hpp"
+
+namespace xbarlife::xbar {
+
+/// Aggregate ground-truth aging statistics of an array.
+struct CrossbarAgingStats {
+  double mean_stress = 0.0;
+  double max_stress = 0.0;
+  double mean_aged_r_max = 0.0;
+  double min_aged_r_max = 0.0;
+  double mean_usable_levels = 0.0;
+  std::size_t min_usable_levels = 0;
+  std::uint64_t total_pulses = 0;
+};
+
+class Crossbar {
+ public:
+  Crossbar(std::size_t rows, std::size_t cols,
+           const device::DeviceParams& params,
+           const aging::AgingParams& aging_params);
+
+  // Cells reference the crossbar-owned params/model, so the array must not
+  // be copied or moved after construction.
+  Crossbar(const Crossbar&) = delete;
+  Crossbar& operator=(const Crossbar&) = delete;
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  const device::DeviceParams& device_params() const { return params_; }
+  const aging::AgingModel& aging_model() const { return model_; }
+
+  const device::Memristor& cell(std::size_t r, std::size_t c) const;
+
+  /// Programs cell (r, c) toward `target_r` ohms; returns the achieved
+  /// resistance. Ages the cell and updates the tracker when traced.
+  double program_cell(std::size_t r, std::size_t c, double target_r);
+
+  /// Recoverable drift on cell (r, c): resistance moves without a pulse.
+  void drift_cell(std::size_t r, std::size_t c, double new_r);
+
+  /// Analog VMM: i_out[j] = sum_i v_in[i] * g_ij. Sizes must match.
+  void vmm(std::span<const float> v_in, std::span<float> i_out) const;
+
+  /// Snapshot of all conductances as a (rows, cols) tensor.
+  Tensor conductances() const;
+
+  /// Snapshot of all resistances as a (rows, cols) tensor.
+  Tensor resistances() const;
+
+  /// Ground-truth aging aggregate over all cells.
+  CrossbarAgingStats aging_stats() const;
+
+  /// The traced (1-of-9) history available to the mapper.
+  const aging::RepresentativeTracker& tracker() const { return tracker_; }
+
+  std::uint64_t total_pulses() const { return total_pulses_; }
+
+  /// Array-wide thermal-crosstalk stress pool shared by every cell.
+  double ambient_stress() const { return ambient_stress_; }
+
+ private:
+  device::Memristor& mutable_cell(std::size_t r, std::size_t c);
+
+  std::size_t rows_;
+  std::size_t cols_;
+  device::DeviceParams params_;
+  aging::AgingModel model_;
+  std::vector<device::Memristor> cells_;
+  aging::RepresentativeTracker tracker_;
+  std::uint64_t total_pulses_ = 0;
+  double ambient_stress_ = 0.0;
+};
+
+}  // namespace xbarlife::xbar

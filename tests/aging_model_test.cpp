@@ -1,0 +1,155 @@
+// Tests of the Arrhenius aging functions (Eqs. (6)-(7), Fig. 4).
+#include "aging/aging_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace xbarlife::aging {
+namespace {
+
+TEST(AgingParams, Validation) {
+  AgingParams p;
+  EXPECT_NO_THROW(p.validate());
+  p.activation_energy_ev = 0.0;
+  EXPECT_THROW(p.validate(), InvalidArgument);
+  p = AgingParams{};
+  p.m_f = 0.0;
+  EXPECT_THROW(p.validate(), InvalidArgument);
+  p = AgingParams{};
+  p.thermal_crosstalk = 1.5;
+  EXPECT_THROW(p.validate(), InvalidArgument);
+}
+
+TEST(AgingModel, StressZeroForZeroWidthPulse) {
+  AgingModel model({});
+  EXPECT_DOUBLE_EQ(model.stress_increment(0.0, 300.0, 1e-5), 0.0);
+}
+
+TEST(AgingModel, StressIncreasesWithTemperature) {
+  AgingModel model({});
+  const double cold = model.stress_increment(1e-7, 280.0, 4e-5);
+  const double ref = model.stress_increment(1e-7, 300.0, 4e-5);
+  const double hot = model.stress_increment(1e-7, 350.0, 4e-5);
+  EXPECT_LT(cold, ref);
+  EXPECT_LT(ref, hot);
+}
+
+TEST(AgingModel, StressAtReferenceConditionsEqualsPulseWidth) {
+  AgingParams p;
+  AgingModel model(p);
+  const double ds = model.stress_increment(1e-7, p.reference_temp_k,
+                                           p.reference_current_a);
+  EXPECT_NEAR(ds, 1e-7, 1e-12);
+}
+
+TEST(AgingModel, StressScalesWithCurrentPower) {
+  AgingParams p;
+  p.current_exponent = 2.0;
+  AgingModel model(p);
+  const double base = model.stress_increment(1e-7, p.reference_temp_k,
+                                             p.reference_current_a);
+  const double doubled = model.stress_increment(
+      1e-7, p.reference_temp_k, 2.0 * p.reference_current_a);
+  EXPECT_NEAR(doubled / base, 4.0, 1e-9);
+}
+
+TEST(AgingModel, WindowShrinksMonotonicallyFromBothEnds) {
+  AgingModel model({});
+  double prev_max = 1e5;
+  double prev_min = 1e4;
+  for (double s : {1e-6, 1e-5, 1e-4, 1e-3}) {
+    const AgedWindow w = model.aged_window(1e4, 1e5, s);
+    EXPECT_LE(w.r_max, prev_max);
+    EXPECT_LE(w.r_min, prev_min);
+    prev_max = w.r_max;
+    prev_min = w.r_min;
+  }
+}
+
+TEST(AgingModel, UpperBoundDegradesFasterThanLower) {
+  // Eq. (6) vs Eq. (7): a_f >> a_g, matching the paper's observation that
+  // original lower bounds remain inside the aged range.
+  AgingModel model({});
+  const AgedWindow w = model.aged_window(1e4, 1e5, 1e-5);
+  EXPECT_LT(1e5 - w.r_max, 1e5 - 1e4);  // not fully collapsed
+  EXPECT_GT(1e5 - w.r_max, 10.0 * (1e4 - w.r_min));
+}
+
+TEST(AgingModel, FreshWindowAtZeroStress) {
+  AgingModel model({});
+  const AgedWindow w = model.aged_window(1e4, 1e5, 0.0);
+  EXPECT_DOUBLE_EQ(w.r_min, 1e4);
+  EXPECT_DOUBLE_EQ(w.r_max, 1e5);
+  EXPECT_TRUE(w.usable());
+}
+
+TEST(AgingModel, FloorIsRespected) {
+  AgingParams p;
+  p.a_f = 1e12;
+  AgingModel model(p);
+  EXPECT_DOUBLE_EQ(model.aged_r_max(1e5, 1.0), p.r_floor);
+  EXPECT_DOUBLE_EQ(model.aged_r_min(1e4, 1.0), p.r_floor);
+}
+
+TEST(AgingModel, UsableLevelsFig4Collapse) {
+  // Fig. 4's story: 8 fresh levels collapse as stress accumulates, the
+  // top levels disappearing first.
+  AgingModel model({});
+  EXPECT_EQ(model.usable_levels(1e4, 1e5, 8, 0.0), 8u);
+  std::size_t prev = 8;
+  for (double s : {1e-5, 5e-5, 2e-4, 1e-3}) {
+    const std::size_t now = model.usable_levels(1e4, 1e5, 8, s);
+    EXPECT_LE(now, prev);
+    prev = now;
+  }
+  EXPECT_LT(prev, 8u);
+}
+
+TEST(AgingModel, UsableLevelsZeroWhenWindowDead) {
+  AgingParams p;
+  p.a_f = 1e12;
+  p.a_g = 1e12;
+  AgingModel model(p);
+  // Both bounds at the floor: window span is zero -> no usable interval.
+  EXPECT_EQ(model.usable_levels(1e4, 1e5, 8, 1.0), 0u);
+}
+
+TEST(AgingModel, RejectsInvalidQueries) {
+  AgingModel model({});
+  EXPECT_THROW(model.stress_increment(-1.0, 300.0, 1e-5), InvalidArgument);
+  EXPECT_THROW(model.stress_increment(1e-7, -1.0, 1e-5), InvalidArgument);
+  EXPECT_THROW(model.aged_r_max(1e5, -1.0), InvalidArgument);
+  EXPECT_THROW(model.aged_window(1e5, 1e4, 0.0), InvalidArgument);
+  EXPECT_THROW(model.usable_levels(1e4, 1e5, 1, 0.0), InvalidArgument);
+}
+
+// Property sweep: for any temperature above reference and any current
+// above reference, stress must exceed the pulse width; below both, it
+// must be smaller.
+class ArrheniusSweep
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(ArrheniusSweep, AccelerationOrdering) {
+  const auto [temp, current_scale] = GetParam();
+  AgingParams p;
+  AgingModel model(p);
+  const double ds = model.stress_increment(
+      1e-7, temp, current_scale * p.reference_current_a);
+  if (temp >= p.reference_temp_k && current_scale >= 1.0) {
+    EXPECT_GE(ds, 1e-7 * 0.999);
+  }
+  if (temp <= p.reference_temp_k && current_scale <= 1.0) {
+    EXPECT_LE(ds, 1e-7 * 1.001);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Conditions, ArrheniusSweep,
+    ::testing::Values(std::make_pair(300.0, 1.0), std::make_pair(320.0, 1.0),
+                      std::make_pair(300.0, 2.0), std::make_pair(350.0, 4.0),
+                      std::make_pair(280.0, 1.0), std::make_pair(300.0, 0.5),
+                      std::make_pair(270.0, 0.25)));
+
+}  // namespace
+}  // namespace xbarlife::aging

@@ -1,0 +1,180 @@
+#include "device/memristor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace xbarlife::device {
+namespace {
+
+aging::AgingModel default_model() { return aging::AgingModel({}); }
+
+TEST(DeviceParams, Validation) {
+  DeviceParams p;
+  EXPECT_NO_THROW(p.validate());
+  p.r_min_fresh = -1.0;
+  EXPECT_THROW(p.validate(), InvalidArgument);
+  p = DeviceParams{};
+  p.r_max_fresh = p.r_min_fresh;
+  EXPECT_THROW(p.validate(), InvalidArgument);
+  p = DeviceParams{};
+  p.levels = 1;
+  EXPECT_THROW(p.validate(), InvalidArgument);
+  p = DeviceParams{};
+  p.compliance_current_a = 0.0;
+  EXPECT_THROW(p.validate(), InvalidArgument);
+}
+
+TEST(DeviceParams, ConductanceBounds) {
+  DeviceParams p;
+  EXPECT_DOUBLE_EQ(p.g_min(), 1.0 / p.r_max_fresh);
+  EXPECT_DOUBLE_EQ(p.g_max(), 1.0 / p.r_min_fresh);
+}
+
+TEST(Memristor, PowersUpAtHrs) {
+  DeviceParams p;
+  auto model = default_model();
+  Memristor m(&p, &model);
+  EXPECT_DOUBLE_EQ(m.resistance(), p.r_max_fresh);
+  EXPECT_EQ(m.pulse_count(), 0u);
+  EXPECT_DOUBLE_EQ(m.stress(), 0.0);
+}
+
+TEST(Memristor, ProgramSetsResistanceWithinFreshWindow) {
+  DeviceParams p;
+  auto model = default_model();
+  Memristor m(&p, &model);
+  const double achieved = m.program(50e3);
+  EXPECT_DOUBLE_EQ(achieved, 50e3);
+  EXPECT_DOUBLE_EQ(m.resistance(), 50e3);
+  EXPECT_EQ(m.pulse_count(), 1u);
+  EXPECT_GT(m.stress(), 0.0);
+}
+
+TEST(Memristor, ProgramClampsBelowAgedRMax) {
+  DeviceParams p;
+  aging::AgingParams ap;
+  ap.a_f = 1e9;  // aggressive so one pulse visibly ages
+  ap.thermal_crosstalk = 0.0;
+  aging::AgingModel model(ap);
+  Memristor m(&p, &model);
+  // Burn stress with low-resistance (high-current) pulses.
+  for (int i = 0; i < 200; ++i) {
+    m.program(p.r_min_fresh);
+  }
+  const double aged_max = m.aged_window().r_max;
+  ASSERT_LT(aged_max, p.r_max_fresh);
+  const double achieved = m.program(p.r_max_fresh);
+  EXPECT_LE(achieved, aged_max * (1.0 + 1e-9));
+}
+
+TEST(Memristor, StressMonotoneAndPulsesCount) {
+  DeviceParams p;
+  auto model = default_model();
+  Memristor m(&p, &model);
+  double prev = 0.0;
+  for (int i = 1; i <= 10; ++i) {
+    m.program(30e3);
+    EXPECT_GT(m.stress(), prev);
+    prev = m.stress();
+    EXPECT_EQ(m.pulse_count(), static_cast<std::uint64_t>(i));
+  }
+}
+
+TEST(Memristor, HighCurrentAgesFasterThanLowCurrent) {
+  DeviceParams p;
+  auto model = default_model();
+  Memristor hot(&p, &model);
+  Memristor cold(&p, &model);
+  for (int i = 0; i < 50; ++i) {
+    hot.program(p.r_min_fresh);   // max current
+    cold.program(p.r_max_fresh);  // min current
+  }
+  EXPECT_GT(hot.stress(), 5.0 * cold.stress());
+  EXPECT_LT(hot.aged_window().r_max, cold.aged_window().r_max);
+}
+
+TEST(Memristor, ComplianceCapsStress) {
+  DeviceParams capped;
+  capped.compliance_current_a = 5e-5;
+  DeviceParams uncapped;
+  uncapped.compliance_current_a = 1.0;
+  auto model = default_model();
+  Memristor a(&capped, &model);
+  Memristor b(&uncapped, &model);
+  a.program(capped.r_min_fresh);
+  b.program(uncapped.r_min_fresh);
+  EXPECT_LT(a.last_stress_increment(), b.last_stress_increment());
+}
+
+TEST(Memristor, DriftDoesNotAgeOrPulse) {
+  DeviceParams p;
+  auto model = default_model();
+  Memristor m(&p, &model);
+  m.program(40e3);
+  const double stress = m.stress();
+  const auto pulses = m.pulse_count();
+  m.drift_to(45e3);
+  EXPECT_DOUBLE_EQ(m.resistance(), 45e3);
+  EXPECT_DOUBLE_EQ(m.stress(), stress);
+  EXPECT_EQ(m.pulse_count(), pulses);
+}
+
+TEST(Memristor, DriftClampsIntoAgedWindow) {
+  DeviceParams p;
+  auto model = default_model();
+  Memristor m(&p, &model);
+  m.drift_to(1e9);
+  EXPECT_LE(m.resistance(), p.r_max_fresh);
+  m.drift_to(1.0);
+  EXPECT_GE(m.resistance(), m.aged_window().r_min);
+}
+
+TEST(Memristor, UsableLevelsShrinkWithAging) {
+  DeviceParams p;
+  p.levels = 16;
+  aging::AgingParams ap;
+  ap.thermal_crosstalk = 0.0;
+  aging::AgingModel model(ap);
+  Memristor m(&p, &model);
+  const std::size_t fresh_levels = m.usable_levels();
+  EXPECT_EQ(fresh_levels, 16u);
+  for (int i = 0; i < 400; ++i) {
+    m.program(p.r_min_fresh);
+  }
+  EXPECT_LT(m.usable_levels(), fresh_levels);
+}
+
+TEST(Memristor, AmbientStressSharedPointer) {
+  DeviceParams p;
+  auto model = default_model();
+  double ambient = 0.0;
+  Memristor m(&p, &model, &ambient);
+  EXPECT_DOUBLE_EQ(m.stress(), 0.0);
+  ambient = 1e-4;
+  EXPECT_DOUBLE_EQ(m.stress(), 1e-4);
+  EXPECT_DOUBLE_EQ(m.own_stress(), 0.0);
+}
+
+TEST(Memristor, ReadDoesNotAge) {
+  DeviceParams p;
+  auto model = default_model();
+  Memristor m(&p, &model);
+  m.program(20e3);
+  const double stress = m.stress();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_NEAR(m.read_conductance(), 1.0 / 20e3, 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(m.stress(), stress);
+}
+
+TEST(Memristor, RejectsNonPositiveTargets) {
+  DeviceParams p;
+  auto model = default_model();
+  Memristor m(&p, &model);
+  EXPECT_THROW(m.program(0.0), InvalidArgument);
+  EXPECT_THROW(m.drift_to(-5.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace xbarlife::device

@@ -1,0 +1,99 @@
+// End-to-end integration: the full counter-aging framework on a small
+// instance, asserting the paper's headline ordering
+//   lifetime(T+T) <= lifetime(ST+T) <= lifetime(ST+AT)
+// plus distribution and accuracy sanity along the way.
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "core/experiment.hpp"
+
+namespace xbarlife::core {
+namespace {
+
+ExperimentConfig mini_config() {
+  ExperimentConfig cfg;
+  cfg.name = "integration-mini";
+  cfg.model = ExperimentConfig::Model::kMlp;
+  cfg.mlp_hidden = {32};
+  cfg.dataset.classes = 8;
+  cfg.dataset.channels = 1;
+  cfg.dataset.height = 8;
+  cfg.dataset.width = 8;
+  cfg.dataset.train_per_class = 60;
+  cfg.dataset.test_per_class = 12;
+  cfg.dataset.noise = 0.15;
+  cfg.train_config.epochs = 6;
+  cfg.train_config.batch = 16;
+  cfg.train_config.learning_rate = 0.05;
+  cfg.skew = {5e-2, 1e-3, -1.0};
+  cfg.lifetime.max_sessions = 400;
+  cfg.lifetime.tuning.eval_samples = 96;
+  cfg.lifetime.tuning.max_iterations = 100;
+  cfg.lifetime.tuning.min_grad_fraction = 2.0;
+  cfg.lifetime.drift.sigma = 0.08;
+  cfg.target_accuracy_fraction = 0.93;
+  return cfg;
+}
+
+TEST(Integration, FullFrameworkReproducesScenarioOrdering) {
+  const ExperimentConfig cfg = mini_config();
+  const ExperimentResult result = run_experiment(cfg);
+
+  const auto& tt = result.outcome(Scenario::kTT);
+  const auto& stt = result.outcome(Scenario::kSTT);
+  const auto& stat = result.outcome(Scenario::kSTAT);
+
+  // Both training flavours reach a usable software accuracy, and the
+  // skewed flavour does not collapse it (Table I's accuracy columns).
+  EXPECT_GT(result.accuracy_traditional, 0.6);
+  EXPECT_GT(result.accuracy_skewed, result.accuracy_traditional - 0.1);
+
+  // All three scenarios eventually die (aging is real) ...
+  EXPECT_TRUE(tt.lifetime.died);
+  // ... and the paper's headline ordering holds.
+  EXPECT_GT(stt.lifetime.lifetime_applications,
+            tt.lifetime.lifetime_applications);
+  EXPECT_GE(stat.lifetime.lifetime_applications,
+            stt.lifetime.lifetime_applications);
+
+  // The skewed-training gain is substantial (paper: 6-7x; accept >= 1.5x
+  // on this miniature instance).
+  EXPECT_GE(result.lifetime_ratio(Scenario::kSTT), 1.5);
+  EXPECT_GE(result.lifetime_ratio(Scenario::kSTAT),
+            result.lifetime_ratio(Scenario::kSTT));
+}
+
+TEST(Integration, TuningIterationsShowTheFailureKnee) {
+  // Fig. 10's shape: iterations stay low for most of the lifetime, then
+  // explode at the end.
+  ExperimentConfig cfg = mini_config();
+  const ScenarioOutcome o = run_scenario(cfg, Scenario::kTT);
+  ASSERT_TRUE(o.lifetime.died);
+  const auto& sessions = o.lifetime.sessions;
+  ASSERT_GT(sessions.size(), 10u);
+  // Median early-life iterations are small.
+  std::vector<double> early;
+  for (std::size_t i = 0; i < sessions.size() / 2; ++i) {
+    early.push_back(static_cast<double>(sessions[i].tuning_iterations));
+  }
+  EXPECT_LT(summarize(std::span<const double>(early)).median, 5.0);
+  // The terminal session fails even after the rescue retry, with a large
+  // iteration count (initial attempt plus retry, possibly plateau-cut).
+  EXPECT_FALSE(sessions.back().converged);
+  EXPECT_GE(sessions.back().tuning_iterations, 40u);
+}
+
+TEST(Integration, AgedRmaxDeclinesOverLife) {
+  // Fig. 11's ingredient: mean aged R_max declines monotonically (within
+  // tolerance) as applications accumulate.
+  ExperimentConfig cfg = mini_config();
+  cfg.lifetime.max_sessions = 60;
+  const ScenarioOutcome o = run_scenario(cfg, Scenario::kSTT);
+  const auto& sessions = o.lifetime.sessions;
+  ASSERT_GT(sessions.size(), 5u);
+  EXPECT_LT(sessions.back().layer_mean_aged_rmax[0],
+            sessions.front().layer_mean_aged_rmax[0]);
+}
+
+}  // namespace
+}  // namespace xbarlife::core

@@ -1,0 +1,72 @@
+// Eq. (4) weight <-> conductance transfer tests.
+#include "mapping/linear_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace xbarlife::mapping {
+namespace {
+
+TEST(WeightRangeOf, FindsExtremes) {
+  Tensor w(Shape{4}, std::vector<float>{-0.5f, 0.2f, 1.5f, -0.1f});
+  const WeightRange r = weight_range_of(w);
+  EXPECT_FLOAT_EQ(static_cast<float>(r.w_min), -0.5f);
+  EXPECT_FLOAT_EQ(static_cast<float>(r.w_max), 1.5f);
+  EXPECT_NEAR(r.span(), 2.0, 1e-6);
+}
+
+TEST(LinearMap, EndpointsMapToConductanceBounds) {
+  LinearMap map({-1.0, 1.0}, 1e-5, 1e-4);
+  EXPECT_DOUBLE_EQ(map.weight_to_conductance(-1.0), 1e-5);
+  EXPECT_DOUBLE_EQ(map.weight_to_conductance(1.0), 1e-4);
+}
+
+TEST(LinearMap, MidpointMapsToMidConductance) {
+  LinearMap map({-1.0, 1.0}, 1e-5, 1e-4);
+  EXPECT_NEAR(map.weight_to_conductance(0.0), 5.5e-5, 1e-12);
+}
+
+TEST(LinearMap, RoundtripIsIdentityInsideRange) {
+  LinearMap map({-0.7, 1.3}, 1e-5, 1e-4);
+  for (double w : {-0.7, -0.2, 0.0, 0.55, 1.3}) {
+    EXPECT_NEAR(map.conductance_to_weight(map.weight_to_conductance(w)), w,
+                1e-12);
+  }
+}
+
+TEST(LinearMap, ClampsOutOfRangeInputs) {
+  LinearMap map({-1.0, 1.0}, 1e-5, 1e-4);
+  EXPECT_DOUBLE_EQ(map.weight_to_conductance(-5.0), 1e-5);
+  EXPECT_DOUBLE_EQ(map.weight_to_conductance(5.0), 1e-4);
+  EXPECT_DOUBLE_EQ(map.conductance_to_weight(1e-6), -1.0);
+  EXPECT_DOUBLE_EQ(map.conductance_to_weight(1.0), 1.0);
+}
+
+TEST(LinearMap, DegenerateWeightRangeMapsToGmin) {
+  LinearMap map({0.5, 0.5}, 1e-5, 1e-4);
+  EXPECT_DOUBLE_EQ(map.weight_to_conductance(0.5), 1e-5);
+  EXPECT_DOUBLE_EQ(map.conductance_to_weight(5e-5), 0.5);
+}
+
+TEST(LinearMap, MonotoneIncreasing) {
+  LinearMap map({-2.0, 3.0}, 2e-5, 8e-5);
+  double prev = 0.0;
+  for (int i = 0; i <= 20; ++i) {
+    const double w = -2.0 + 5.0 * i / 20.0;
+    const double g = map.weight_to_conductance(w);
+    if (i > 0) {
+      EXPECT_GT(g, prev);
+    }
+    prev = g;
+  }
+}
+
+TEST(LinearMap, RejectsInvalidConstruction) {
+  EXPECT_THROW(LinearMap({0.0, 1.0}, -1.0, 1.0), InvalidArgument);
+  EXPECT_THROW(LinearMap({0.0, 1.0}, 1e-4, 1e-5), InvalidArgument);
+  EXPECT_THROW(LinearMap({1.0, 0.0}, 1e-5, 1e-4), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace xbarlife::mapping

@@ -1,0 +1,213 @@
+// Aging-aware common-range selection tests (Section IV-B, Fig. 8).
+#include "mapping/range_select.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace xbarlife::mapping {
+namespace {
+
+constexpr double kRmin = 1e4;
+constexpr double kRmax = 1e5;
+
+aging::AgingModel model_with_crosstalk_off() {
+  aging::AgingParams p;
+  p.thermal_crosstalk = 0.0;
+  return aging::AgingModel(p);
+}
+
+Tensor small_weights(std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor w(Shape{6, 6});
+  w.fill_gaussian(rng, 0.0f, 0.3f);
+  return w;
+}
+
+TEST(CandidateBounds, FreshTrackerYieldsFreshBound) {
+  aging::RepresentativeTracker tracker(6, 6);
+  const auto model = model_with_crosstalk_off();
+  const auto bounds = candidate_upper_bounds(tracker, model, kRmin, kRmax);
+  ASSERT_EQ(bounds.size(), 1u);  // all reps at zero stress merge
+  EXPECT_DOUBLE_EQ(bounds[0], kRmax);
+}
+
+TEST(CandidateBounds, DistinctAgedRepsYieldDistinctBounds) {
+  aging::RepresentativeTracker tracker(9, 9);
+  const auto model = model_with_crosstalk_off();
+  tracker.record_pulse(1, 1, 1e-6);
+  tracker.record_pulse(4, 4, 1e-5);
+  const auto bounds = candidate_upper_bounds(tracker, model, kRmin, kRmax);
+  ASSERT_EQ(bounds.size(), 3u);  // two aged + the untouched reps
+  EXPECT_LT(bounds[0], bounds[1]);
+  EXPECT_LT(bounds[1], bounds[2]);
+  EXPECT_DOUBLE_EQ(bounds[2], kRmax);
+}
+
+TEST(CandidateBounds, NearDuplicatesMerge) {
+  aging::RepresentativeTracker tracker(9, 9);
+  const auto model = model_with_crosstalk_off();
+  tracker.record_pulse(1, 1, 1e-4);
+  tracker.record_pulse(4, 4, 1.0000001e-4);
+  const auto bounds = candidate_upper_bounds(tracker, model, kRmin, kRmax);
+  EXPECT_EQ(bounds.size(), 2u);
+}
+
+TEST(TrackerWindowFunctor, ReflectsBlockStress) {
+  aging::RepresentativeTracker tracker(6, 6);
+  const auto model = model_with_crosstalk_off();
+  tracker.record_pulse(1, 1, 1e-3);
+  const auto window_of =
+      tracker_window_functor(tracker, model, kRmin, kRmax);
+  EXPECT_LT(window_of(0, 0).r_max, kRmax);   // same block as (1,1)
+  EXPECT_DOUBLE_EQ(window_of(5, 5).r_max, kRmax);  // untouched block
+}
+
+TEST(SelectCommonRange, FreshArrayKeepsFreshRange) {
+  aging::RepresentativeTracker tracker(6, 6);
+  const auto model = model_with_crosstalk_off();
+  const Tensor w = small_weights(1);
+  auto evaluate = [](const Tensor&) { return 0.9; };
+  const RangeSelectionResult sel = select_common_range(
+      tracker, model, kRmin, kRmax, w, 16, evaluate);
+  EXPECT_DOUBLE_EQ(sel.selected.r_hi, kRmax);
+  EXPECT_DOUBLE_EQ(sel.selected.r_lo, kRmin);
+}
+
+TEST(SelectCommonRange, PicksAccuracyArgmax) {
+  aging::RepresentativeTracker tracker(9, 9);
+  const auto model = model_with_crosstalk_off();
+  tracker.record_pulse(1, 1, 1e-5);
+  tracker.record_pulse(4, 4, 1e-6);
+  Tensor w(Shape{9, 9});
+  Rng rng(2);
+  w.fill_gaussian(rng, 0.0f, 0.3f);
+
+  // Score candidates by how close their r_hi is to a magic value: only
+  // the selection mechanics are under test, so a synthetic evaluator
+  // keyed on the mapped range is enough.
+  const double magic = model.aged_r_max(kRmax, 1e-6);
+  auto evaluate = [&](const Tensor& eff) {
+    // The predicted effective weights differ per candidate; recover the
+    // candidate through its largest effective weight... simpler: count
+    // clamping distortion: fewer distorted entries = higher score. The
+    // most aged block distorts under large candidates, so the middle
+    // candidate (magic) wins.
+    double err = 0.0;
+    for (std::size_t i = 0; i < eff.numel(); ++i) {
+      err += std::abs(static_cast<double>(eff[i] - w[i]));
+    }
+    return 1.0 / (1.0 + err);
+  };
+  const RangeSelectionResult sel = select_common_range(
+      tracker, model, kRmin, kRmax, w, 16, evaluate);
+  EXPECT_GT(sel.candidates_tried, 1u);
+  EXPECT_EQ(sel.candidate_scores.size(), sel.candidate_bounds.size());
+  // The selected bound is one of the candidates and achieves the best
+  // score within tolerance.
+  double best = 0.0;
+  for (double s : sel.candidate_scores) {
+    best = std::max(best, s);
+  }
+  EXPECT_GE(sel.best_score, best - 0.02);
+  (void)magic;
+}
+
+TEST(SelectCommonRange, IncumbentKeptAboveThreshold) {
+  aging::RepresentativeTracker tracker(9, 9);
+  const auto model = model_with_crosstalk_off();
+  tracker.record_pulse(1, 1, 1e-3);
+  const Tensor w = small_weights(3);
+  int evaluations = 0;
+  auto evaluate = [&](const Tensor&) {
+    ++evaluations;
+    return 0.95;
+  };
+  const ResistanceRange incumbent{kRmin, kRmax};
+  const RangeSelectionResult sel = select_common_range(
+      tracker, model, kRmin, kRmax, w, 16, evaluate, &incumbent,
+      /*keep_threshold=*/0.9);
+  EXPECT_TRUE(sel.kept_incumbent);
+  EXPECT_EQ(evaluations, 1);  // only the incumbent was scored
+  EXPECT_DOUBLE_EQ(sel.selected.r_hi, kRmax);
+}
+
+TEST(SelectCommonRange, IncumbentWinsNearTies) {
+  aging::RepresentativeTracker tracker(9, 9);
+  const auto model = model_with_crosstalk_off();
+  tracker.record_pulse(1, 1, 5e-4);
+  const Tensor w = small_weights(4);
+  // Everything scores identically: the incumbent must win.
+  auto evaluate = [](const Tensor&) { return 0.5; };
+  const ResistanceRange incumbent{kRmin, 7e4};
+  const RangeSelectionResult sel = select_common_range(
+      tracker, model, kRmin, kRmax, w, 16, evaluate, &incumbent,
+      /*keep_threshold=*/0.99);  // above any score: forces the scan
+  EXPECT_TRUE(sel.kept_incumbent);
+  EXPECT_DOUBLE_EQ(sel.selected.r_hi, 7e4);
+}
+
+TEST(SelectCommonRange, ClearWinnerBeatsIncumbent) {
+  aging::RepresentativeTracker tracker(9, 9);
+  const auto model = model_with_crosstalk_off();
+  tracker.record_pulse(1, 1, 1e-3);
+  const Tensor w = small_weights(5);
+  // Candidates below 9e4 score high; the incumbent (fresh) scores low.
+  auto evaluate = [&](const Tensor& eff) {
+    // Detect the incumbent by its unclamped prediction: the aged block
+    // distorts only under large ranges... Use a direct trick: score by
+    // the spread of effective weights (smaller range -> coarser grid ->
+    // larger distinct steps). Instead, simply return higher for lower
+    // max effective weight error vs targets.
+    double err = 0.0;
+    for (std::size_t i = 0; i < eff.numel(); ++i) {
+      err = std::max(err, std::abs(static_cast<double>(eff[i] - w[i])));
+    }
+    return 1.0 - err;
+  };
+  const ResistanceRange incumbent{kRmin, kRmax};
+  const RangeSelectionResult sel = select_common_range(
+      tracker, model, kRmin, kRmax, w, 16, evaluate, &incumbent,
+      /*keep_threshold=*/2.0);  // never keep outright
+  // With a heavily aged block, the fresh incumbent has clamp distortion
+  // and a smaller candidate should win (or at least match).
+  EXPECT_LE(sel.selected.r_hi, kRmax);
+}
+
+TEST(SelectCommonRange, MaxCandidatesCapsEvaluations) {
+  aging::RepresentativeTracker tracker(30, 30);  // 100 blocks
+  const auto model = model_with_crosstalk_off();
+  Rng rng(6);
+  for (std::size_t r = 1; r < 30; r += 3) {
+    for (std::size_t c = 1; c < 30; c += 3) {
+      tracker.record_pulse(r, c, rng.uniform(1e-5, 1e-3));
+    }
+  }
+  Tensor w(Shape{30, 30});
+  w.fill_gaussian(rng, 0.0f, 0.3f);
+  int evaluations = 0;
+  auto evaluate = [&](const Tensor&) {
+    ++evaluations;
+    return 0.5;
+  };
+  select_common_range(tracker, model, kRmin, kRmax, w, 16, evaluate,
+                      nullptr, 2.0, /*max_candidates=*/5);
+  EXPECT_LE(evaluations, 5);
+}
+
+TEST(SelectCommonRange, RejectsBadArguments) {
+  aging::RepresentativeTracker tracker(3, 3);
+  const auto model = model_with_crosstalk_off();
+  const Tensor w = small_weights(7);
+  EXPECT_THROW(
+      select_common_range(tracker, model, kRmin, kRmax, w, 16, nullptr),
+      InvalidArgument);
+  EXPECT_THROW(select_common_range(tracker, model, kRmin, kRmax,
+                                   Tensor(Shape{4}), 16,
+                                   [](const Tensor&) { return 0.0; }),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace xbarlife::mapping

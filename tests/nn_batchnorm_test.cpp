@@ -1,0 +1,91 @@
+#include "nn/batchnorm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.hpp"
+#include "nn/activations.hpp"
+#include "nn/dense.hpp"
+#include "nn/gradient_check.hpp"
+
+namespace xbarlife::nn {
+namespace {
+
+TEST(BatchNorm, TrainingForwardNormalizesPerFeature) {
+  BatchNorm bn(2);
+  Tensor x(Shape{4, 2}, std::vector<float>{1, 10, 2, 20, 3, 30, 4, 40});
+  Tensor y = bn.forward(x, /*training=*/true);
+  // Each feature column has (near-)zero mean and unit variance, scaled by
+  // gamma=1 and shifted by beta=0.
+  for (std::size_t f = 0; f < 2; ++f) {
+    double mean = 0.0;
+    double var = 0.0;
+    for (std::size_t b = 0; b < 4; ++b) {
+      mean += y.at(b, f);
+    }
+    mean /= 4.0;
+    for (std::size_t b = 0; b < 4; ++b) {
+      var += (y.at(b, f) - mean) * (y.at(b, f) - mean);
+    }
+    var /= 4.0;
+    EXPECT_NEAR(mean, 0.0, 1e-5);
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+}
+
+TEST(BatchNorm, RunningStatsConvergeAndDriveInference) {
+  BatchNorm bn(1, /*momentum=*/0.5);
+  Tensor x(Shape{2, 1}, std::vector<float>{4.0f, 6.0f});  // mean 5, var 1
+  for (int i = 0; i < 30; ++i) {
+    bn.forward(x, /*training=*/true);
+  }
+  EXPECT_NEAR(bn.running_mean()[0], 5.0f, 1e-3f);
+  EXPECT_NEAR(bn.running_var()[0], 1.0f, 1e-2f);
+  // Inference mode uses the running stats: input 5 -> ~0.
+  Tensor probe(Shape{1, 1}, 5.0f);
+  Tensor y = bn.forward(probe, /*training=*/false);
+  EXPECT_NEAR(y[0], 0.0f, 1e-2f);
+}
+
+TEST(BatchNorm, GammaBetaAffectOutput) {
+  BatchNorm bn(1);
+  auto params = bn.params();
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_FALSE(params[0].mappable);  // stays digital
+  (*params[0].value)[0] = 2.0f;      // gamma
+  (*params[1].value)[0] = 3.0f;      // beta
+  Tensor x(Shape{2, 1}, std::vector<float>{-1.0f, 1.0f});
+  Tensor y = bn.forward(x, /*training=*/true);
+  EXPECT_NEAR(y[0], 3.0f - 2.0f, 1e-3f);
+  EXPECT_NEAR(y[1], 3.0f + 2.0f, 1e-3f);
+}
+
+TEST(BatchNorm, GradientCheckThroughNetwork) {
+  Rng rng(3);
+  Network net("bn-net");
+  net.add(std::make_unique<Dense>(5, 6, rng, "fc1"));
+  net.add(std::make_unique<BatchNorm>(6));
+  net.add(std::make_unique<ReLU>());
+  net.add(std::make_unique<Dense>(6, 3, rng, "fc2"));
+  Tensor x(Shape{4, 5});
+  x.fill_gaussian(rng, 0.0f, 1.0f);
+  const std::vector<std::int32_t> labels{0, 1, 2, 0};
+  const auto r = check_gradients(net, x, labels, 1e-3);
+  EXPECT_LT(r.max_rel_error, 8e-2);
+}
+
+TEST(BatchNorm, RejectsInvalidConstructionAndInput) {
+  EXPECT_THROW(BatchNorm(0), InvalidArgument);
+  EXPECT_THROW(BatchNorm(4, 1.0), InvalidArgument);
+  EXPECT_THROW(BatchNorm(4, 0.9, 0.0), InvalidArgument);
+  BatchNorm bn(4);
+  EXPECT_THROW(bn.forward(Tensor(Shape{2, 3}), true), InvalidArgument);
+  // Training with batch 1 is undefined (zero variance).
+  EXPECT_THROW(bn.forward(Tensor(Shape{1, 4}), true), InvalidArgument);
+  // Inference with batch 1 is fine.
+  EXPECT_NO_THROW(bn.forward(Tensor(Shape{1, 4}), false));
+}
+
+}  // namespace
+}  // namespace xbarlife::nn

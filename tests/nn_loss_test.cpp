@@ -1,0 +1,104 @@
+#include "nn/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace xbarlife::nn {
+namespace {
+
+TEST(SoftmaxCE, UniformLogitsGiveLogC) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits(Shape{2, 4}, 0.0f);
+  const std::vector<std::int32_t> labels{0, 3};
+  const double l = loss.forward(logits, labels);
+  EXPECT_NEAR(l, std::log(4.0), 1e-6);
+}
+
+TEST(SoftmaxCE, ConfidentCorrectLogitsGiveLowLoss) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits(Shape{1, 3}, std::vector<float>{10.0f, 0.0f, 0.0f});
+  const std::vector<std::int32_t> labels{0};
+  EXPECT_LT(loss.forward(logits, labels), 1e-3);
+}
+
+TEST(SoftmaxCE, ConfidentWrongLogitsGiveHighLoss) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits(Shape{1, 3}, std::vector<float>{10.0f, 0.0f, 0.0f});
+  const std::vector<std::int32_t> labels{2};
+  EXPECT_GT(loss.forward(logits, labels), 5.0);
+}
+
+TEST(SoftmaxCE, ShiftInvariance) {
+  SoftmaxCrossEntropy loss;
+  Tensor a(Shape{1, 3}, std::vector<float>{1.0f, 2.0f, 3.0f});
+  Tensor b(Shape{1, 3}, std::vector<float>{101.0f, 102.0f, 103.0f});
+  const std::vector<std::int32_t> labels{1};
+  EXPECT_NEAR(loss.forward(a, labels), loss.forward(b, labels), 1e-5);
+}
+
+TEST(SoftmaxCE, ProbabilitiesSumToOne) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits(Shape{2, 5}, std::vector<float>{1, 2, 3, 4, 5,
+                                                -1, 0, 1, 0, -1});
+  const std::vector<std::int32_t> labels{0, 1};
+  loss.forward(logits, labels);
+  const Tensor& p = loss.probabilities();
+  for (std::size_t b = 0; b < 2; ++b) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < 5; ++c) {
+      sum += p.at(b, c);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(SoftmaxCE, GradientIsProbMinusOneHotOverBatch) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits(Shape{2, 3}, std::vector<float>{1, 1, 1, 2, 0, 0});
+  const std::vector<std::int32_t> labels{0, 1};
+  loss.forward(logits, labels);
+  Tensor grad = loss.backward();
+  const Tensor& p = loss.probabilities();
+  EXPECT_NEAR(grad.at(0, 0), (p.at(0, 0) - 1.0f) / 2.0f, 1e-6f);
+  EXPECT_NEAR(grad.at(0, 1), p.at(0, 1) / 2.0f, 1e-6f);
+  EXPECT_NEAR(grad.at(1, 1), (p.at(1, 1) - 1.0f) / 2.0f, 1e-6f);
+  // Gradient rows sum to zero.
+  for (std::size_t b = 0; b < 2; ++b) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < 3; ++c) {
+      sum += grad.at(b, c);
+    }
+    EXPECT_NEAR(sum, 0.0, 1e-6);
+  }
+}
+
+TEST(SoftmaxCE, BackwardBeforeForwardThrows) {
+  SoftmaxCrossEntropy loss;
+  EXPECT_THROW(loss.backward(), InvalidArgument);
+}
+
+TEST(SoftmaxCE, LabelOutOfRangeThrows) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits(Shape{1, 3}, 0.0f);
+  const std::vector<std::int32_t> bad{5};
+  EXPECT_THROW(loss.forward(logits, bad), InvalidArgument);
+}
+
+TEST(Accuracy, CountsArgmaxHits) {
+  Tensor logits(Shape{3, 2}, std::vector<float>{1.0f, 0.0f,  // pred 0
+                                                0.0f, 1.0f,  // pred 1
+                                                1.0f, 0.0f});  // pred 0
+  const std::vector<std::int32_t> labels{0, 1, 1};
+  EXPECT_NEAR(accuracy(logits, labels), 2.0 / 3.0, 1e-9);
+}
+
+TEST(Accuracy, EmptyBatchIsZero) {
+  Tensor logits(Shape{0, 4});
+  EXPECT_EQ(accuracy(logits, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace xbarlife::nn

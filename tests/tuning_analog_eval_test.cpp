@@ -1,0 +1,107 @@
+#include "tuning/analog_eval.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "data/synthetic.hpp"
+#include "nn/model_zoo.hpp"
+
+namespace xbarlife::tuning {
+namespace {
+
+struct Fixture {
+  data::TrainTest data;
+  nn::Network net;
+
+  Fixture()
+      : data(data::make_blobs(4, 8, 30, 20, 0.25, 31)), net(make()) {
+    nn::SgdOptimizer opt({0.1, 0.9});
+    for (int epoch = 0; epoch < 25; ++epoch) {
+      const data::Batch batch = data::make_batch(data.train, 0, 120);
+      net.train_batch(batch.images, batch.labels, opt, nullptr);
+    }
+  }
+
+  static nn::Network make() {
+    Rng rng(31);
+    return nn::make_mlp(8, {16}, 4, rng);
+  }
+};
+
+aging::AgingParams quiet() {
+  aging::AgingParams a;
+  a.a_f = 0.0;
+  a.a_g = 0.0;
+  a.thermal_crosstalk = 0.0;
+  return a;
+}
+
+TEST(AnalogEval, IdealConfigMatchesDigitalEvaluation) {
+  Fixture f;
+  HardwareNetwork hw(f.net, {}, quiet());
+  hw.deploy(MappingPolicy::kFresh, 64);
+  const double digital =
+      f.net.evaluate(f.data.test.head(60).images,
+                     f.data.test.head(60).labels);
+  const double analog = evaluate_with_nonidealities(
+      hw, f.data.test, {}, /*noise_seed=*/1, std::nullopt, 60);
+  EXPECT_NEAR(analog, digital, 1e-9);
+}
+
+TEST(AnalogEval, RestoresIdealWeightsAfterwards) {
+  Fixture f;
+  HardwareNetwork hw(f.net, {}, quiet());
+  hw.deploy(MappingPolicy::kFresh, 32);
+  const auto before = f.net.save_mappable_weights();
+  xbar::NonidealityConfig cfg;
+  cfg.read_noise_sigma = 0.2;
+  evaluate_with_nonidealities(hw, f.data.test, cfg, 2, 7u, 40);
+  const auto after = f.net.save_mappable_weights();
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_TRUE(allclose(before[i], after[i]));
+  }
+}
+
+TEST(AnalogEval, HeavyNoiseDegradesAccuracy) {
+  Fixture f;
+  HardwareNetwork hw(f.net, {}, quiet());
+  hw.deploy(MappingPolicy::kFresh, 64);
+  const double clean = evaluate_with_nonidealities(
+      hw, f.data.test, {}, 3, std::nullopt, 80);
+  xbar::NonidealityConfig noisy;
+  noisy.read_noise_sigma = 0.6;
+  noisy.stuck_off_fraction = 0.15;
+  noisy.stuck_on_fraction = 0.15;
+  // Average several noise draws: a single draw can get lucky.
+  double degraded = 0.0;
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    degraded +=
+        evaluate_with_nonidealities(hw, f.data.test, noisy, s, 100 + s, 80);
+  }
+  degraded /= 5.0;
+  EXPECT_LT(degraded, clean - 0.05);
+}
+
+TEST(AnalogEval, DeterministicInSeeds) {
+  Fixture f;
+  HardwareNetwork hw(f.net, {}, quiet());
+  hw.deploy(MappingPolicy::kFresh, 32);
+  xbar::NonidealityConfig cfg;
+  cfg.read_noise_sigma = 0.1;
+  const double a =
+      evaluate_with_nonidealities(hw, f.data.test, cfg, 11, 5u, 40);
+  const double b =
+      evaluate_with_nonidealities(hw, f.data.test, cfg, 11, 5u, 40);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(AnalogEval, BeforeDeployThrows) {
+  Fixture f;
+  HardwareNetwork hw(f.net, {}, quiet());
+  EXPECT_THROW(
+      evaluate_with_nonidealities(hw, f.data.test, {}, 1, std::nullopt, 10),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace xbarlife::tuning

@@ -1,0 +1,146 @@
+#include "xbar/nonideal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace xbarlife::xbar {
+namespace {
+
+device::DeviceParams dev() { return device::DeviceParams{}; }
+aging::AgingParams ag() { return aging::AgingParams{}; }
+
+TEST(NonidealityConfig, Validation) {
+  NonidealityConfig c;
+  EXPECT_NO_THROW(c.validate());
+  c.write_noise_sigma = -0.1;
+  EXPECT_THROW(c.validate(), InvalidArgument);
+  c = NonidealityConfig{};
+  c.stuck_off_fraction = 0.7;
+  c.stuck_on_fraction = 0.5;
+  EXPECT_THROW(c.validate(), InvalidArgument);
+}
+
+TEST(WriteNoise, ZeroSigmaIsExact) {
+  NonidealityConfig c;
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(apply_write_noise(c, 5e-5, rng), 5e-5);
+}
+
+TEST(WriteNoise, PerturbsWithConfiguredSpread) {
+  NonidealityConfig c;
+  c.write_noise_sigma = 0.1;
+  Rng rng(2);
+  RunningStats rs;
+  for (int i = 0; i < 20000; ++i) {
+    rs.add(apply_write_noise(c, 1e-5, rng) / 1e-5);
+  }
+  EXPECT_NEAR(rs.mean(), 1.0, 0.01);
+  EXPECT_NEAR(rs.stddev(), 0.1, 0.01);
+  EXPECT_GT(rs.min(), 0.0);  // never non-physical
+}
+
+TEST(ReadNoise, IndependentSamplesDiffer) {
+  NonidealityConfig c;
+  c.read_noise_sigma = 0.05;
+  Rng rng(3);
+  const double a = apply_read_noise(c, 1e-5, rng);
+  const double b = apply_read_noise(c, 1e-5, rng);
+  EXPECT_NE(a, b);
+}
+
+TEST(FaultMap, DeterministicAndBounded) {
+  NonidealityConfig c;
+  c.stuck_off_fraction = 0.05;
+  c.stuck_on_fraction = 0.02;
+  FaultMap a(40, 40, c, 7);
+  FaultMap b(40, 40, c, 7);
+  std::size_t off = 0;
+  std::size_t on = 0;
+  for (std::size_t r = 0; r < 40; ++r) {
+    for (std::size_t col = 0; col < 40; ++col) {
+      EXPECT_EQ(a.at(r, col), b.at(r, col));
+      off += a.at(r, col) == FaultMap::Fault::kStuckOff ? 1u : 0u;
+      on += a.at(r, col) == FaultMap::Fault::kStuckOn ? 1u : 0u;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(off) / 1600.0, 0.05, 0.02);
+  EXPECT_NEAR(static_cast<double>(on) / 1600.0, 0.02, 0.015);
+  EXPECT_EQ(a.fault_count(), off + on);
+}
+
+TEST(FaultMap, CleanConfigHasNoFaults) {
+  FaultMap m(10, 10, {}, 1);
+  EXPECT_EQ(m.fault_count(), 0u);
+  EXPECT_EQ(m.at(5, 5), FaultMap::Fault::kNone);
+}
+
+TEST(FaultedConductance, OverridesByFaultKind) {
+  EXPECT_DOUBLE_EQ(
+      faulted_conductance(FaultMap::Fault::kNone, 5e-5, 1e-5, 1e-4),
+      5e-5);
+  EXPECT_DOUBLE_EQ(
+      faulted_conductance(FaultMap::Fault::kStuckOff, 5e-5, 1e-5, 1e-4),
+      1e-5);
+  EXPECT_DOUBLE_EQ(
+      faulted_conductance(FaultMap::Fault::kStuckOn, 5e-5, 1e-5, 1e-4),
+      1e-4);
+}
+
+TEST(IrDrop, AttenuatesFarCellsMore) {
+  NonidealityConfig c;
+  c.line_resistance = 5.0;
+  const double near = ir_drop_conductance(c, 1e-4, 0, 0);
+  const double far = ir_drop_conductance(c, 1e-4, 63, 63);
+  EXPECT_LT(near, 1e-4);
+  EXPECT_LT(far, near);
+  // Low conductances barely notice the wire.
+  EXPECT_NEAR(ir_drop_conductance(c, 1e-6, 63, 63), 1e-6, 1e-9);
+}
+
+TEST(IrDrop, ZeroLineResistanceIsIdentity) {
+  NonidealityConfig c;
+  EXPECT_DOUBLE_EQ(ir_drop_conductance(c, 1e-4, 63, 63), 1e-4);
+}
+
+TEST(ObservedConductances, IdealConfigMatchesTrueState) {
+  Crossbar xb(4, 4, dev(), ag());
+  xb.program_cell(1, 2, 5e4);
+  Rng rng(4);
+  Tensor g = observed_conductances(xb, {}, nullptr, rng);
+  EXPECT_TRUE(allclose(g, xb.conductances(), 1e-9f));
+}
+
+TEST(ObservedConductances, AppliesFaultsAndNoise) {
+  Crossbar xb(6, 6, dev(), ag());
+  NonidealityConfig c;
+  c.read_noise_sigma = 0.02;
+  c.stuck_on_fraction = 0.2;
+  FaultMap faults(6, 6, c, 9);
+  ASSERT_GT(faults.fault_count(), 0u);
+  Rng rng(5);
+  Tensor g = observed_conductances(xb, c, &faults, rng);
+  // Fresh cells sit at g_min; stuck-on cells must read near g_max.
+  bool saw_stuck_on = false;
+  for (std::size_t r = 0; r < 6; ++r) {
+    for (std::size_t col = 0; col < 6; ++col) {
+      if (faults.at(r, col) == FaultMap::Fault::kStuckOn) {
+        saw_stuck_on = true;
+        EXPECT_GT(g.at(r, col), 0.5e-4f);
+      }
+    }
+  }
+  EXPECT_TRUE(saw_stuck_on);
+}
+
+TEST(ObservedConductances, FaultMapSizeMismatchThrows) {
+  Crossbar xb(4, 4, dev(), ag());
+  FaultMap faults(5, 5, {}, 1);
+  Rng rng(6);
+  EXPECT_THROW(observed_conductances(xb, {}, &faults, rng),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace xbarlife::xbar

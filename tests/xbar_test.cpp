@@ -1,0 +1,123 @@
+#include "xbar/crossbar.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "tensor/matmul.hpp"
+
+namespace xbarlife::xbar {
+namespace {
+
+device::DeviceParams dev() { return device::DeviceParams{}; }
+aging::AgingParams ag() { return aging::AgingParams{}; }
+
+TEST(Crossbar, ConstructionAndFreshState) {
+  Crossbar xb(4, 3, dev(), ag());
+  EXPECT_EQ(xb.rows(), 4u);
+  EXPECT_EQ(xb.cols(), 3u);
+  EXPECT_EQ(xb.total_pulses(), 0u);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(xb.cell(r, c).resistance(), dev().r_max_fresh);
+    }
+  }
+}
+
+TEST(Crossbar, ProgramCellUpdatesStateAndCounters) {
+  Crossbar xb(3, 3, dev(), ag());
+  const double achieved = xb.program_cell(1, 2, 5e4);
+  EXPECT_DOUBLE_EQ(achieved, 5e4);
+  EXPECT_DOUBLE_EQ(xb.cell(1, 2).resistance(), 5e4);
+  EXPECT_EQ(xb.total_pulses(), 1u);
+}
+
+TEST(Crossbar, TrackerSeesRepresentativePulses) {
+  Crossbar xb(3, 3, dev(), ag());
+  xb.program_cell(1, 1, 5e4);  // representative
+  xb.program_cell(0, 0, 5e4);  // untraced
+  EXPECT_GT(xb.tracker().stress_estimate(1, 1), 0.0);
+  EXPECT_EQ(xb.tracker().pulse_estimate(1, 1), 1u);
+}
+
+TEST(Crossbar, AmbientStressSharedAcrossCells) {
+  aging::AgingParams a = ag();
+  a.thermal_crosstalk = 0.1;  // exaggerated for visibility
+  Crossbar xb(3, 3, dev(), a);
+  xb.program_cell(0, 0, dev().r_min_fresh);
+  EXPECT_GT(xb.ambient_stress(), 0.0);
+  // An untouched cell feels the ambient stress.
+  EXPECT_GT(xb.cell(2, 2).stress(), 0.0);
+  EXPECT_DOUBLE_EQ(xb.cell(2, 2).own_stress(), 0.0);
+}
+
+TEST(Crossbar, VmmMatchesDenseReference) {
+  Crossbar xb(4, 3, dev(), ag());
+  Rng rng(5);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      xb.program_cell(r, c, rng.uniform(1e4, 1e5));
+    }
+  }
+  std::vector<float> v{0.5f, -0.25f, 1.0f, 0.0f};
+  std::vector<float> out(3);
+  xb.vmm(v, out);
+
+  Tensor g = xb.conductances();
+  Tensor vin(Shape{1, 4}, std::vector<float>(v));
+  Tensor expected = matmul(vin, g);
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_NEAR(out[c], expected.at(0, c), 1e-9f);
+  }
+}
+
+TEST(Crossbar, VmmSizeMismatchThrows) {
+  Crossbar xb(2, 2, dev(), ag());
+  std::vector<float> v(3);
+  std::vector<float> out(2);
+  EXPECT_THROW(xb.vmm(v, out), InvalidArgument);
+}
+
+TEST(Crossbar, ConductanceAndResistanceSnapshotsConsistent) {
+  Crossbar xb(2, 2, dev(), ag());
+  xb.program_cell(0, 0, 2e4);
+  Tensor g = xb.conductances();
+  Tensor r = xb.resistances();
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(g[i] * r[i], 1.0f, 1e-5f);
+  }
+  EXPECT_NEAR(r.at(0, 0), 2e4f, 1.0f);
+}
+
+TEST(Crossbar, AgingStatsAggregate) {
+  aging::AgingParams a = ag();
+  a.thermal_crosstalk = 0.0;
+  Crossbar xb(3, 3, dev(), a);
+  for (int i = 0; i < 100; ++i) {
+    xb.program_cell(0, 0, dev().r_min_fresh);
+  }
+  const CrossbarAgingStats s = xb.aging_stats();
+  EXPECT_EQ(s.total_pulses, 100u);
+  EXPECT_GT(s.max_stress, 0.0);
+  EXPECT_GT(s.mean_stress, 0.0);
+  EXPECT_LT(s.mean_stress, s.max_stress);
+  EXPECT_LT(s.min_aged_r_max, dev().r_max_fresh);
+  EXPECT_LE(static_cast<double>(s.min_usable_levels),
+            s.mean_usable_levels);
+}
+
+TEST(Crossbar, DriftCellDoesNotPulse) {
+  Crossbar xb(2, 2, dev(), ag());
+  xb.drift_cell(0, 0, 3e4);
+  EXPECT_DOUBLE_EQ(xb.cell(0, 0).resistance(), 3e4);
+  EXPECT_EQ(xb.total_pulses(), 0u);
+}
+
+TEST(Crossbar, RejectsOutOfRangeAccess) {
+  Crossbar xb(2, 2, dev(), ag());
+  EXPECT_THROW(xb.cell(2, 0), InvalidArgument);
+  EXPECT_THROW(xb.program_cell(0, 2, 5e4), InvalidArgument);
+  EXPECT_THROW(Crossbar(0, 2, dev(), ag()), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace xbarlife::xbar
