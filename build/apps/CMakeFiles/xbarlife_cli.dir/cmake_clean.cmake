@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbarlife_cli.dir/xbarlife_cli.cpp.o"
+  "CMakeFiles/xbarlife_cli.dir/xbarlife_cli.cpp.o.d"
+  "xbarlife"
+  "xbarlife.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbarlife_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_aging.dir/ablation_aging.cpp.o"
+  "CMakeFiles/ablation_aging.dir/ablation_aging.cpp.o.d"
+  "ablation_aging"
+  "ablation_aging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_aging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

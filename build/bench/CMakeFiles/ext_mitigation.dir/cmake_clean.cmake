@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_mitigation.dir/ext_mitigation.cpp.o"
+  "CMakeFiles/ext_mitigation.dir/ext_mitigation.cpp.o.d"
+  "ext_mitigation"
+  "ext_mitigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_mitigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_nonideal.dir/ext_nonideal.cpp.o"
+  "CMakeFiles/ext_nonideal.dir/ext_nonideal.cpp.o.d"
+  "ext_nonideal"
+  "ext_nonideal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_nonideal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

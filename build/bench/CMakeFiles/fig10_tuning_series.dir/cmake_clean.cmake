@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_tuning_series.dir/fig10_tuning_series.cpp.o"
+  "CMakeFiles/fig10_tuning_series.dir/fig10_tuning_series.cpp.o.d"
+  "fig10_tuning_series"
+  "fig10_tuning_series.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_tuning_series.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

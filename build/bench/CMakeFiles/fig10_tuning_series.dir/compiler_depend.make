@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig10_tuning_series.
+# This may be replaced when dependencies are built.

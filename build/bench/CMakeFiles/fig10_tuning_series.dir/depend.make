@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_tuning_series.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_layer_aging.dir/fig11_layer_aging.cpp.o"
+  "CMakeFiles/fig11_layer_aging.dir/fig11_layer_aging.cpp.o.d"
+  "fig11_layer_aging"
+  "fig11_layer_aging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_layer_aging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

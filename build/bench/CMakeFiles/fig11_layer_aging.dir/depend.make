@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_layer_aging.
+# This may be replaced when dependencies are built.

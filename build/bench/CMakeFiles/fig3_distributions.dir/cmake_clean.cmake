@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_distributions.dir/fig3_distributions.cpp.o"
+  "CMakeFiles/fig3_distributions.dir/fig3_distributions.cpp.o.d"
+  "fig3_distributions"
+  "fig3_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

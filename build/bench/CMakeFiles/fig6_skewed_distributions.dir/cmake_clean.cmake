@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_skewed_distributions.dir/fig6_skewed_distributions.cpp.o"
+  "CMakeFiles/fig6_skewed_distributions.dir/fig6_skewed_distributions.cpp.o.d"
+  "fig6_skewed_distributions"
+  "fig6_skewed_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_skewed_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

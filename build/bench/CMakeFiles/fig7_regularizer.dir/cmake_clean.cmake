@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_regularizer.dir/fig7_regularizer.cpp.o"
+  "CMakeFiles/fig7_regularizer.dir/fig7_regularizer.cpp.o.d"
+  "fig7_regularizer"
+  "fig7_regularizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_regularizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

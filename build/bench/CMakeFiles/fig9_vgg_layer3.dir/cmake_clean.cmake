@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_vgg_layer3.dir/fig9_vgg_layer3.cpp.o"
+  "CMakeFiles/fig9_vgg_layer3.dir/fig9_vgg_layer3.cpp.o.d"
+  "fig9_vgg_layer3"
+  "fig9_vgg_layer3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_vgg_layer3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_lifetime.dir/table1_lifetime.cpp.o"
+  "CMakeFiles/table1_lifetime.dir/table1_lifetime.cpp.o.d"
+  "table1_lifetime"
+  "table1_lifetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

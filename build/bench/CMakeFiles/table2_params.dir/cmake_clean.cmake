@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_params.dir/table2_params.cpp.o"
+  "CMakeFiles/table2_params.dir/table2_params.cpp.o.d"
+  "table2_params"
+  "table2_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

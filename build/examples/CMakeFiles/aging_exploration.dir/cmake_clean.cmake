@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aging_exploration.dir/aging_exploration.cpp.o"
+  "CMakeFiles/aging_exploration.dir/aging_exploration.cpp.o.d"
+  "aging_exploration"
+  "aging_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aging_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

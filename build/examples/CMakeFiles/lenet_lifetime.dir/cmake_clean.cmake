@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lenet_lifetime.dir/lenet_lifetime.cpp.o"
+  "CMakeFiles/lenet_lifetime.dir/lenet_lifetime.cpp.o.d"
+  "lenet_lifetime"
+  "lenet_lifetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lenet_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lenet_lifetime.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skewed_training.dir/skewed_training.cpp.o"
+  "CMakeFiles/skewed_training.dir/skewed_training.cpp.o.d"
+  "skewed_training"
+  "skewed_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skewed_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbarlife_aging.dir/aging_model.cpp.o"
+  "CMakeFiles/xbarlife_aging.dir/aging_model.cpp.o.d"
+  "CMakeFiles/xbarlife_aging.dir/tracker.cpp.o"
+  "CMakeFiles/xbarlife_aging.dir/tracker.cpp.o.d"
+  "libxbarlife_aging.a"
+  "libxbarlife_aging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbarlife_aging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxbarlife_aging.a"
+)

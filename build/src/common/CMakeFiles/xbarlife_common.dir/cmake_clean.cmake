@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbarlife_common.dir/csv.cpp.o"
+  "CMakeFiles/xbarlife_common.dir/csv.cpp.o.d"
+  "CMakeFiles/xbarlife_common.dir/error.cpp.o"
+  "CMakeFiles/xbarlife_common.dir/error.cpp.o.d"
+  "CMakeFiles/xbarlife_common.dir/histogram.cpp.o"
+  "CMakeFiles/xbarlife_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/xbarlife_common.dir/rng.cpp.o"
+  "CMakeFiles/xbarlife_common.dir/rng.cpp.o.d"
+  "CMakeFiles/xbarlife_common.dir/stats.cpp.o"
+  "CMakeFiles/xbarlife_common.dir/stats.cpp.o.d"
+  "CMakeFiles/xbarlife_common.dir/table.cpp.o"
+  "CMakeFiles/xbarlife_common.dir/table.cpp.o.d"
+  "libxbarlife_common.a"
+  "libxbarlife_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbarlife_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

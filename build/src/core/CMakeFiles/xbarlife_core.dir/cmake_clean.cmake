@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbarlife_core.dir/experiment.cpp.o"
+  "CMakeFiles/xbarlife_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/xbarlife_core.dir/lifetime.cpp.o"
+  "CMakeFiles/xbarlife_core.dir/lifetime.cpp.o.d"
+  "CMakeFiles/xbarlife_core.dir/trainer.cpp.o"
+  "CMakeFiles/xbarlife_core.dir/trainer.cpp.o.d"
+  "libxbarlife_core.a"
+  "libxbarlife_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbarlife_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbarlife_data.dir/dataset.cpp.o"
+  "CMakeFiles/xbarlife_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/xbarlife_data.dir/synthetic.cpp.o"
+  "CMakeFiles/xbarlife_data.dir/synthetic.cpp.o.d"
+  "libxbarlife_data.a"
+  "libxbarlife_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbarlife_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbarlife_device.dir/memristor.cpp.o"
+  "CMakeFiles/xbarlife_device.dir/memristor.cpp.o.d"
+  "libxbarlife_device.a"
+  "libxbarlife_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbarlife_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapping/linear_map.cpp" "src/mapping/CMakeFiles/xbarlife_mapping.dir/linear_map.cpp.o" "gcc" "src/mapping/CMakeFiles/xbarlife_mapping.dir/linear_map.cpp.o.d"
+  "/root/repo/src/mapping/mapper.cpp" "src/mapping/CMakeFiles/xbarlife_mapping.dir/mapper.cpp.o" "gcc" "src/mapping/CMakeFiles/xbarlife_mapping.dir/mapper.cpp.o.d"
+  "/root/repo/src/mapping/quantizer.cpp" "src/mapping/CMakeFiles/xbarlife_mapping.dir/quantizer.cpp.o" "gcc" "src/mapping/CMakeFiles/xbarlife_mapping.dir/quantizer.cpp.o.d"
+  "/root/repo/src/mapping/range_select.cpp" "src/mapping/CMakeFiles/xbarlife_mapping.dir/range_select.cpp.o" "gcc" "src/mapping/CMakeFiles/xbarlife_mapping.dir/range_select.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xbar/CMakeFiles/xbarlife_xbar.dir/DependInfo.cmake"
+  "/root/repo/build/src/aging/CMakeFiles/xbarlife_aging.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/xbarlife_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xbarlife_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/xbarlife_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbarlife_mapping.dir/linear_map.cpp.o"
+  "CMakeFiles/xbarlife_mapping.dir/linear_map.cpp.o.d"
+  "CMakeFiles/xbarlife_mapping.dir/mapper.cpp.o"
+  "CMakeFiles/xbarlife_mapping.dir/mapper.cpp.o.d"
+  "CMakeFiles/xbarlife_mapping.dir/quantizer.cpp.o"
+  "CMakeFiles/xbarlife_mapping.dir/quantizer.cpp.o.d"
+  "CMakeFiles/xbarlife_mapping.dir/range_select.cpp.o"
+  "CMakeFiles/xbarlife_mapping.dir/range_select.cpp.o.d"
+  "libxbarlife_mapping.a"
+  "libxbarlife_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbarlife_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

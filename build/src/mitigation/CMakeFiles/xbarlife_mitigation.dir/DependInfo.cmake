@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mitigation/pulse_shaping.cpp" "src/mitigation/CMakeFiles/xbarlife_mitigation.dir/pulse_shaping.cpp.o" "gcc" "src/mitigation/CMakeFiles/xbarlife_mitigation.dir/pulse_shaping.cpp.o.d"
+  "/root/repo/src/mitigation/row_swap.cpp" "src/mitigation/CMakeFiles/xbarlife_mitigation.dir/row_swap.cpp.o" "gcc" "src/mitigation/CMakeFiles/xbarlife_mitigation.dir/row_swap.cpp.o.d"
+  "/root/repo/src/mitigation/series_resistor.cpp" "src/mitigation/CMakeFiles/xbarlife_mitigation.dir/series_resistor.cpp.o" "gcc" "src/mitigation/CMakeFiles/xbarlife_mitigation.dir/series_resistor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xbar/CMakeFiles/xbarlife_xbar.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/xbarlife_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xbarlife_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/xbarlife_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/aging/CMakeFiles/xbarlife_aging.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

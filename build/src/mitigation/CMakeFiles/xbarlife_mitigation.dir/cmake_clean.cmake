@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbarlife_mitigation.dir/pulse_shaping.cpp.o"
+  "CMakeFiles/xbarlife_mitigation.dir/pulse_shaping.cpp.o.d"
+  "CMakeFiles/xbarlife_mitigation.dir/row_swap.cpp.o"
+  "CMakeFiles/xbarlife_mitigation.dir/row_swap.cpp.o.d"
+  "CMakeFiles/xbarlife_mitigation.dir/series_resistor.cpp.o"
+  "CMakeFiles/xbarlife_mitigation.dir/series_resistor.cpp.o.d"
+  "libxbarlife_mitigation.a"
+  "libxbarlife_mitigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbarlife_mitigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/nn/CMakeFiles/xbarlife_nn.dir/activations.cpp.o" "gcc" "src/nn/CMakeFiles/xbarlife_nn.dir/activations.cpp.o.d"
+  "/root/repo/src/nn/batchnorm.cpp" "src/nn/CMakeFiles/xbarlife_nn.dir/batchnorm.cpp.o" "gcc" "src/nn/CMakeFiles/xbarlife_nn.dir/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/conv.cpp" "src/nn/CMakeFiles/xbarlife_nn.dir/conv.cpp.o" "gcc" "src/nn/CMakeFiles/xbarlife_nn.dir/conv.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "src/nn/CMakeFiles/xbarlife_nn.dir/dense.cpp.o" "gcc" "src/nn/CMakeFiles/xbarlife_nn.dir/dense.cpp.o.d"
+  "/root/repo/src/nn/gradient_check.cpp" "src/nn/CMakeFiles/xbarlife_nn.dir/gradient_check.cpp.o" "gcc" "src/nn/CMakeFiles/xbarlife_nn.dir/gradient_check.cpp.o.d"
+  "/root/repo/src/nn/layer.cpp" "src/nn/CMakeFiles/xbarlife_nn.dir/layer.cpp.o" "gcc" "src/nn/CMakeFiles/xbarlife_nn.dir/layer.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/xbarlife_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/xbarlife_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/model_zoo.cpp" "src/nn/CMakeFiles/xbarlife_nn.dir/model_zoo.cpp.o" "gcc" "src/nn/CMakeFiles/xbarlife_nn.dir/model_zoo.cpp.o.d"
+  "/root/repo/src/nn/network.cpp" "src/nn/CMakeFiles/xbarlife_nn.dir/network.cpp.o" "gcc" "src/nn/CMakeFiles/xbarlife_nn.dir/network.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/xbarlife_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/xbarlife_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/pool.cpp" "src/nn/CMakeFiles/xbarlife_nn.dir/pool.cpp.o" "gcc" "src/nn/CMakeFiles/xbarlife_nn.dir/pool.cpp.o.d"
+  "/root/repo/src/nn/regularizer.cpp" "src/nn/CMakeFiles/xbarlife_nn.dir/regularizer.cpp.o" "gcc" "src/nn/CMakeFiles/xbarlife_nn.dir/regularizer.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/xbarlife_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/xbarlife_nn.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/xbarlife_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xbarlife_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

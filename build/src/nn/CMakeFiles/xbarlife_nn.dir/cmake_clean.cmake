@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbarlife_nn.dir/activations.cpp.o"
+  "CMakeFiles/xbarlife_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/xbarlife_nn.dir/batchnorm.cpp.o"
+  "CMakeFiles/xbarlife_nn.dir/batchnorm.cpp.o.d"
+  "CMakeFiles/xbarlife_nn.dir/conv.cpp.o"
+  "CMakeFiles/xbarlife_nn.dir/conv.cpp.o.d"
+  "CMakeFiles/xbarlife_nn.dir/dense.cpp.o"
+  "CMakeFiles/xbarlife_nn.dir/dense.cpp.o.d"
+  "CMakeFiles/xbarlife_nn.dir/gradient_check.cpp.o"
+  "CMakeFiles/xbarlife_nn.dir/gradient_check.cpp.o.d"
+  "CMakeFiles/xbarlife_nn.dir/layer.cpp.o"
+  "CMakeFiles/xbarlife_nn.dir/layer.cpp.o.d"
+  "CMakeFiles/xbarlife_nn.dir/loss.cpp.o"
+  "CMakeFiles/xbarlife_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/xbarlife_nn.dir/model_zoo.cpp.o"
+  "CMakeFiles/xbarlife_nn.dir/model_zoo.cpp.o.d"
+  "CMakeFiles/xbarlife_nn.dir/network.cpp.o"
+  "CMakeFiles/xbarlife_nn.dir/network.cpp.o.d"
+  "CMakeFiles/xbarlife_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/xbarlife_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/xbarlife_nn.dir/pool.cpp.o"
+  "CMakeFiles/xbarlife_nn.dir/pool.cpp.o.d"
+  "CMakeFiles/xbarlife_nn.dir/regularizer.cpp.o"
+  "CMakeFiles/xbarlife_nn.dir/regularizer.cpp.o.d"
+  "CMakeFiles/xbarlife_nn.dir/serialize.cpp.o"
+  "CMakeFiles/xbarlife_nn.dir/serialize.cpp.o.d"
+  "libxbarlife_nn.a"
+  "libxbarlife_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbarlife_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/im2col.cpp" "src/tensor/CMakeFiles/xbarlife_tensor.dir/im2col.cpp.o" "gcc" "src/tensor/CMakeFiles/xbarlife_tensor.dir/im2col.cpp.o.d"
+  "/root/repo/src/tensor/matmul.cpp" "src/tensor/CMakeFiles/xbarlife_tensor.dir/matmul.cpp.o" "gcc" "src/tensor/CMakeFiles/xbarlife_tensor.dir/matmul.cpp.o.d"
+  "/root/repo/src/tensor/shape.cpp" "src/tensor/CMakeFiles/xbarlife_tensor.dir/shape.cpp.o" "gcc" "src/tensor/CMakeFiles/xbarlife_tensor.dir/shape.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "src/tensor/CMakeFiles/xbarlife_tensor.dir/tensor.cpp.o" "gcc" "src/tensor/CMakeFiles/xbarlife_tensor.dir/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xbarlife_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbarlife_tensor.dir/im2col.cpp.o"
+  "CMakeFiles/xbarlife_tensor.dir/im2col.cpp.o.d"
+  "CMakeFiles/xbarlife_tensor.dir/matmul.cpp.o"
+  "CMakeFiles/xbarlife_tensor.dir/matmul.cpp.o.d"
+  "CMakeFiles/xbarlife_tensor.dir/shape.cpp.o"
+  "CMakeFiles/xbarlife_tensor.dir/shape.cpp.o.d"
+  "CMakeFiles/xbarlife_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/xbarlife_tensor.dir/tensor.cpp.o.d"
+  "libxbarlife_tensor.a"
+  "libxbarlife_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbarlife_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

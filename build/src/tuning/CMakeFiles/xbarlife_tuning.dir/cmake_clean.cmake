@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbarlife_tuning.dir/analog_eval.cpp.o"
+  "CMakeFiles/xbarlife_tuning.dir/analog_eval.cpp.o.d"
+  "CMakeFiles/xbarlife_tuning.dir/hardware_network.cpp.o"
+  "CMakeFiles/xbarlife_tuning.dir/hardware_network.cpp.o.d"
+  "CMakeFiles/xbarlife_tuning.dir/online_tuner.cpp.o"
+  "CMakeFiles/xbarlife_tuning.dir/online_tuner.cpp.o.d"
+  "libxbarlife_tuning.a"
+  "libxbarlife_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbarlife_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbarlife_xbar.dir/crossbar.cpp.o"
+  "CMakeFiles/xbarlife_xbar.dir/crossbar.cpp.o.d"
+  "CMakeFiles/xbarlife_xbar.dir/nonideal.cpp.o"
+  "CMakeFiles/xbarlife_xbar.dir/nonideal.cpp.o.d"
+  "libxbarlife_xbar.a"
+  "libxbarlife_xbar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbarlife_xbar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

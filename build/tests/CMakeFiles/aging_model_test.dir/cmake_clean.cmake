@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aging_model_test.dir/aging_model_test.cpp.o"
+  "CMakeFiles/aging_model_test.dir/aging_model_test.cpp.o.d"
+  "aging_model_test"
+  "aging_model_test.pdb"
+  "aging_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aging_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aging_tracker_test.dir/aging_tracker_test.cpp.o"
+  "CMakeFiles/aging_tracker_test.dir/aging_tracker_test.cpp.o.d"
+  "aging_tracker_test"
+  "aging_tracker_test.pdb"
+  "aging_tracker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aging_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_histogram_test.dir/common_histogram_test.cpp.o"
+  "CMakeFiles/common_histogram_test.dir/common_histogram_test.cpp.o.d"
+  "common_histogram_test"
+  "common_histogram_test.pdb"
+  "common_histogram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_histogram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

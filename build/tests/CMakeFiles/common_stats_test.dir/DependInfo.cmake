@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common_stats_test.cpp" "tests/CMakeFiles/common_stats_test.dir/common_stats_test.cpp.o" "gcc" "tests/CMakeFiles/common_stats_test.dir/common_stats_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/xbarlife_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuning/CMakeFiles/xbarlife_tuning.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/xbarlife_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/mitigation/CMakeFiles/xbarlife_mitigation.dir/DependInfo.cmake"
+  "/root/repo/build/src/xbar/CMakeFiles/xbarlife_xbar.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/xbarlife_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/aging/CMakeFiles/xbarlife_aging.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/xbarlife_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/xbarlife_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/xbarlife_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xbarlife_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_table_csv_test.dir/common_table_csv_test.cpp.o"
+  "CMakeFiles/common_table_csv_test.dir/common_table_csv_test.cpp.o.d"
+  "common_table_csv_test"
+  "common_table_csv_test.pdb"
+  "common_table_csv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_table_csv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

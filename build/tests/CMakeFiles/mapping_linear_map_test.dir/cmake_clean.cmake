@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapping_linear_map_test.dir/mapping_linear_map_test.cpp.o"
+  "CMakeFiles/mapping_linear_map_test.dir/mapping_linear_map_test.cpp.o.d"
+  "mapping_linear_map_test"
+  "mapping_linear_map_test.pdb"
+  "mapping_linear_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapping_linear_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

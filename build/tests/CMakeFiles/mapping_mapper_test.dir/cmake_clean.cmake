@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapping_mapper_test.dir/mapping_mapper_test.cpp.o"
+  "CMakeFiles/mapping_mapper_test.dir/mapping_mapper_test.cpp.o.d"
+  "mapping_mapper_test"
+  "mapping_mapper_test.pdb"
+  "mapping_mapper_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapping_mapper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

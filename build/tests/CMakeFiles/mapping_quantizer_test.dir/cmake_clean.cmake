@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapping_quantizer_test.dir/mapping_quantizer_test.cpp.o"
+  "CMakeFiles/mapping_quantizer_test.dir/mapping_quantizer_test.cpp.o.d"
+  "mapping_quantizer_test"
+  "mapping_quantizer_test.pdb"
+  "mapping_quantizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapping_quantizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapping_range_select_test.dir/mapping_range_select_test.cpp.o"
+  "CMakeFiles/mapping_range_select_test.dir/mapping_range_select_test.cpp.o.d"
+  "mapping_range_select_test"
+  "mapping_range_select_test.pdb"
+  "mapping_range_select_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapping_range_select_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitigation_test.dir/mitigation_test.cpp.o"
+  "CMakeFiles/mitigation_test.dir/mitigation_test.cpp.o.d"
+  "mitigation_test"
+  "mitigation_test.pdb"
+  "mitigation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitigation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_batchnorm_test.dir/nn_batchnorm_test.cpp.o"
+  "CMakeFiles/nn_batchnorm_test.dir/nn_batchnorm_test.cpp.o.d"
+  "nn_batchnorm_test"
+  "nn_batchnorm_test.pdb"
+  "nn_batchnorm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_batchnorm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

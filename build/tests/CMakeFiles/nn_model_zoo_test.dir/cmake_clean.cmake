@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_model_zoo_test.dir/nn_model_zoo_test.cpp.o"
+  "CMakeFiles/nn_model_zoo_test.dir/nn_model_zoo_test.cpp.o.d"
+  "nn_model_zoo_test"
+  "nn_model_zoo_test.pdb"
+  "nn_model_zoo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_model_zoo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_regularizer_test.dir/nn_regularizer_test.cpp.o"
+  "CMakeFiles/nn_regularizer_test.dir/nn_regularizer_test.cpp.o.d"
+  "nn_regularizer_test"
+  "nn_regularizer_test.pdb"
+  "nn_regularizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_regularizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

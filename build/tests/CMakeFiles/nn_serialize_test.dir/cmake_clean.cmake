@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_serialize_test.dir/nn_serialize_test.cpp.o"
+  "CMakeFiles/nn_serialize_test.dir/nn_serialize_test.cpp.o.d"
+  "nn_serialize_test"
+  "nn_serialize_test.pdb"
+  "nn_serialize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_serialize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

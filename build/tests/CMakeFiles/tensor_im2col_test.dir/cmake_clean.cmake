@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_im2col_test.dir/tensor_im2col_test.cpp.o"
+  "CMakeFiles/tensor_im2col_test.dir/tensor_im2col_test.cpp.o.d"
+  "tensor_im2col_test"
+  "tensor_im2col_test.pdb"
+  "tensor_im2col_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_im2col_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

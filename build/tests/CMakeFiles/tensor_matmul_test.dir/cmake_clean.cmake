@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_matmul_test.dir/tensor_matmul_test.cpp.o"
+  "CMakeFiles/tensor_matmul_test.dir/tensor_matmul_test.cpp.o.d"
+  "tensor_matmul_test"
+  "tensor_matmul_test.pdb"
+  "tensor_matmul_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_matmul_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_shape_test.dir/tensor_shape_test.cpp.o"
+  "CMakeFiles/tensor_shape_test.dir/tensor_shape_test.cpp.o.d"
+  "tensor_shape_test"
+  "tensor_shape_test.pdb"
+  "tensor_shape_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_shape_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuning_analog_eval_test.dir/tuning_analog_eval_test.cpp.o"
+  "CMakeFiles/tuning_analog_eval_test.dir/tuning_analog_eval_test.cpp.o.d"
+  "tuning_analog_eval_test"
+  "tuning_analog_eval_test.pdb"
+  "tuning_analog_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuning_analog_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuning_test.dir/tuning_test.cpp.o"
+  "CMakeFiles/tuning_test.dir/tuning_test.cpp.o.d"
+  "tuning_test"
+  "tuning_test.pdb"
+  "tuning_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbar_nonideal_test.dir/xbar_nonideal_test.cpp.o"
+  "CMakeFiles/xbar_nonideal_test.dir/xbar_nonideal_test.cpp.o.d"
+  "xbar_nonideal_test"
+  "xbar_nonideal_test.pdb"
+  "xbar_nonideal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbar_nonideal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

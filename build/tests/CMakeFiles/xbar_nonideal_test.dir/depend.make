@@ -1,0 +1,2 @@
+# Empty dependencies file for xbar_nonideal_test.
+# This may be replaced when dependencies are built.

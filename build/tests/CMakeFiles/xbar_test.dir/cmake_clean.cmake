@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbar_test.dir/xbar_test.cpp.o"
+  "CMakeFiles/xbar_test.dir/xbar_test.cpp.o.d"
+  "xbar_test"
+  "xbar_test.pdb"
+  "xbar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
