@@ -2,8 +2,12 @@
 //
 //   xbarlife train     --model lenet5|vgg16|mlp [--skewed] [--out w.bin]
 //   xbarlife lifetime  --model ... --scenario tt|stt|stat [--sessions N]
+//   xbarlife sweep     --model ... [--replicates N]
 //   xbarlife device    [--pulses N] [--target-r OHMS]
 //   xbarlife info
+//
+// Every command accepts --threads N (0 = all cores) to size the shared
+// worker pool; results are bit-identical at any thread count.
 //
 // A thin, scriptable wrapper over core/experiment.hpp for users who want
 // the experiments without writing C++.
@@ -13,8 +17,10 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "core/experiment.hpp"
+#include "core/scenario_runner.hpp"
 #include "device/memristor.hpp"
 #include "nn/serialize.hpp"
 
@@ -131,6 +137,32 @@ int cmd_lifetime(const Args& args) {
   return 0;
 }
 
+int cmd_sweep(const Args& args) {
+  core::ExperimentConfig cfg = config_for(args);
+  const auto replicates = static_cast<std::size_t>(
+      std::stoul(args.get("replicates", "2")));
+  const core::ScenarioRunner runner(std::stoull(args.get("seed", "7")));
+  const auto jobs = core::ScenarioRunner::cross(
+      cfg,
+      {core::Scenario::kTT, core::Scenario::kSTT, core::Scenario::kSTAT},
+      replicates);
+  std::cout << "Sweeping " << jobs.size() << " scenario runs on "
+            << cfg.name << " across " << parallel_threads()
+            << " thread(s)...\n";
+  const auto entries = runner.run(jobs);
+  TablePrinter table({"run", "sw acc", "target", "lifetime apps",
+                      "sessions", "outcome"});
+  for (const core::ScenarioSweepEntry& e : entries) {
+    table.add_row({e.label, format_double(e.outcome.software_accuracy, 3),
+                   format_double(e.outcome.tuning_target, 3),
+                   std::to_string(e.outcome.lifetime.lifetime_applications),
+                   std::to_string(e.outcome.lifetime.sessions.size()),
+                   e.outcome.lifetime.died ? "died" : "survived cap"});
+  }
+  std::cout << table.render();
+  return 0;
+}
+
 int cmd_device(const Args& args) {
   device::DeviceParams dev;
   aging::AgingParams ap;
@@ -166,9 +198,15 @@ int cmd_info() {
          "            [--out FILE]   train and optionally save weights\n"
          "  lifetime  --model ... --scenario tt|stt|stat [--sessions N]\n"
          "            run one lifetime scenario\n"
+         "  sweep     --model ... [--replicates N] [--sessions N]\n"
+         "            run all scenarios x replicates (parallel fan-out)\n"
          "  device    [--pulses N] [--target-r OHMS]\n"
          "            age a single device and report its window\n"
-         "  info      this text\n";
+         "  info      this text\n\n"
+         "global options:\n"
+         "  --threads N   worker threads (0 = all cores; default 1 or\n"
+         "                $XBARLIFE_THREADS); results are identical at\n"
+         "                any thread count\n";
   return 0;
 }
 
@@ -177,11 +215,18 @@ int cmd_info() {
 int main(int argc, char** argv) {
   try {
     const Args args = parse(argc, argv);
+    if (args.flag("threads")) {
+      set_parallel_threads(
+          static_cast<std::size_t>(std::stoul(args.get("threads", "1"))));
+    }
     if (args.command == "train") {
       return cmd_train(args);
     }
     if (args.command == "lifetime") {
       return cmd_lifetime(args);
+    }
+    if (args.command == "sweep") {
+      return cmd_sweep(args);
     }
     if (args.command == "device") {
       return cmd_device(args);

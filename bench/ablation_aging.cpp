@@ -83,7 +83,7 @@ int main() {
 
   TablePrinter table({"variant", "life T+T", "ratio ST+T",
                       "ratio ST+AT"});
-  CsvWriter csv("ablation_aging.csv",
+  CsvWriter csv(bench::results_path("ablation_aging.csv"),
                 {"variant", "life_tt", "life_stt", "life_stat",
                  "ratio_stt", "ratio_stat"});
   for (const Variant& v : variants) {
@@ -110,6 +110,6 @@ int main() {
                "removing the common-mode (thermal) component makes the\n"
                "aging purely per-cell, the regime where a common-range\n"
                "re-selection has the least to offer.\n";
-  std::cout << "CSV written to ablation_aging.csv\n";
+  std::cout << "CSV written to results/ablation_aging.csv\n";
   return 0;
 }

@@ -1,14 +1,24 @@
 // Shared helpers for the experiment-reproduction binaries.
 //
 // Every bench prints the paper-style table/series to stdout and also
-// writes a CSV next to the binary so the numbers can be plotted.
+// writes a CSV under results/ so the numbers can be plotted without
+// cluttering the working directory.
 #pragma once
 
 #include <cstdlib>
+#include <filesystem>
 #include <iostream>
 #include <string>
 
 namespace xbarlife::bench {
+
+/// Returns "results/<name>", creating the results directory (relative to
+/// the current working directory) on first use.
+inline std::string results_path(const std::string& name) {
+  const std::filesystem::path dir{"results"};
+  std::filesystem::create_directories(dir);
+  return (dir / name).string();
+}
 
 /// True when XBARLIFE_QUICK is set: benches shrink their workloads for
 /// smoke runs (CI) while keeping the qualitative shape.

@@ -25,7 +25,7 @@ int main() {
   std::cout << "1) Programming-pulse shaping [9]\n";
   TablePrinter t1({"waveform", "stress/cycle", "cycles/move",
                    "net stress (a=1)", "net (a=1.5)", "net (a=2)"});
-  CsvWriter csv1("ext_pulse_shaping.csv",
+  CsvWriter csv1(bench::results_path("ext_pulse_shaping.csv"),
                  {"shape", "alpha", "stress_factor", "time_dilation",
                   "net_per_move"});
   for (PulseShape shape : {PulseShape::kRectangular,
@@ -53,7 +53,7 @@ int main() {
   std::cout << "2) Series-resistor voltage divider [11]\n";
   TablePrinter t2({"R_series (kOhm)", "net @ 10k cell", "net @ 30k cell",
                    "net @ 100k cell"});
-  CsvWriter csv2("ext_series_resistor.csv",
+  CsvWriter csv2(bench::results_path("ext_series_resistor.csv"),
                  {"r_series", "r_cell", "net_per_move"});
   for (double rs : {0.0, 5e3, 1e4, 3e4}) {
     SeriesResistorConfig cfg{rs};
@@ -122,7 +122,7 @@ int main() {
             << "Leveling spreads the hot row's wear across the array: the\n"
                "worst cell retains more usable levels for the same "
                "workload.\n";
-  CsvWriter csv3("ext_row_swap.csv",
+  CsvWriter csv3(bench::results_path("ext_row_swap.csv"),
                  {"policy", "concentration", "min_usable_levels"});
   csv3.add_row(std::vector<std::string>{
       "none", format_double(without.concentration, 4),
@@ -130,7 +130,7 @@ int main() {
   csv3.add_row(std::vector<std::string>{
       "row_swap", format_double(with.concentration, 4),
       std::to_string(with.min_levels)});
-  std::cout << "CSVs written to ext_pulse_shaping.csv / "
-               "ext_series_resistor.csv / ext_row_swap.csv\n";
+  std::cout << "CSVs written to results/ext_pulse_shaping.csv / "
+               "results/ext_series_resistor.csv / results/ext_row_swap.csv\n";
   return 0;
 }

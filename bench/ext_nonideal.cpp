@@ -56,7 +56,7 @@ int main() {
   hw_skewed.deploy(tuning::MappingPolicy::kFresh, cfg.lifetime.levels);
 
   TablePrinter table({"non-ideality", "acc T", "acc ST"});
-  CsvWriter csv("ext_nonideal.csv",
+  CsvWriter csv(bench::results_path("ext_nonideal.csv"),
                 {"condition", "acc_traditional", "acc_skewed"});
   auto row = [&](const std::string& name,
                  const xbar::NonidealityConfig& nc, bool faults) {
@@ -104,6 +104,6 @@ int main() {
                "largest), while stuck-ON faults hit the skewed mapping\n"
                "harder (most of its weights sit near g_min, far from a\n"
                "stuck-ON cell's value).\n";
-  std::cout << "CSV written to ext_nonideal.csv\n";
+  std::cout << "CSV written to results/ext_nonideal.csv\n";
   return 0;
 }

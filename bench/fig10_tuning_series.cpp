@@ -22,7 +22,7 @@ int main() {
     cfg.lifetime.max_sessions = 80;
   }
 
-  CsvWriter csv("fig10_tuning_series.csv",
+  CsvWriter csv(bench::results_path("fig10_tuning_series.csv"),
                 {"scenario", "applications", "iterations", "accuracy",
                  "pulses_total"});
   TablePrinter summary({"scenario", "sessions", "knee (apps)",
@@ -74,6 +74,6 @@ int main() {
   std::cout << "Paper reference: iterations stay low, then increase\n"
                "suddenly at scenario-dependent thresholds; ST+AT's knee\n"
                "arrives last.\n";
-  std::cout << "CSV written to fig10_tuning_series.csv\n";
+  std::cout << "CSV written to results/fig10_tuning_series.csv\n";
   return 0;
 }

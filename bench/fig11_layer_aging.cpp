@@ -41,7 +41,7 @@ int main() {
 
   TablePrinter table({"applications", "avg R_max conv (kOhm)",
                       "avg R_max fc (kOhm)"});
-  CsvWriter csv("fig11_layer_aging.csv",
+  CsvWriter csv(bench::results_path("fig11_layer_aging.csv"),
                 {"applications", "rmax_conv", "rmax_fc"});
   const std::size_t stride =
       std::max<std::size_t>(1, result.sessions.size() / 16);
@@ -111,6 +111,6 @@ int main() {
                "often and therefore age faster; see EXPERIMENTS.md for the\n"
                "discussion of where our thermal common-mode model departs\n"
                "from this on the window metric.\n";
-  std::cout << "CSV written to fig11_layer_aging.csv\n";
+  std::cout << "CSV written to results/fig11_layer_aging.csv\n";
   return 0;
 }

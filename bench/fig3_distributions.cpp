@@ -57,7 +57,7 @@ int main() {
                "g_min):\n"
             << gh.render(40);
 
-  CsvWriter csv("fig3_distributions.csv",
+  CsvWriter csv(bench::results_path("fig3_distributions.csv"),
                 {"kind", "bin_center", "count", "density"});
   auto dump = [&](const char* kind, const Histogram& h) {
     for (std::size_t b = 0; b < h.bins(); ++b) {
@@ -69,6 +69,6 @@ int main() {
   dump("weight", wh);
   dump("resistance", rh);
   dump("conductance", gh);
-  std::cout << "CSV written to fig3_distributions.csv\n";
+  std::cout << "CSV written to results/fig3_distributions.csv\n";
   return 0;
 }

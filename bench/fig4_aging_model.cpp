@@ -21,7 +21,7 @@ int main() {
 
   TablePrinter table({"stress (s)", "R_aged_min (kOhm)",
                       "R_aged_max (kOhm)", "usable levels / 8"});
-  CsvWriter csv("fig4_aging_model.csv",
+  CsvWriter csv(bench::results_path("fig4_aging_model.csv"),
                 {"stress_s", "r_aged_min", "r_aged_max", "usable_levels"});
 
   for (double s :
@@ -46,7 +46,7 @@ int main() {
   aging::AgingModel model2(ap);
   device::Memristor hot(&dev, &model2);
   device::Memristor cold(&dev, &model2);
-  CsvWriter csv2("fig4_pulse_view.csv",
+  CsvWriter csv2(bench::results_path("fig4_pulse_view.csv"),
                  {"pulses", "levels_hot", "levels_cold"});
   for (int total = 0; total <= 200; total += 25) {
     pulses.add_row({std::to_string(total),
@@ -64,6 +64,6 @@ int main() {
   std::cout << pulses.render();
   std::cout << "Paper reference: both window bounds decrease with t and the\n"
                "upper levels disappear first (Level 7 -> Level 2 example).\n"
-               "CSVs written to fig4_aging_model.csv / fig4_pulse_view.csv\n";
+               "CSVs written to results/fig4_aging_model.csv / results/fig4_pulse_view.csv\n";
   return 0;
 }

@@ -59,7 +59,7 @@ int main() {
             << format_double(cfg.device.r_min_fresh / 1e3, 0) << "-"
             << format_double(cfg.device.r_max_fresh / 1e3, 0) << " kOhm)\n";
 
-  CsvWriter csv("fig6_skewed_distributions.csv",
+  CsvWriter csv(bench::results_path("fig6_skewed_distributions.csv"),
                 {"kind", "bin_center", "count", "density"});
   auto dump = [&](const char* kind, const Histogram& h) {
     for (std::size_t b = 0; b < h.bins(); ++b) {
@@ -70,6 +70,6 @@ int main() {
   };
   dump("weight", wh);
   dump("resistance", rh);
-  std::cout << "CSV written to fig6_skewed_distributions.csv\n";
+  std::cout << "CSV written to results/fig6_skewed_distributions.csv\n";
   return 0;
 }

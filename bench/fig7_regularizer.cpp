@@ -20,7 +20,7 @@ int main() {
   reg.freeze_omega(0, omega);
 
   TablePrinter table({"w", "penalty", "segment"});
-  CsvWriter csv("fig7_regularizer.csv", {"w", "penalty", "segment"});
+  CsvWriter csv(bench::results_path("fig7_regularizer.csv"), {"w", "penalty", "segment"});
   for (int i = -10; i <= 10; ++i) {
     const double w = static_cast<double>(i) / 10.0;
     Tensor single(Shape{1}, static_cast<float>(w));
@@ -39,6 +39,6 @@ int main() {
             << format_double(reg.penalty(left, 0), 5)
             << "  vs omega+0.3: " << format_double(reg.penalty(right, 0), 5)
             << "  (ratio " << format_double(lambda1 / lambda2, 0) << "x)\n";
-  std::cout << "CSV written to fig7_regularizer.csv\n";
+  std::cout << "CSV written to results/fig7_regularizer.csv\n";
   return 0;
 }

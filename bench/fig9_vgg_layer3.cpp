@@ -45,12 +45,12 @@ int main() {
   std::cout << "Paper reference: most weights concentrate toward small\n"
                "values with a long right tail.\n";
 
-  CsvWriter csv("fig9_vgg_layer3.csv", {"bin_center", "count", "density"});
+  CsvWriter csv(bench::results_path("fig9_vgg_layer3.csv"), {"bin_center", "count", "density"});
   for (std::size_t b = 0; b < h.bins(); ++b) {
     csv.add_row(std::vector<double>{h.bin_center(b),
                                     static_cast<double>(h.count(b)),
                                     h.density(b)});
   }
-  std::cout << "CSV written to fig9_vgg_layer3.csv\n";
+  std::cout << "CSV written to results/fig9_vgg_layer3.csv\n";
   return 0;
 }

@@ -35,7 +35,7 @@ int main() {
   TablePrinter table({"network", "dataset", "classes", "acc (T)",
                       "acc (ST)", "life T+T", "life ST+T", "life ST+AT",
                       "ratio ST+T", "ratio ST+AT"});
-  CsvWriter csv("table1_lifetime.csv",
+  CsvWriter csv(bench::results_path("table1_lifetime.csv"),
                 {"network", "acc_traditional", "acc_skewed", "life_tt",
                  "life_stt", "life_stat", "ratio_stt", "ratio_stat"});
 
@@ -73,6 +73,6 @@ int main() {
                "1x : 7x : 11x (VGG-16). The reproduction targets the same\n"
                "ordering with T+T << ST+T <= ST+AT; absolute factors depend\n"
                "on the (substituted) aging constants, see DESIGN.md.\n";
-  std::cout << "CSV written to table1_lifetime.csv\n";
+  std::cout << "CSV written to results/table1_lifetime.csv\n";
   return 0;
 }

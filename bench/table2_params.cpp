@@ -59,7 +59,7 @@ int main() {
 
   TablePrinter table({"network", "omega_i", "lambda1", "lambda2",
                       "skew (T)", "skew (ST)", "w_min (T)", "w_min (ST)"});
-  CsvWriter csv("table2_params.csv",
+  CsvWriter csv(bench::results_path("table2_params.csv"),
                 {"network", "omega_factor", "lambda1", "lambda2",
                  "skew_traditional", "skew_skewed", "min_traditional",
                  "min_skewed"});
@@ -90,6 +90,6 @@ int main() {
   std::cout << "Paper reference: LeNet-5 uses lambda1 >> lambda2; VGG-16\n"
                "uses lambda1 == lambda2 (accuracy-sensitive). Skewness must\n"
                "rise and w_min must move right under skewed training.\n";
-  std::cout << "CSV written to table2_params.csv\n";
+  std::cout << "CSV written to results/table2_params.csv\n";
   return 0;
 }

@@ -13,6 +13,7 @@ RepresentativeTracker::RepresentativeTracker(std::size_t rows,
       block_rows_((rows + 2) / 3),
       block_cols_((cols + 2) / 3),
       stress_(block_rows_ * block_cols_, 0.0),
+      self_ambient_(block_rows_ * block_cols_, 0.0),
       pulses_(block_rows_ * block_cols_, 0) {
   XB_CHECK(rows > 0 && cols > 0, "tracker needs a non-empty array");
 }
@@ -49,12 +50,17 @@ void RepresentativeTracker::record_pulse(std::size_t r, std::size_t c,
   }
   const std::size_t b = block_index(r, c);
   stress_[b] += stress_increment;
+  // The representative's own pulses already carry their local heating in
+  // `stress_increment`; remember how much of the ambient pool they
+  // exported so the estimate does not charge the crosstalk twice.
+  self_ambient_[b] += ambient_increment;
   ++pulses_[b];
 }
 
 double RepresentativeTracker::stress_estimate(std::size_t r,
                                               std::size_t c) const {
-  return stress_[block_index(r, c)] + ambient_;
+  const std::size_t b = block_index(r, c);
+  return stress_[b] + ambient_ - self_ambient_[b];
 }
 
 std::uint64_t RepresentativeTracker::pulse_estimate(std::size_t r,
@@ -66,15 +72,17 @@ std::vector<AgedWindow> RepresentativeTracker::estimated_windows(
     const AgingModel& model, double r_fresh_min, double r_fresh_max) const {
   std::vector<AgedWindow> windows;
   windows.reserve(stress_.size());
-  for (double s : stress_) {
-    windows.push_back(
-        model.aged_window(r_fresh_min, r_fresh_max, s + ambient_));
+  for (std::size_t b = 0; b < stress_.size(); ++b) {
+    windows.push_back(model.aged_window(
+        r_fresh_min, r_fresh_max,
+        stress_[b] + ambient_ - self_ambient_[b]));
   }
   return windows;
 }
 
 void RepresentativeTracker::reset() {
   std::fill(stress_.begin(), stress_.end(), 0.0);
+  std::fill(self_ambient_.begin(), self_ambient_.end(), 0.0);
   std::fill(pulses_.begin(), pulses_.end(), 0);
   ambient_ = 0.0;
 }

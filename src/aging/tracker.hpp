@@ -74,6 +74,7 @@ class RepresentativeTracker {
   std::size_t block_rows_;
   std::size_t block_cols_;
   std::vector<double> stress_;         // per block
+  std::vector<double> self_ambient_;   // per block: rep's own pool exports
   std::vector<std::uint64_t> pulses_;  // per block
   double ambient_ = 0.0;               // array-wide thermal share
 };

@@ -1,0 +1,61 @@
+#include "core/scenario_runner.hpp"
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+
+namespace xbarlife::core {
+
+ScenarioRunner::ScenarioRunner(std::uint64_t sweep_seed)
+    : sweep_seed_(sweep_seed) {}
+
+std::vector<ScenarioSweepEntry> ScenarioRunner::run(
+    const std::vector<ScenarioJob>& jobs) const {
+  std::vector<ScenarioSweepEntry> entries(jobs.size());
+  // One job per chunk; entries are written by index, so the merged sweep
+  // is identical however the pool schedules the jobs. Inside a job every
+  // parallel_for nests and therefore runs in the fixed serial order.
+  parallel_for(0, jobs.size(), 1, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const ScenarioJob& job = jobs[i];
+      ScenarioSweepEntry& entry = entries[i];
+      entry.label = job.label;
+      entry.scenario = job.scenario;
+      entry.stream = job.stream;
+
+      // The stream index — not the array index — selects the fork, so
+      // reordering or filtering a job list never changes surviving jobs.
+      Rng stream_rng = Rng(sweep_seed_).fork(job.stream);
+      ExperimentConfig cfg = job.config;
+      cfg.seed = stream_rng();
+      cfg.dataset.seed = stream_rng();
+      cfg.lifetime.drift_seed = stream_rng();
+      entry.seed = cfg.seed;
+      entry.data_seed = cfg.dataset.seed;
+      entry.drift_seed = cfg.lifetime.drift_seed;
+
+      entry.outcome = run_scenario(cfg, job.scenario);
+    }
+  });
+  return entries;
+}
+
+std::vector<ScenarioJob> ScenarioRunner::cross(
+    const ExperimentConfig& base, const std::vector<Scenario>& scenarios,
+    std::size_t replicates) {
+  XB_CHECK(replicates > 0, "sweep needs at least one replicate");
+  std::vector<ScenarioJob> jobs;
+  jobs.reserve(scenarios.size() * replicates);
+  for (std::size_t rep = 0; rep < replicates; ++rep) {
+    for (Scenario s : scenarios) {
+      ScenarioJob job;
+      job.label = std::string(to_string(s)) + "/r" + std::to_string(rep);
+      job.config = base;
+      job.scenario = s;
+      job.stream = rep;
+      jobs.push_back(std::move(job));
+    }
+  }
+  return jobs;
+}
+
+}  // namespace xbarlife::core

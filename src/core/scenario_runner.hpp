@@ -1,0 +1,68 @@
+// Deterministic fan-out of independent lifetime scenarios.
+//
+// Table I / Fig. 10 style studies re-run the same tuning protocol once per
+// scenario x replicate — an embarrassingly parallel sweep (the evaluation
+// pattern of DNN-Life and the endurance-aware mapping line of work). The
+// runner derives every job's seeds from Rng::fork(stream) — Rng's cached
+// Box-Muller variate makes a generator unshareable across jobs — and
+// merges outcomes by job index, so a threaded sweep is byte-identical to
+// the serial one: scheduling never touches the numbers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace xbarlife::core {
+
+/// One independent sweep job: a full train -> deploy -> lifetime run.
+struct ScenarioJob {
+  std::string label;
+  ExperimentConfig config;
+  Scenario scenario = Scenario::kTT;
+  /// Seed-stream index. Jobs sharing a stream get identical forked seeds,
+  /// so the scenarios of one replicate compare on the same dataset,
+  /// initialization, and drift sequence; distinct streams decorrelate
+  /// replicates.
+  std::uint64_t stream = 0;
+};
+
+/// run()'s per-job result, index-aligned with the submitted jobs.
+struct ScenarioSweepEntry {
+  std::string label;
+  Scenario scenario = Scenario::kTT;
+  std::uint64_t stream = 0;
+  std::uint64_t seed = 0;        ///< forked model/training seed used
+  std::uint64_t data_seed = 0;   ///< forked dataset seed used
+  std::uint64_t drift_seed = 0;  ///< forked drift seed used
+  ScenarioOutcome outcome;
+};
+
+class ScenarioRunner {
+ public:
+  /// `sweep_seed` is the root of every forked stream: one value pins the
+  /// entire sweep, independent of thread count and scheduling.
+  explicit ScenarioRunner(std::uint64_t sweep_seed = 0x5eedULL);
+
+  std::uint64_t sweep_seed() const { return sweep_seed_; }
+
+  /// Runs every job (across the shared thread pool when it has more than
+  /// one thread) and returns entries in job order. Each job's config gets
+  /// seed / dataset.seed / lifetime.drift_seed replaced by draws from
+  /// Rng(sweep_seed).fork(job.stream).
+  std::vector<ScenarioSweepEntry> run(
+      const std::vector<ScenarioJob>& jobs) const;
+
+  /// Convenience fan-out: `replicates` copies of `base` per scenario.
+  /// Replicate r of every scenario shares stream r.
+  static std::vector<ScenarioJob> cross(
+      const ExperimentConfig& base, const std::vector<Scenario>& scenarios,
+      std::size_t replicates = 1);
+
+ private:
+  std::uint64_t sweep_seed_;
+};
+
+}  // namespace xbarlife::core

@@ -31,7 +31,7 @@ struct DeviceParams {
 class Memristor {
  public:
   /// `params` and `model` must outlive the device; one shared instance per
-  /// crossbar keeps the per-cell footprint at two doubles and a counter.
+  /// crossbar keeps the per-cell footprint at a few doubles and a counter.
   /// `ambient_stress`, when non-null, points to an array-wide shared
   /// stress pool (thermal crosstalk) the owning crossbar maintains; the
   /// device's effective stress is its own plus the ambient share.
@@ -44,9 +44,14 @@ class Memristor {
 
   /// Stress accumulated by this device's own pulses (s).
   double own_stress() const { return stress_; }
-  /// Effective stress: own pulses plus the shared ambient (thermal) pool.
+  /// Effective stress: own pulses plus the shared ambient (thermal) pool,
+  /// minus the share of that pool this device's own pulses exported —
+  /// a pulse's local heating is already inside `own_stress`, so counting
+  /// its crosstalk share again would double-charge the originating cell.
   double stress() const {
-    return stress_ + (ambient_stress_ != nullptr ? *ambient_stress_ : 0.0);
+    return stress_ + (ambient_stress_ != nullptr
+                          ? *ambient_stress_ - ambient_self_share_
+                          : 0.0);
   }
   std::uint64_t pulse_count() const { return pulses_; }
 
@@ -66,6 +71,13 @@ class Memristor {
   /// Stress increment charged by the most recent program() call.
   double last_stress_increment() const { return last_increment_; }
 
+  /// Called by the owning crossbar when it adds `share` of this device's
+  /// pulse stress to the shared ambient pool; stress() subtracts the
+  /// running total so the originating cell never sees its own crosstalk.
+  void exclude_ambient_self_share(double share) {
+    ambient_self_share_ += share;
+  }
+
   /// Recoverable conductance drift (read/retention disturbance, [8] in the
   /// paper): moves the stored resistance without a programming pulse and
   /// without aging. Clamped into the current aged window.
@@ -83,6 +95,7 @@ class Memristor {
   double resistance_;
   double stress_ = 0.0;
   double last_increment_ = 0.0;
+  double ambient_self_share_ = 0.0;  ///< own contribution to the pool
   std::uint64_t pulses_ = 0;
 };
 

@@ -61,14 +61,17 @@ std::size_t ResistanceQuantizer::nearest_level_for_conductance(
   // resistance midpoint.
   const double clamped =
       std::clamp(r, usable_range_.r_lo, usable_range_.r_hi);
-  const auto lo =
-      static_cast<std::size_t>((clamped - usable_range_.r_lo) / step_);
+  // Same epsilon-guarded floor as the constructor's level count: plain
+  // truncation of (clamped - r_lo) / step_ can land at k - 1e-16 for a
+  // resistance sitting exactly on level k, bracketing one level low.
+  const auto lo = std::min(
+      static_cast<std::size_t>(
+          std::floor((clamped - usable_range_.r_lo) / step_ + 1e-9)),
+      usable_levels_ - 1);
   const std::size_t hi = std::min(lo + 1, usable_levels_ - 1);
-  const double g_lo = level_conductance(std::min(lo, usable_levels_ - 1));
+  const double g_lo = level_conductance(lo);
   const double g_hi = level_conductance(hi);
-  return (std::fabs(g - g_lo) <= std::fabs(g - g_hi))
-             ? std::min(lo, usable_levels_ - 1)
-             : hi;
+  return (std::fabs(g - g_lo) <= std::fabs(g - g_hi)) ? lo : hi;
 }
 
 std::vector<double> ResistanceQuantizer::conductance_levels_ascending()

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "tensor/matmul.hpp"
 
 namespace xbarlife::nn {
@@ -33,23 +34,26 @@ Tensor Conv2D::forward(const Tensor& input, bool /*training*/) {
   const std::size_t batch = input.shape()[0];
   const std::size_t pixels = geometry_.out_h() * geometry_.out_w();
   Tensor out(Shape{batch, out_channels_ * pixels});
-  patches_.clear();
-  patches_.reserve(batch);
-  for (std::size_t b = 0; b < batch; ++b) {
-    Tensor image(Shape{per_sample},
-                 std::vector<float>(input.data() + b * per_sample,
-                                    input.data() + (b + 1) * per_sample));
-    patches_.push_back(im2col(image, geometry_));
-    // (pixels, patch) * (patch, out_ch) -> (pixels, out_ch)
-    Tensor y = matmul(patches_.back(), weight_);
-    // Transpose to channel-major (out_ch, pixels) so the flattened feature
-    // layout stays NCHW-compatible for downstream pooling.
-    for (std::size_t p = 0; p < pixels; ++p) {
-      for (std::size_t c = 0; c < out_channels_; ++c) {
-        out.at(b, c * pixels + p) = y.at(p, c) + bias_[c];
+  patches_.assign(batch, Tensor());
+  // Samples are independent: each writes its own patches_ slot and its own
+  // row of `out`, so the batch fans out across the pool bit-identically.
+  parallel_for(0, batch, 1, [&](std::size_t b_begin, std::size_t b_end) {
+    for (std::size_t b = b_begin; b < b_end; ++b) {
+      Tensor image(Shape{per_sample},
+                   std::vector<float>(input.data() + b * per_sample,
+                                      input.data() + (b + 1) * per_sample));
+      patches_[b] = im2col(image, geometry_);
+      // (pixels, patch) * (patch, out_ch) -> (pixels, out_ch)
+      Tensor y = matmul(patches_[b], weight_);
+      // Transpose to channel-major (out_ch, pixels) so the flattened
+      // feature layout stays NCHW-compatible for downstream pooling.
+      for (std::size_t p = 0; p < pixels; ++p) {
+        for (std::size_t c = 0; c < out_channels_; ++c) {
+          out.at(b, c * pixels + p) = y.at(p, c) + bias_[c];
+        }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -63,23 +67,36 @@ Tensor Conv2D::backward(const Tensor& grad_output) {
   const std::size_t per_sample =
       geometry_.in_channels * geometry_.in_h * geometry_.in_w;
   Tensor grad_input(Shape{batch, per_sample});
-  for (std::size_t b = 0; b < batch; ++b) {
-    // Rebuild the (pixels, out_ch) gradient for this sample.
-    Tensor gy(Shape{pixels, out_channels_});
-    for (std::size_t p = 0; p < pixels; ++p) {
-      for (std::size_t c = 0; c < out_channels_; ++c) {
-        const float g = grad_output.at(b, c * pixels + p);
-        gy.at(p, c) = g;
-        bias_grad_[c] += g;
+  // Per-sample weight/bias contributions land in index-addressed slots and
+  // are merged in sample order below, so the accumulated gradients do not
+  // depend on the thread count.
+  std::vector<Tensor> wgrad_partial(batch);
+  std::vector<Tensor> bgrad_partial(batch);
+  parallel_for(0, batch, 1, [&](std::size_t b_begin, std::size_t b_end) {
+    for (std::size_t b = b_begin; b < b_end; ++b) {
+      // Rebuild the (pixels, out_ch) gradient for this sample.
+      Tensor gy(Shape{pixels, out_channels_});
+      Tensor bg(Shape{out_channels_});
+      for (std::size_t p = 0; p < pixels; ++p) {
+        for (std::size_t c = 0; c < out_channels_; ++c) {
+          const float g = grad_output.at(b, c * pixels + p);
+          gy.at(p, c) = g;
+          bg[c] += g;
+        }
+      }
+      // dW += patches^T gy ; dPatches = gy W^T ; dX = col2im(dPatches)
+      wgrad_partial[b] = matmul_tn(patches_[b], gy);
+      bgrad_partial[b] = std::move(bg);
+      Tensor gpatches = matmul_nt(gy, weight_);
+      Tensor gimage = col2im(gpatches, geometry_);
+      for (std::size_t i = 0; i < per_sample; ++i) {
+        grad_input.at(b, i) = gimage[i];
       }
     }
-    // dW += patches^T gy ; dPatches = gy W^T ; dX = col2im(dPatches)
-    weight_grad_.add_(matmul_tn(patches_[b], gy));
-    Tensor gpatches = matmul_nt(gy, weight_);
-    Tensor gimage = col2im(gpatches, geometry_);
-    for (std::size_t i = 0; i < per_sample; ++i) {
-      grad_input.at(b, i) = gimage[i];
-    }
+  });
+  for (std::size_t b = 0; b < batch; ++b) {
+    weight_grad_.add_(wgrad_partial[b]);
+    bias_grad_.add_(bgrad_partial[b]);
   }
   return grad_input;
 }

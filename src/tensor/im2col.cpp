@@ -1,6 +1,7 @@
 #include "tensor/im2col.hpp"
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace xbarlife {
 
@@ -21,32 +22,36 @@ Tensor im2col(const Tensor& image, const ConvGeometry& g) {
   Tensor patches(Shape{oh * ow, g.patch_size()});
   const float* src = image.data();
   float* dst = patches.data();
-  for (std::size_t oy = 0; oy < oh; ++oy) {
-    for (std::size_t ox = 0; ox < ow; ++ox) {
-      float* row = dst + (oy * ow + ox) * g.patch_size();
-      std::size_t idx = 0;
-      for (std::size_t c = 0; c < g.in_channels; ++c) {
-        for (std::size_t ky = 0; ky < g.kernel; ++ky) {
-          // Signed arithmetic for the padded coordinate.
-          const auto iy = static_cast<long long>(oy * g.stride + ky) -
-                          static_cast<long long>(g.pad);
-          for (std::size_t kx = 0; kx < g.kernel; ++kx, ++idx) {
-            const auto ix = static_cast<long long>(ox * g.stride + kx) -
+  // Each output row owns a disjoint slice of `patches`, so the gather can
+  // fan out over rows without changing any result bit.
+  parallel_for(0, oh, 8, [&](std::size_t oy_begin, std::size_t oy_end) {
+    for (std::size_t oy = oy_begin; oy < oy_end; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        float* row = dst + (oy * ow + ox) * g.patch_size();
+        std::size_t idx = 0;
+        for (std::size_t c = 0; c < g.in_channels; ++c) {
+          for (std::size_t ky = 0; ky < g.kernel; ++ky) {
+            // Signed arithmetic for the padded coordinate.
+            const auto iy = static_cast<long long>(oy * g.stride + ky) -
                             static_cast<long long>(g.pad);
-            if (iy < 0 || ix < 0 ||
-                iy >= static_cast<long long>(g.in_h) ||
-                ix >= static_cast<long long>(g.in_w)) {
-              row[idx] = 0.0f;
-            } else {
-              row[idx] = src[(c * g.in_h + static_cast<std::size_t>(iy)) *
-                                 g.in_w +
-                             static_cast<std::size_t>(ix)];
+            for (std::size_t kx = 0; kx < g.kernel; ++kx, ++idx) {
+              const auto ix = static_cast<long long>(ox * g.stride + kx) -
+                              static_cast<long long>(g.pad);
+              if (iy < 0 || ix < 0 ||
+                  iy >= static_cast<long long>(g.in_h) ||
+                  ix >= static_cast<long long>(g.in_w)) {
+                row[idx] = 0.0f;
+              } else {
+                row[idx] = src[(c * g.in_h + static_cast<std::size_t>(iy)) *
+                                   g.in_w +
+                               static_cast<std::size_t>(ix)];
+              }
             }
           }
         }
       }
     }
-  }
+  });
   return patches;
 }
 

@@ -1,8 +1,10 @@
 #include "tensor/matmul.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace xbarlife {
 
@@ -15,31 +17,49 @@ void check_rank2(const Tensor& t, const char* name) {
   }
 }
 
+bool all_finite(const float* p, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(p[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
 // Cache-blocked i-k-j kernel. The innermost loop is a contiguous
-// axpy over C's row, which the compiler auto-vectorizes.
+// axpy over C's row, which the compiler auto-vectorizes. Parallelized
+// over row blocks: threads write disjoint rows of C and each row's
+// accumulation order is the serial one, so results are bit-identical at
+// any thread count.
 void gemm(const float* a, const float* b, float* c, std::size_t m,
           std::size_t k, std::size_t n) {
   constexpr std::size_t kBlockI = 32;
   constexpr std::size_t kBlockK = 64;
-  for (std::size_t i0 = 0; i0 < m; i0 += kBlockI) {
-    const std::size_t i1 = std::min(i0 + kBlockI, m);
-    for (std::size_t k0 = 0; k0 < k; k0 += kBlockK) {
-      const std::size_t k1 = std::min(k0 + kBlockK, k);
-      for (std::size_t i = i0; i < i1; ++i) {
-        float* crow = c + i * n;
-        for (std::size_t kk = k0; kk < k1; ++kk) {
-          const float aik = a[i * k + kk];
-          if (aik == 0.0f) {
-            continue;
-          }
-          const float* brow = b + kk * n;
-          for (std::size_t j = 0; j < n; ++j) {
-            crow[j] += aik * brow[j];
+  // Skipping zero A entries is only sound when B is finite: 0 * inf and
+  // 0 * nan must still poison C (matching matmul_naive).
+  const bool skip_zeros = all_finite(b, k * n);
+  parallel_for(0, m, kBlockI, [&](std::size_t row_begin,
+                                  std::size_t row_end) {
+    for (std::size_t i0 = row_begin; i0 < row_end; i0 += kBlockI) {
+      const std::size_t i1 = std::min(i0 + kBlockI, row_end);
+      for (std::size_t k0 = 0; k0 < k; k0 += kBlockK) {
+        const std::size_t k1 = std::min(k0 + kBlockK, k);
+        for (std::size_t i = i0; i < i1; ++i) {
+          float* crow = c + i * n;
+          for (std::size_t kk = k0; kk < k1; ++kk) {
+            const float aik = a[i * k + kk];
+            if (aik == 0.0f && skip_zeros) {
+              continue;
+            }
+            const float* brow = b + kk * n;
+            for (std::size_t j = 0; j < n; ++j) {
+              crow[j] += aik * brow[j];
+            }
           }
         }
       }
     }
-  }
+  });
 }
 
 }  // namespace
@@ -81,22 +101,26 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   }
   const std::size_t n = b.shape()[1];
   Tensor c(Shape{m, n});
+  const bool skip_zeros = all_finite(b.data(), k * n);
   // c[i][j] = sum_kk a[kk][i] * b[kk][j]; iterate kk outermost so both
-  // operands stream contiguously.
-  for (std::size_t kk = 0; kk < k; ++kk) {
-    const float* arow = a.data() + kk * m;
-    const float* brow = b.data() + kk * n;
-    for (std::size_t i = 0; i < m; ++i) {
-      const float aki = arow[i];
-      if (aki == 0.0f) {
-        continue;
-      }
-      float* crow = c.data() + i * n;
-      for (std::size_t j = 0; j < n; ++j) {
-        crow[j] += aki * brow[j];
+  // operands stream contiguously. Parallelized over column chunks of C:
+  // writes are disjoint and each element keeps the serial kk order.
+  parallel_for(0, n, 128, [&](std::size_t col_begin, std::size_t col_end) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float* arow = a.data() + kk * m;
+      const float* brow = b.data() + kk * n;
+      for (std::size_t i = 0; i < m; ++i) {
+        const float aki = arow[i];
+        if (aki == 0.0f && skip_zeros) {
+          continue;
+        }
+        float* crow = c.data() + i * n;
+        for (std::size_t j = col_begin; j < col_end; ++j) {
+          crow[j] += aki * brow[j];
+        }
       }
     }
-  }
+  });
   return c;
 }
 
@@ -110,18 +134,21 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   }
   const std::size_t n = b.shape()[0];
   Tensor c(Shape{m, n});
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* arow = a.data() + i * k;
-    float* crow = c.data() + i * n;
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* brow = b.data() + j * k;
-      double acc = 0.0;
-      for (std::size_t kk = 0; kk < k; ++kk) {
-        acc += static_cast<double>(arow[kk]) * static_cast<double>(brow[kk]);
+  // Independent dot products per output element; rows of C are disjoint.
+  parallel_for(0, m, 16, [&](std::size_t row_begin, std::size_t row_end) {
+    for (std::size_t i = row_begin; i < row_end; ++i) {
+      const float* arow = a.data() + i * k;
+      float* crow = c.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        const float* brow = b.data() + j * k;
+        double acc = 0.0;
+        for (std::size_t kk = 0; kk < k; ++kk) {
+          acc += static_cast<double>(arow[kk]) * static_cast<double>(brow[kk]);
+        }
+        crow[j] = static_cast<float>(acc);
       }
-      crow[j] = static_cast<float>(acc);
     }
-  }
+  });
   return c;
 }
 

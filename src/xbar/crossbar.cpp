@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace xbarlife::xbar {
 
@@ -39,9 +40,12 @@ double Crossbar::program_cell(std::size_t r, std::size_t c,
   const double achieved = m.program(target_r);
   const double ds = m.last_stress_increment();
   // Thermal crosstalk: a share of every pulse's stress heats the whole
-  // array (the Arrhenius common-mode component of Eqs. (6)-(7)).
+  // array (the Arrhenius common-mode component of Eqs. (6)-(7)). The
+  // pulsing cell's own `ds` already contains its local heating, so its
+  // exported share is excluded from its effective stress.
   const double ambient_share = model_.params().thermal_crosstalk * ds;
   ambient_stress_ += ambient_share;
+  m.exclude_ambient_self_share(ambient_share);
   tracker_.record_pulse(r, c, ds, ambient_share);
   ++total_pulses_;
   return achieved;
@@ -56,57 +60,102 @@ void Crossbar::vmm(std::span<const float> v_in,
   XB_CHECK(v_in.size() == rows_, "vmm input size must equal rows");
   XB_CHECK(i_out.size() == cols_, "vmm output size must equal cols");
   std::fill(i_out.begin(), i_out.end(), 0.0f);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    const float v = v_in[r];
-    if (v == 0.0f) {
-      continue;
+  // Fan out over output columns: each chunk owns a disjoint slice of
+  // i_out and accumulates rows in the serial order, so the currents are
+  // bit-identical at any thread count.
+  parallel_for(0, cols_, 64, [&](std::size_t col_begin,
+                                 std::size_t col_end) {
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const float v = v_in[r];
+      if (v == 0.0f) {
+        continue;
+      }
+      const device::Memristor* row = &cells_[r * cols_];
+      for (std::size_t c = col_begin; c < col_end; ++c) {
+        i_out[c] += v * static_cast<float>(row[c].conductance());
+      }
     }
-    const device::Memristor* row = &cells_[r * cols_];
-    for (std::size_t c = 0; c < cols_; ++c) {
-      i_out[c] += v * static_cast<float>(row[c].conductance());
-    }
-  }
+  });
 }
 
 Tensor Crossbar::conductances() const {
   Tensor g(Shape{rows_, cols_});
-  for (std::size_t i = 0; i < cells_.size(); ++i) {
-    g[i] = static_cast<float>(cells_[i].conductance());
-  }
+  parallel_for(0, cells_.size(), 4096,
+               [&](std::size_t begin, std::size_t end) {
+                 for (std::size_t i = begin; i < end; ++i) {
+                   g[i] = static_cast<float>(cells_[i].conductance());
+                 }
+               });
   return g;
 }
 
 Tensor Crossbar::resistances() const {
   Tensor r(Shape{rows_, cols_});
-  for (std::size_t i = 0; i < cells_.size(); ++i) {
-    r[i] = static_cast<float>(cells_[i].resistance());
-  }
+  parallel_for(0, cells_.size(), 4096,
+               [&](std::size_t begin, std::size_t end) {
+                 for (std::size_t i = begin; i < end; ++i) {
+                   r[i] = static_cast<float>(cells_[i].resistance());
+                 }
+               });
   return r;
 }
 
-CrossbarAgingStats Crossbar::aging_stats() const {
-  CrossbarAgingStats s;
-  s.min_aged_r_max = std::numeric_limits<double>::infinity();
-  s.min_usable_levels = std::numeric_limits<std::size_t>::max();
+namespace {
+
+/// Partial reduction state for aging_stats; merged in chunk order so the
+/// aggregate is identical at any thread count.
+struct AgingPartial {
   double sum_stress = 0.0;
+  double max_stress = 0.0;
   double sum_rmax = 0.0;
+  double min_rmax = std::numeric_limits<double>::infinity();
   double sum_levels = 0.0;
-  for (const auto& cell : cells_) {
-    const double stress = cell.stress();
-    sum_stress += stress;
-    s.max_stress = std::max(s.max_stress, stress);
-    const double rmax = cell.aged_window().r_max;
-    sum_rmax += rmax;
-    s.min_aged_r_max = std::min(s.min_aged_r_max, rmax);
-    const std::size_t levels = cell.usable_levels();
-    sum_levels += static_cast<double>(levels);
-    s.min_usable_levels = std::min(s.min_usable_levels, levels);
-    s.total_pulses += cell.pulse_count();
-  }
+  std::size_t min_levels = std::numeric_limits<std::size_t>::max();
+  std::uint64_t pulses = 0;
+};
+
+}  // namespace
+
+CrossbarAgingStats Crossbar::aging_stats() const {
+  const AgingPartial total = parallel_reduce(
+      0, cells_.size(), 2048, AgingPartial{},
+      [&](std::size_t begin, std::size_t end) {
+        AgingPartial p;
+        for (std::size_t i = begin; i < end; ++i) {
+          const device::Memristor& cell = cells_[i];
+          const double stress = cell.stress();
+          p.sum_stress += stress;
+          p.max_stress = std::max(p.max_stress, stress);
+          const double rmax = cell.aged_window().r_max;
+          p.sum_rmax += rmax;
+          p.min_rmax = std::min(p.min_rmax, rmax);
+          const std::size_t levels = cell.usable_levels();
+          p.sum_levels += static_cast<double>(levels);
+          p.min_levels = std::min(p.min_levels, levels);
+          p.pulses += cell.pulse_count();
+        }
+        return p;
+      },
+      [](AgingPartial acc, AgingPartial p) {
+        acc.sum_stress += p.sum_stress;
+        acc.max_stress = std::max(acc.max_stress, p.max_stress);
+        acc.sum_rmax += p.sum_rmax;
+        acc.min_rmax = std::min(acc.min_rmax, p.min_rmax);
+        acc.sum_levels += p.sum_levels;
+        acc.min_levels = std::min(acc.min_levels, p.min_levels);
+        acc.pulses += p.pulses;
+        return acc;
+      });
+
+  CrossbarAgingStats s;
+  s.max_stress = total.max_stress;
+  s.min_aged_r_max = total.min_rmax;
+  s.min_usable_levels = total.min_levels;
+  s.total_pulses = total.pulses;
   const auto n = static_cast<double>(cells_.size());
-  s.mean_stress = sum_stress / n;
-  s.mean_aged_r_max = sum_rmax / n;
-  s.mean_usable_levels = sum_levels / n;
+  s.mean_stress = total.sum_stress / n;
+  s.mean_aged_r_max = total.sum_rmax / n;
+  s.mean_usable_levels = total.sum_levels / n;
   return s;
 }
 

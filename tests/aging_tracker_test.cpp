@@ -72,7 +72,28 @@ TEST(Tracker, AmbientIsAlwaysAccumulated) {
   EXPECT_DOUBLE_EQ(t.stress_estimate(0, 0), 0.5);
   t.record_pulse(1, 1, 2.0, 0.25);
   EXPECT_DOUBLE_EQ(t.ambient_stress(), 0.75);
-  EXPECT_DOUBLE_EQ(t.stress_estimate(1, 1), 2.75);
+  // The representative's own 0.25 export is excluded from its estimate:
+  // its local heating is already inside the 2.0 of traced stress.
+  EXPECT_DOUBLE_EQ(t.stress_estimate(1, 1), 2.0 + 0.5);
+  // A different block has no traced stress and no self-share: it sees the
+  // full ambient pool.
+  EXPECT_DOUBLE_EQ(t.stress_estimate(4, 4), 0.75);
+}
+
+TEST(Tracker, RepresentativeSelfShareNotDoubleCounted) {
+  RepresentativeTracker t(3, 3);
+  // 10 pulses on the representative, each exporting 10% to the ambient
+  // pool. Ground truth for the rep cell: own stress only (its crosstalk
+  // export is its own heat, not extra damage).
+  for (int i = 0; i < 10; ++i) {
+    t.record_pulse(1, 1, 1.0, 0.1);
+  }
+  EXPECT_DOUBLE_EQ(t.ambient_stress(), 1.0);
+  EXPECT_DOUBLE_EQ(t.stress_estimate(1, 1), 10.0);
+  const auto windows = t.estimated_windows(AgingModel({}), 1e4, 1e5);
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_NEAR(windows[0].r_max, AgingModel({}).aged_r_max(1e5, 10.0),
+              1e-9);
 }
 
 TEST(Tracker, EstimatedWindowsUseModel) {

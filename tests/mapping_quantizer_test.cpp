@@ -1,6 +1,8 @@
 // Fixed-grid resistance quantizer tests (Figs. 3, 4, 8 semantics).
 #include "mapping/quantizer.hpp"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "common/error.hpp"
@@ -91,6 +93,46 @@ TEST(Quantizer, NearestLevelRoundtripOnEveryLevel) {
     EXPECT_EQ(q.nearest_level_for_resistance(q.level_resistance(k)), k);
     EXPECT_EQ(q.nearest_level_for_conductance(q.level_conductance(k)), k);
   }
+}
+
+TEST(Quantizer, ExactLevelResistancesBracketCorrectly) {
+  // Regression: the conductance lookup used to bracket with a plain float
+  // truncation of (r - r_lo) / step; a quotient landing at k - 1e-16 for a
+  // resistance exactly on level k shifted the bracket one level low. The
+  // guarded floor must hit every exact level, including ranges whose step
+  // is not representable exactly in binary.
+  const ResistanceRange awkward{1e4 / 3.0, 1e5 / 3.0};
+  for (std::size_t levels : {3u, 7u, 10u, 31u, 32u, 64u}) {
+    ResistanceQuantizer q(awkward, levels);
+    for (std::size_t k = 0; k < q.levels(); ++k) {
+      const double r = q.level_resistance(k);
+      EXPECT_EQ(q.nearest_level_for_conductance(1.0 / r), k)
+          << "levels=" << levels << " k=" << k;
+      EXPECT_EQ(q.nearest_level_for_resistance(r), k)
+          << "levels=" << levels << " k=" << k;
+    }
+  }
+}
+
+TEST(Quantizer, ConductanceJustInsideRangeEdgesStaysInRange) {
+  ResistanceQuantizer q(kFresh, 10);
+  const double g_min = q.range().g_min();
+  const double g_max = q.range().g_max();
+  EXPECT_EQ(q.nearest_level_for_conductance(std::nextafter(g_min, 0.0)),
+            q.levels() - 1);
+  EXPECT_EQ(q.nearest_level_for_conductance(std::nextafter(g_max, 1.0)),
+            0u);
+}
+
+TEST(Quantizer, TruncatedGridExactBoundaryLevel) {
+  // The last usable level of a truncated grid is an exact-resistance
+  // boundary case for the bracket's upper clamp.
+  ResistanceQuantizer cut(kFresh, 10, 5.5e4);
+  const std::size_t last = cut.levels() - 1;
+  EXPECT_EQ(cut.nearest_level_for_conductance(
+                cut.level_conductance(last)),
+            last);
+  EXPECT_EQ(cut.nearest_level_for_conductance(1e-9), last);  // clamp up
 }
 
 TEST(Quantizer, RejectsInvalidConstruction) {

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 #include "nn/activations.hpp"
 #include "nn/conv.hpp"
@@ -141,6 +142,35 @@ TEST(ConvLayer, KnownConvolutionValue) {
   Tensor y = conv.forward(x, false);
   ASSERT_EQ(y.numel(), 1u);
   EXPECT_FLOAT_EQ(y[0], 36.0f);
+}
+
+TEST(ConvLayer, ParallelBatchMatchesSerialBitwise) {
+  // Forward fans out over the batch and backward merges per-sample
+  // gradient partials in sample order: outputs and gradients must be
+  // bit-identical at any thread count.
+  Rng rng(31);
+  ConvGeometry g{2, 6, 6, 3, 1, 1};
+  Conv2D conv(g, 4, rng, "conv");
+  Tensor x(Shape{5, 2 * 6 * 6});
+  x.fill_gaussian(rng, 0.0f, 1.0f);
+
+  set_parallel_threads(1);
+  const Tensor y_serial = conv.forward(x, true);
+  Tensor gy(y_serial.shape(), 0.5f);
+  const Tensor gx_serial = conv.backward(gy);
+  auto params = conv.params();
+  const Tensor wgrad_serial = *params[0].grad;
+  params[0].grad->fill(0.0f);  // backward accumulates; reset between runs
+  params[1].grad->fill(0.0f);
+
+  set_parallel_threads(4);
+  const Tensor y_threaded = conv.forward(x, true);
+  const Tensor gx_threaded = conv.backward(gy);
+  set_parallel_threads(1);
+
+  EXPECT_TRUE(y_threaded == y_serial);
+  EXPECT_TRUE(gx_threaded == gx_serial);
+  EXPECT_TRUE(*params[0].grad == wgrad_serial);
 }
 
 TEST(MaxPoolLayer, SelectsWindowMaxima) {

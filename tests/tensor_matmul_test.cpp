@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <tuple>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 
 namespace xbarlife {
@@ -82,6 +85,59 @@ TEST(Matmul, SparseRowsSkippedCorrectly) {
   }
   Tensor b = random_matrix(8, 8, rng);
   EXPECT_TRUE(allclose(matmul(a, b), matmul_naive(a, b), 1e-4f));
+}
+
+TEST(Matmul, NonFiniteBPropagatesDespiteZeroSkip) {
+  // Regression: the zero-skip in the blocked kernel used to swallow
+  // 0 * inf and 0 * nan, diverging from the naive reference.
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  Tensor a(Shape{2, 2}, std::vector<float>{0, 1, 0, 0});
+  Tensor b(Shape{2, 2}, std::vector<float>{nan, 2, 3, inf});
+  const Tensor fast = matmul(a, b);
+  const Tensor ref = matmul_naive(a, b);
+  ASSERT_EQ(fast.shape(), ref.shape());
+  for (std::size_t i = 0; i < fast.numel(); ++i) {
+    EXPECT_EQ(std::isnan(fast[i]), std::isnan(ref[i])) << "i=" << i;
+    if (!std::isnan(ref[i])) {
+      EXPECT_FLOAT_EQ(fast[i], ref[i]) << "i=" << i;
+    }
+  }
+  // c(0,0) = 0*nan + 1*3: the 0*nan term alone makes it nan — exactly the
+  // contribution the zero-skip used to drop.
+  EXPECT_TRUE(std::isnan(fast.at(0, 0)));
+  // Row 1 is all zeros against a non-finite B: 0*nan and 0*inf are nan.
+  EXPECT_TRUE(std::isnan(fast.at(1, 0)));
+  EXPECT_TRUE(std::isnan(fast.at(1, 1)));
+}
+
+TEST(Matmul, NonFiniteBPropagatesInTn) {
+  const float inf = std::numeric_limits<float>::infinity();
+  Tensor a(Shape{2, 2}, std::vector<float>{0, 1, 0, 2});  // a^T has zeros
+  Tensor b(Shape{2, 2}, std::vector<float>{inf, 1, 2, 3});
+  const Tensor got = matmul_tn(a, b);
+  const Tensor ref = matmul_naive(a.transposed(), b);
+  for (std::size_t i = 0; i < got.numel(); ++i) {
+    EXPECT_EQ(std::isnan(got[i]), std::isnan(ref[i])) << "i=" << i;
+    EXPECT_EQ(std::isinf(got[i]), std::isinf(ref[i])) << "i=" << i;
+  }
+}
+
+TEST(Matmul, ParallelMatchesSerialBitwise) {
+  // The kernels partition work by fixed grains and write disjoint slices,
+  // so any thread count must produce bit-identical results.
+  Rng rng(123);
+  Tensor a = random_matrix(67, 41, rng);
+  Tensor b = random_matrix(41, 53, rng);
+  set_parallel_threads(1);
+  const Tensor serial = matmul(a, b);
+  const Tensor serial_tn = matmul_tn(a.transposed(), b);
+  const Tensor serial_nt = matmul_nt(a, b.transposed());
+  set_parallel_threads(4);
+  EXPECT_TRUE(matmul(a, b) == serial);
+  EXPECT_TRUE(matmul_tn(a.transposed(), b) == serial_tn);
+  EXPECT_TRUE(matmul_nt(a, b.transposed()) == serial_nt);
+  set_parallel_threads(1);
 }
 
 // Property sweep: blocked kernel == naive reference over assorted sizes,

@@ -208,6 +208,102 @@ TEST(OnlineTuner, StuckCellsAreNotPulsed) {
   EXPECT_EQ(hw.layer(0).xbar->total_pulses(), pulses_before);
 }
 
+TEST(HardwareNetwork, MixedTopologyAlignsLayersWithMappableWeights) {
+  // LeNet-5 interleaves pool / activation / flatten layers (no mappable
+  // weights) with conv / dense ones. Deployed layer li must line up with
+  // mappable_weights()[li], not with the network's layer index — the
+  // tuner's apply_sign_updates indexes both arrays with the same li.
+  Rng rng(7);
+  nn::Network net =
+      nn::make_lenet5(nn::ImageSpec{1, 16, 16}, 4, rng);
+  auto mappable = net.mappable_weights();
+  ASSERT_GT(net.layer_count(), mappable.size());  // non-mappable present
+  HardwareNetwork hw(net, dev(), quiet_aging());
+  ASSERT_EQ(hw.layer_count(), mappable.size());
+  for (std::size_t li = 0; li < hw.layer_count(); ++li) {
+    const DeployedLayer& layer = hw.layer(li);
+    EXPECT_EQ(layer.name, mappable[li].name) << "li=" << li;
+    EXPECT_EQ(layer.weight_index, mappable[li].index) << "li=" << li;
+    EXPECT_EQ(layer.kind, mappable[li].layer_kind) << "li=" << li;
+    EXPECT_EQ(layer.xbar->rows(), mappable[li].value->shape()[0]);
+    EXPECT_EQ(layer.xbar->cols(), mappable[li].value->shape()[1]);
+  }
+  // Deploy + a tuning step must run through the mixed topology: a
+  // misalignment would pulse the wrong crossbar or throw on shapes.
+  hw.deploy(MappingPolicy::kFresh, 8);
+  data::TrainTest imgs = data::make_synthetic(
+      {4, 8, 4, 1, 16, 16, 0.2, 4, /*seed=*/11});
+  TuningConfig tc;
+  tc.target_accuracy = 0.999;  // unreachable: force a pulse iteration
+  tc.max_iterations = 2;
+  tc.eval_samples = 16;
+  tc.batch = 8;
+  tc.min_grad_fraction = 0.0;
+  OnlineTuner tuner(tc);
+  const TuningResult r = tuner.tune(hw, imgs.train, imgs.test);
+  EXPECT_EQ(r.iterations, 2u);
+  EXPECT_GT(r.pulses, 0u);
+}
+
+/// Overlapping blobs + a lightly trained MLP: eval accuracy cannot reach
+/// 0.999, so an unreachable tuning target always runs the full budget.
+struct NoisyFixture {
+  data::TrainTest data;
+  nn::Network net;
+
+  explicit NoisyFixture(std::uint64_t seed)
+      : data(data::make_blobs(4, 8, 30, 10, 1.2, seed)),
+        net(Fixture::make_network(seed)) {
+    nn::SgdOptimizer opt({0.1, 0.9});
+    for (int epoch = 0; epoch < 10; ++epoch) {
+      const data::Batch batch = data::make_batch(data.train, 0, 120);
+      net.train_batch(batch.images, batch.labels, opt, nullptr);
+    }
+  }
+};
+
+TEST(OnlineTuner, TuneSetSmallerThanBatchWrapsWithoutEmptyBatch) {
+  // The rolling-minibatch cursor must reset before slicing: with a tuning
+  // set smaller than the batch, every iteration gets the whole (non-empty)
+  // set, and the cursor wraps instead of running off the end.
+  NoisyFixture f(8);
+  HardwareNetwork hw(f.net, dev(), quiet_aging());
+  hw.deploy(MappingPolicy::kFresh, 6);
+  const data::Dataset tiny = f.data.train.head(10);
+  TuningConfig tc;
+  tc.target_accuracy = 0.999;  // unreachable: forces full budget
+  tc.max_iterations = 6;
+  tc.batch = 16;  // larger than the tuning set
+  tc.eval_samples = 40;
+  tc.plateau_iterations = 0;
+  OnlineTuner tuner(tc);
+  const TuningResult r = tuner.tune(hw, tiny, f.data.test);
+  // All six iterations ran gradients on real data; an empty batch would
+  // have thrown inside make_batch / compute_gradients.
+  EXPECT_EQ(r.iterations, 6u);
+}
+
+TEST(OnlineTuner, CursorWrapsMidSetAcrossSessions) {
+  // Batch 4 over a 10-sample set: iterations slice [0,4) [4,8) [8,10)
+  // [0,4) ... — the tail slice is short but never empty, including when
+  // the cursor survives into a second tune() call.
+  NoisyFixture f(9);
+  HardwareNetwork hw(f.net, dev(), quiet_aging());
+  hw.deploy(MappingPolicy::kFresh, 6);
+  const data::Dataset tiny = f.data.train.head(10);
+  TuningConfig tc;
+  tc.target_accuracy = 0.999;
+  tc.max_iterations = 4;  // crosses the wrap at cursor == 10
+  tc.batch = 4;
+  tc.eval_samples = 40;
+  tc.plateau_iterations = 0;
+  OnlineTuner tuner(tc);
+  EXPECT_EQ(tuner.tune(hw, tiny, f.data.test).iterations, 4u);
+  // Second session reuses the same tuner (and cursor) — still no empty
+  // batch.
+  EXPECT_EQ(tuner.tune(hw, tiny, f.data.test).iterations, 4u);
+}
+
 TEST(OnlineTuner, EmptyDatasetsRejected) {
   Fixture f(6);
   HardwareNetwork hw(f.net, dev(), quiet_aging());

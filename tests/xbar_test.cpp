@@ -50,6 +50,38 @@ TEST(Crossbar, AmbientStressSharedAcrossCells) {
   EXPECT_DOUBLE_EQ(xb.cell(2, 2).own_stress(), 0.0);
 }
 
+TEST(Crossbar, TrackerEstimateMatchesCellTruthUnderCrosstalk) {
+  aging::AgingParams a = ag();
+  a.thermal_crosstalk = 0.05;  // exaggerated for visibility
+  Crossbar xb(3, 3, dev(), a);
+  // Known pattern: many pulses on the representative (1, 1), a few on an
+  // untraced neighbour.
+  for (int i = 0; i < 50; ++i) {
+    xb.program_cell(1, 1, dev().r_min_fresh);
+  }
+  for (int i = 0; i < 20; ++i) {
+    xb.program_cell(0, 0, dev().r_min_fresh);
+  }
+  // The representative's pulses are fully traced, so the tracker estimate
+  // must equal the cell's effective stress exactly: own stress plus the
+  // ambient pool minus its own exported crosstalk share. Before the
+  // self-share fix the estimate (and the truth) both over-counted by
+  // crosstalk * own_stress.
+  EXPECT_DOUBLE_EQ(xb.tracker().stress_estimate(1, 1),
+                   xb.cell(1, 1).stress());
+  // Ground truth decomposition for a pulsed cell.
+  const auto& rep = xb.cell(1, 1);
+  EXPECT_NEAR(rep.stress(),
+              rep.own_stress() +
+                  (xb.ambient_stress() -
+                   a.thermal_crosstalk * rep.own_stress()),
+              1e-15);
+  // An idle cell feels the full ambient pool.
+  const auto& idle = xb.cell(2, 2);
+  EXPECT_DOUBLE_EQ(idle.own_stress(), 0.0);
+  EXPECT_DOUBLE_EQ(idle.stress(), xb.ambient_stress());
+}
+
 TEST(Crossbar, VmmMatchesDenseReference) {
   Crossbar xb(4, 3, dev(), ag());
   Rng rng(5);
