@@ -1,28 +1,45 @@
 // xbarlife command-line interface.
 //
-//   xbarlife train     --model lenet5|vgg16|mlp [--skewed] [--out w.bin]
-//   xbarlife lifetime  --model ... --scenario tt|stt|stat [--sessions N]
-//   xbarlife sweep     --model ... [--replicates N]
+//   xbarlife train     --model <name> [--skewed] [--out w.bin]
+//   xbarlife lifetime  --model <name> --scenario tt|stt|stat
+//                      [--sessions N] [--strict]
+//   xbarlife sweep     --model <name> [--replicates N]
 //   xbarlife device    [--pulses N] [--target-r OHMS]
+//   xbarlife models
 //   xbarlife info
 //
-// Every command accepts --threads N (0 = all cores) to size the shared
-// worker pool; results are bit-identical at any thread count.
+// Global options (every command):
+//   --threads N      worker-pool size (0 = all cores); results are
+//                    bit-identical at any thread count
+//   --json <path|->  write the versioned machine-readable result document
+//                    (schema xbarlife.result.v1, see docs/output_schema.md)
+//                    as the final JSONL line; "-" streams to stdout and
+//                    silences the human-readable report
+//   --trace <path|-> stream structured JSONL events (session_start,
+//                    tune_iter, rescue, eol, sweep_job_done, ...); defaults
+//                    to $XBARLIFE_TRACE, or to the --json stream when that
+//                    is set
 //
-// A thin, scriptable wrapper over core/experiment.hpp for users who want
-// the experiments without writing C++.
+// Exit codes: 0 ok, 2 invalid argument/usage, 3 I/O failure,
+// 4 failed convergence (--strict), 5 internal error, 1 anything else.
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "core/experiment.hpp"
+#include "core/model_registry.hpp"
+#include "core/report.hpp"
 #include "core/scenario_runner.hpp"
 #include "device/memristor.hpp"
 #include "nn/serialize.hpp"
+#include "obs/obs.hpp"
+#include "obs/sink.hpp"
 
 using namespace xbarlife;
 
@@ -62,22 +79,84 @@ Args parse(int argc, char** argv) {
   return args;
 }
 
-core::ExperimentConfig config_for(const Args& args) {
-  const std::string model = args.get("model", "lenet5");
-  core::ExperimentConfig cfg;
-  if (model == "lenet5") {
-    cfg = core::lenet_experiment_config();
-  } else if (model == "vgg16") {
-    cfg = core::vgg_experiment_config();
-  } else if (model == "mlp") {
-    cfg = core::lenet_experiment_config();
-    cfg.name = "MLP / SynthCifar10";
-    cfg.model = core::ExperimentConfig::Model::kMlp;
-    cfg.mlp_hidden = {64, 32};
-  } else {
-    throw xbarlife::InvalidArgument("unknown --model '" + model +
-                          "' (expected lenet5|vgg16|mlp)");
+/// Output wiring shared by every command: an optional result-document
+/// stream (--json), an optional event trace (--trace / $XBARLIFE_TRACE,
+/// defaulting to the --json stream), and a metrics registry that is always
+/// collected and embedded into the result document.
+class CliOutput {
+ public:
+  explicit CliOutput(const Args& args) {
+    const std::string json_target = args.get("json", "-");
+    if (args.flag("json")) {
+      json_sink_ = make_sink(json_target);
+    }
+    std::string trace_target = args.get("trace", "-");
+    if (!args.flag("trace")) {
+      const char* env = std::getenv("XBARLIFE_TRACE");
+      trace_target = (env != nullptr) ? env : "";
+    }
+    obs::Sink* trace_sink = nullptr;
+    if (!trace_target.empty()) {
+      if (args.flag("json") && trace_target == json_target) {
+        trace_sink = json_sink_.get();
+      } else {
+        trace_sink_ = make_sink(trace_target);
+        trace_sink = trace_sink_.get();
+      }
+    } else if (json_sink_ != nullptr) {
+      // With --json but no explicit trace, events share the json stream so
+      // a consumer sees progress events followed by the result document.
+      trace_sink = json_sink_.get();
+    }
+    trace_ = std::make_unique<obs::EventTrace>(trace_sink);
+    human_enabled_ = !(args.flag("json") && json_target == "-");
   }
+
+  obs::Obs obs() { return obs::Obs{&registry_, trace_.get()}; }
+
+  /// Human-readable stream: stdout normally, silenced (null) when the
+  /// JSON document owns stdout.
+  std::ostream& human() { return human_enabled_ ? std::cout : null_; }
+
+  bool json_enabled() const { return json_sink_ != nullptr; }
+
+  /// Emits the versioned result document as the stream's final line.
+  void finish(const std::string& command, obs::JsonValue data) {
+    if (json_sink_ != nullptr) {
+      json_sink_->write(
+          core::result_document(command, std::move(data), &registry_)
+              .dump());
+      json_sink_->flush();
+    }
+    if (trace_sink_ != nullptr) {
+      trace_sink_->flush();
+    }
+  }
+
+ private:
+  static std::unique_ptr<obs::Sink> make_sink(const std::string& target) {
+    if (target == "-") {
+      return std::make_unique<obs::StreamSink>(std::cout);
+    }
+    return std::make_unique<obs::JsonlFileSink>(target);
+  }
+
+  /// A swallow-everything stream (badbit set, writes are no-ops).
+  struct NullStream : std::ostream {
+    NullStream() : std::ostream(nullptr) {}
+  };
+
+  obs::Registry registry_;
+  std::unique_ptr<obs::Sink> json_sink_;
+  std::unique_ptr<obs::Sink> trace_sink_;
+  std::unique_ptr<obs::EventTrace> trace_;
+  NullStream null_;
+  bool human_enabled_ = true;
+};
+
+core::ExperimentConfig config_for(const Args& args) {
+  core::ExperimentConfig cfg =
+      core::make_model_config(args.get("model", "lenet5"));
   if (args.flag("sessions")) {
     cfg.lifetime.max_sessions =
         static_cast<std::size_t>(std::stoul(args.get("sessions", "100")));
@@ -88,56 +167,77 @@ core::ExperimentConfig config_for(const Args& args) {
   return cfg;
 }
 
-int cmd_train(const Args& args) {
+core::Scenario scenario_for(const Args& args) {
+  const std::string name = args.get("scenario", "stat");
+  if (name == "tt") {
+    return core::Scenario::kTT;
+  }
+  if (name == "stt") {
+    return core::Scenario::kSTT;
+  }
+  if (name == "stat") {
+    return core::Scenario::kSTAT;
+  }
+  throw xbarlife::InvalidArgument("unknown --scenario '" + name +
+                                  "' (expected tt|stt|stat)");
+}
+
+int cmd_train(const Args& args, CliOutput& out) {
   core::ExperimentConfig cfg = config_for(args);
   const bool skewed = args.flag("skewed");
-  std::cout << "Training " << cfg.name
-            << (skewed ? " with the skewed regularizer" : " with L2")
-            << "...\n";
-  core::TrainedModel tm = core::train_model(cfg, skewed);
-  std::cout << tm.network.summary();
-  TablePrinter table({"epoch", "loss", "train acc", "test acc"});
-  for (const core::EpochStats& e : tm.history.epochs) {
-    table.add_row({std::to_string(e.epoch), format_double(e.loss, 4),
-                   format_double(e.train_accuracy, 3),
-                   format_double(e.test_accuracy, 3)});
-  }
-  std::cout << table.render();
+  out.human() << "Training " << cfg.name
+              << (skewed ? " with the skewed regularizer" : " with L2")
+              << "...\n";
+  core::TrainedModel tm = core::train_model(cfg, skewed, out.obs());
+  out.human() << tm.network.summary()
+              << core::train_history_table(tm.history);
+
+  obs::JsonValue data = obs::JsonValue::object();
+  data.set("config", core::experiment_config_json(cfg));
+  data.set("skewed", skewed);
+  data.set("training", core::train_history_json(tm.history));
   if (args.flag("out")) {
     const std::string path = args.get("out", "weights.bin");
     nn::save_parameters(tm.network, path);
-    std::cout << "Parameters written to " << path << "\n";
+    out.human() << "Parameters written to " << path << "\n";
+    data.set("weights_out", path);
   }
+  out.finish("train", std::move(data));
   return 0;
 }
 
-int cmd_lifetime(const Args& args) {
+int cmd_lifetime(const Args& args, CliOutput& out) {
   core::ExperimentConfig cfg = config_for(args);
-  const std::string scenario_name = args.get("scenario", "stat");
-  core::Scenario scenario;
-  if (scenario_name == "tt") {
-    scenario = core::Scenario::kTT;
-  } else if (scenario_name == "stt") {
-    scenario = core::Scenario::kSTT;
-  } else if (scenario_name == "stat") {
-    scenario = core::Scenario::kSTAT;
-  } else {
-    throw xbarlife::InvalidArgument("unknown --scenario (expected tt|stt|stat)");
+  const core::Scenario scenario = scenario_for(args);
+  out.human() << "Scenario " << core::to_string(scenario) << " on "
+              << cfg.name << " (this trains the network first)...\n";
+  const core::ScenarioOutcome o =
+      core::run_scenario(cfg, scenario, out.obs());
+  out.human() << "software accuracy: "
+              << format_double(o.software_accuracy, 3)
+              << ", tuning target: " << format_double(o.tuning_target, 3)
+              << "\n"
+              << core::lifetime_session_table(o.lifetime, 20)
+              << "lifetime: " << o.lifetime.lifetime_applications
+              << " applications over " << o.lifetime.sessions.size()
+              << " sessions ("
+              << (o.lifetime.died ? "died" : "survived the cap") << ")\n";
+
+  obs::JsonValue data = obs::JsonValue::object();
+  data.set("config", core::experiment_config_json(cfg));
+  data.set("outcome", core::scenario_outcome_json(o));
+  out.finish("lifetime", std::move(data));
+  if (args.flag("strict") && o.lifetime.died) {
+    throw xbarlife::ConvergenceError(
+        "lifetime run died after " +
+        std::to_string(o.lifetime.sessions.size()) + " sessions (" +
+        std::to_string(o.lifetime.lifetime_applications) +
+        " applications) with --strict");
   }
-  std::cout << "Scenario " << core::to_string(scenario) << " on "
-            << cfg.name << " (this trains the network first)...\n";
-  const core::ScenarioOutcome o = core::run_scenario(cfg, scenario);
-  std::cout << "software accuracy: "
-            << format_double(o.software_accuracy, 3)
-            << ", tuning target: " << format_double(o.tuning_target, 3)
-            << "\nlifetime: " << o.lifetime.lifetime_applications
-            << " applications over " << o.lifetime.sessions.size()
-            << " sessions ("
-            << (o.lifetime.died ? "died" : "survived the cap") << ")\n";
   return 0;
 }
 
-int cmd_sweep(const Args& args) {
+int cmd_sweep(const Args& args, CliOutput& out) {
   core::ExperimentConfig cfg = config_for(args);
   const auto replicates = static_cast<std::size_t>(
       std::stoul(args.get("replicates", "2")));
@@ -146,24 +246,22 @@ int cmd_sweep(const Args& args) {
       cfg,
       {core::Scenario::kTT, core::Scenario::kSTT, core::Scenario::kSTAT},
       replicates);
-  std::cout << "Sweeping " << jobs.size() << " scenario runs on "
-            << cfg.name << " across " << parallel_threads()
-            << " thread(s)...\n";
-  const auto entries = runner.run(jobs);
-  TablePrinter table({"run", "sw acc", "target", "lifetime apps",
-                      "sessions", "outcome"});
-  for (const core::ScenarioSweepEntry& e : entries) {
-    table.add_row({e.label, format_double(e.outcome.software_accuracy, 3),
-                   format_double(e.outcome.tuning_target, 3),
-                   std::to_string(e.outcome.lifetime.lifetime_applications),
-                   std::to_string(e.outcome.lifetime.sessions.size()),
-                   e.outcome.lifetime.died ? "died" : "survived cap"});
-  }
-  std::cout << table.render();
+  out.human() << "Sweeping " << jobs.size() << " scenario runs on "
+              << cfg.name << " across " << parallel_threads()
+              << " thread(s)...\n";
+  const auto entries = runner.run(jobs, out.obs());
+  out.human() << core::sweep_table(entries);
+
+  obs::JsonValue data = obs::JsonValue::object();
+  data.set("config", core::experiment_config_json(cfg));
+  data.set("sweep_seed", runner.sweep_seed());
+  data.set("replicates", replicates);
+  data.set("sweep", core::sweep_entries_json(entries));
+  out.finish("sweep", std::move(data));
   return 0;
 }
 
-int cmd_device(const Args& args) {
+int cmd_device(const Args& args, CliOutput& out) {
   device::DeviceParams dev;
   aging::AgingParams ap;
   ap.thermal_crosstalk = 0.0;
@@ -185,28 +283,74 @@ int cmd_device(const Args& args) {
   table.add_row({"usable levels",
                  std::to_string(m.usable_levels()) + " / " +
                      std::to_string(dev.levels)});
-  std::cout << table.render();
+  out.human() << table.render();
+
+  obs::JsonValue data = obs::JsonValue::object();
+  data.set("target_r", target);
+  data.set("pulses", m.pulse_count());
+  data.set("stress_us", m.stress() * 1e6);
+  data.set("aged_r_max", m.aged_window().r_max);
+  data.set("aged_r_min", m.aged_window().r_min);
+  data.set("usable_levels", m.usable_levels());
+  data.set("levels", dev.levels);
+  out.finish("device", std::move(data));
+  return 0;
+}
+
+int cmd_models(CliOutput& out) {
+  const core::ModelRegistry& registry = core::ModelRegistry::instance();
+  TablePrinter table({"model", "description"});
+  obs::JsonValue models = obs::JsonValue::array();
+  for (const std::string& name : registry.names()) {
+    table.add_row({name, registry.describe(name)});
+    obs::JsonValue entry = obs::JsonValue::object();
+    entry.set("name", name);
+    entry.set("description", registry.describe(name));
+    models.push_back(std::move(entry));
+  }
+  out.human() << table.render();
+  obs::JsonValue data = obs::JsonValue::object();
+  data.set("models", std::move(models));
+  out.finish("models", std::move(data));
   return 0;
 }
 
 int cmd_info() {
+  std::string models;
+  for (const std::string& name : core::model_names()) {
+    if (!models.empty()) {
+      models += "|";
+    }
+    models += name;
+  }
   std::cout
       << "xbarlife — aging-aware lifetime enhancement for memristor\n"
          "crossbars (reproduction of Zhang et al., DATE 2019).\n\n"
          "commands:\n"
-         "  train     --model lenet5|vgg16|mlp [--skewed] [--seed N]\n"
-         "            [--out FILE]   train and optionally save weights\n"
-         "  lifetime  --model ... --scenario tt|stt|stat [--sessions N]\n"
-         "            run one lifetime scenario\n"
-         "  sweep     --model ... [--replicates N] [--sessions N]\n"
-         "            run all scenarios x replicates (parallel fan-out)\n"
-         "  device    [--pulses N] [--target-r OHMS]\n"
-         "            age a single device and report its window\n"
-         "  info      this text\n\n"
-         "global options:\n"
-         "  --threads N   worker threads (0 = all cores; default 1 or\n"
-         "                $XBARLIFE_THREADS); results are identical at\n"
-         "                any thread count\n";
+         "  train     --model " +
+             models +
+             " [--skewed] [--seed N]\n"
+             "            [--out FILE]   train and optionally save weights\n"
+             "  lifetime  --model ... --scenario tt|stt|stat [--sessions N]\n"
+             "            [--strict]     run one lifetime scenario (--strict\n"
+             "            exits 4 if the array dies before the session cap)\n"
+             "  sweep     --model ... [--replicates N] [--sessions N]\n"
+             "            run all scenarios x replicates (parallel fan-out)\n"
+             "  device    [--pulses N] [--target-r OHMS]\n"
+             "            age a single device and report its window\n"
+             "  models    list registered models\n"
+             "  info      this text\n\n"
+             "global options:\n"
+             "  --threads N     worker threads (0 = all cores; default 1 or\n"
+             "                  $XBARLIFE_THREADS); results are identical at\n"
+             "                  any thread count\n"
+             "  --json PATH|-   write the machine-readable result document\n"
+             "                  (JSONL, schema xbarlife.result.v1); '-' is\n"
+             "                  stdout and silences the human report\n"
+             "  --trace PATH|-  stream JSONL events (or $XBARLIFE_TRACE);\n"
+             "                  defaults to the --json stream\n\n"
+             "exit codes: 0 ok, 2 bad arguments, 3 I/O failure,\n"
+             "4 failed convergence (--strict), 5 internal error\n";
   return 0;
 }
 
@@ -219,25 +363,41 @@ int main(int argc, char** argv) {
       set_parallel_threads(
           static_cast<std::size_t>(std::stoul(args.get("threads", "1"))));
     }
-    if (args.command == "train") {
-      return cmd_train(args);
-    }
-    if (args.command == "lifetime") {
-      return cmd_lifetime(args);
-    }
-    if (args.command == "sweep") {
-      return cmd_sweep(args);
-    }
-    if (args.command == "device") {
-      return cmd_device(args);
-    }
     if (args.command.empty() || args.command == "info" ||
         args.command == "--help" || args.command == "-h") {
       return cmd_info();
     }
+    CliOutput out(args);
+    if (args.command == "train") {
+      return cmd_train(args, out);
+    }
+    if (args.command == "lifetime") {
+      return cmd_lifetime(args, out);
+    }
+    if (args.command == "sweep") {
+      return cmd_sweep(args, out);
+    }
+    if (args.command == "device") {
+      return cmd_device(args, out);
+    }
+    if (args.command == "models") {
+      return cmd_models(out);
+    }
     std::cerr << "unknown command '" << args.command
               << "' (try: xbarlife info)\n";
     return 2;
+  } catch (const xbarlife::InvalidArgument& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  } catch (const xbarlife::IoError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 3;
+  } catch (const xbarlife::ConvergenceError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 4;
+  } catch (const xbarlife::Error& e) {
+    std::cerr << "internal error: " << e.what() << "\n";
+    return 5;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -6,6 +6,7 @@
 #include "common/csv.hpp"
 #include "common/histogram.hpp"
 #include "core/experiment.hpp"
+#include "core/model_registry.hpp"
 #include "mapping/mapper.hpp"
 
 using namespace xbarlife;
@@ -14,7 +15,7 @@ int main() {
   bench::print_header("Fig. 3 — mapping & quantization distributions",
                       "Fig. 3");
 
-  core::ExperimentConfig cfg = core::lenet_experiment_config();
+  core::ExperimentConfig cfg = core::make_model_config("lenet5");
   if (bench::quick_mode()) {
     cfg.dataset.train_per_class = 12;
     cfg.train_config.epochs = 3;

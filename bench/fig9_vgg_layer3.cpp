@@ -7,6 +7,7 @@
 #include "common/table.hpp"
 #include "common/stats.hpp"
 #include "core/experiment.hpp"
+#include "core/model_registry.hpp"
 
 using namespace xbarlife;
 
@@ -14,7 +15,7 @@ int main() {
   bench::print_header("Fig. 9 — VGG-16 third-layer weight distribution",
                       "Fig. 9");
 
-  core::ExperimentConfig cfg = core::vgg_experiment_config();
+  core::ExperimentConfig cfg = core::make_model_config("vgg16");
   if (bench::quick_mode()) {
     cfg.dataset.train_per_class = 3;
     cfg.train_config.epochs = 2;

@@ -6,6 +6,7 @@
 #include "common/csv.hpp"
 #include "common/table.hpp"
 #include "core/experiment.hpp"
+#include "core/model_registry.hpp"
 
 using namespace xbarlife;
 
@@ -25,7 +26,7 @@ int main() {
   bench::print_header("Table I — lifetime comparison", "Table I");
 
   std::vector<core::ExperimentConfig> configs{
-      core::lenet_experiment_config(), core::vgg_experiment_config()};
+      core::make_model_config("lenet5"), core::make_model_config("vgg16")};
   if (bench::quick_mode()) {
     for (auto& cfg : configs) {
       shrink_for_quick(cfg);

@@ -8,6 +8,7 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "core/experiment.hpp"
+#include "core/model_registry.hpp"
 
 using namespace xbarlife;
 
@@ -48,7 +49,7 @@ int main() {
   bench::print_header("Table II — skewed-training parameters", "Table II");
 
   std::vector<core::ExperimentConfig> configs{
-      core::lenet_experiment_config(), core::vgg_experiment_config()};
+      core::make_model_config("lenet5"), core::make_model_config("vgg16")};
   if (bench::quick_mode()) {
     for (auto& cfg : configs) {
       cfg.dataset.train_per_class =

@@ -9,6 +9,7 @@
 
 #include "common/table.hpp"
 #include "core/experiment.hpp"
+#include "core/model_registry.hpp"
 
 using namespace xbarlife;
 
@@ -28,7 +29,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  core::ExperimentConfig cfg = core::lenet_experiment_config();
+  core::ExperimentConfig cfg = core::make_model_config("lenet5");
   std::cout << "Scenario " << core::to_string(scenario) << " on "
             << cfg.name << "\n";
   std::cout << "Training "

@@ -7,6 +7,7 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "core/experiment.hpp"
+#include "core/model_registry.hpp"
 #include "mapping/mapper.hpp"
 
 using namespace xbarlife;
@@ -51,7 +52,7 @@ MappedStats analyze(nn::Network& net, const core::ExperimentConfig& cfg) {
 }  // namespace
 
 int main() {
-  core::ExperimentConfig cfg = core::lenet_experiment_config();
+  core::ExperimentConfig cfg = core::make_model_config("lenet5");
 
   std::cout << "Training LeNet-5 twice on " << cfg.name << "...\n";
   core::TrainedModel traditional = core::train_model(cfg, false);

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Validate xbarlife's machine-readable JSONL output.
+
+Reads a JSONL stream (stdin or a file), checks that every line parses,
+that the final line is a versioned result document
+(schema "xbarlife.result.v1" with keys schema/command/data/metrics),
+and reports the event counts seen along the way.
+
+Usage:
+  xbarlife lifetime --model lenet5 --sessions 2 --json - \
+      | python3 scripts/validate_json_output.py
+  python3 scripts/validate_json_output.py trace.jsonl
+  python3 scripts/validate_json_output.py --exe build/apps/xbarlife -- \
+      lifetime --model mlp --sessions 2
+  python3 scripts/validate_json_output.py --expect-events sweep_job_done=6
+
+Exit status: 0 when the stream is valid, 1 otherwise.
+"""
+
+import argparse
+import collections
+import json
+import subprocess
+import sys
+
+RESULT_SCHEMA = "xbarlife.result.v1"
+RESULT_KEYS = ["schema", "command", "data", "metrics"]
+METRIC_KEYS = ["counters", "gauges", "histograms"]
+
+
+def fail(message):
+    print(f"validate_json_output: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def read_lines(args):
+    if args.exe:
+        cmd = [args.exe] + args.cmd + ["--json", "-"]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if proc.returncode != 0:
+            fail(f"{' '.join(cmd)} exited {proc.returncode}: "
+                 f"{proc.stderr.strip()}")
+        return proc.stdout.splitlines()
+    if args.path and args.path != "-":
+        with open(args.path, encoding="utf-8") as handle:
+            return handle.read().splitlines()
+    return sys.stdin.read().splitlines()
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("path", nargs="?", default="-",
+                        help="JSONL file to validate (default: stdin)")
+    parser.add_argument("--exe", help="xbarlife binary to run with --json -")
+    parser.add_argument("cmd", nargs="*",
+                        help="command line for --exe (after '--')")
+    parser.add_argument("--expect-events", action="append", default=[],
+                        metavar="TYPE=N",
+                        help="require exactly N events of TYPE")
+    args = parser.parse_args()
+
+    lines = [line for line in read_lines(args) if line.strip()]
+    if not lines:
+        fail("empty stream")
+
+    events = collections.Counter()
+    docs = []
+    for number, line in enumerate(lines, 1):
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError as err:
+            fail(f"line {number} is not valid JSON ({err}): {line[:120]}")
+        docs.append(doc)
+        if isinstance(doc, dict) and "event" in doc:
+            events[doc["event"]] += 1
+
+    result = docs[-1]
+    if not isinstance(result, dict):
+        fail("final line is not a JSON object")
+    if "event" in result:
+        fail("final line is an event, not a result document")
+    if list(result.keys()) != RESULT_KEYS:
+        fail(f"result document keys {list(result.keys())} != {RESULT_KEYS}")
+    if result["schema"] != RESULT_SCHEMA:
+        fail(f"schema {result['schema']!r} != {RESULT_SCHEMA!r}")
+    if not isinstance(result["command"], str) or not result["command"]:
+        fail("result 'command' must be a non-empty string")
+    if not isinstance(result["data"], dict):
+        fail("result 'data' must be an object")
+    metrics = result["metrics"]
+    if not isinstance(metrics, dict) or list(metrics.keys()) != METRIC_KEYS:
+        fail(f"result 'metrics' must have keys {METRIC_KEYS}")
+
+    for spec in args.expect_events:
+        event_type, _, count = spec.partition("=")
+        expected = int(count)
+        if events[event_type] != expected:
+            fail(f"expected {expected} {event_type!r} events, "
+                 f"saw {events[event_type]}")
+
+    summary = ", ".join(f"{k}={v}" for k, v in sorted(events.items()))
+    print(f"validate_json_output: OK: command={result['command']!r}, "
+          f"{len(lines)} lines, events: {summary or 'none'}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

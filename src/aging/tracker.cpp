@@ -45,8 +45,14 @@ void RepresentativeTracker::record_pulse(std::size_t r, std::size_t c,
   XB_CHECK(stress_increment >= 0.0, "stress increment must be >= 0");
   XB_CHECK(ambient_increment >= 0.0, "ambient increment must be >= 0");
   ambient_ += ambient_increment;
+  if (pulse_counter_ != nullptr) {
+    pulse_counter_->add();
+  }
   if (!is_representative(r, c)) {
     return;  // untraced cell: the hardware has no per-cell counter here
+  }
+  if (traced_pulse_counter_ != nullptr) {
+    traced_pulse_counter_->add();
   }
   const std::size_t b = block_index(r, c);
   stress_[b] += stress_increment;
@@ -78,6 +84,12 @@ std::vector<AgedWindow> RepresentativeTracker::estimated_windows(
         stress_[b] + ambient_ - self_ambient_[b]));
   }
   return windows;
+}
+
+void RepresentativeTracker::attach_counters(obs::Counter* pulses,
+                                            obs::Counter* traced_pulses) {
+  pulse_counter_ = pulses;
+  traced_pulse_counter_ = traced_pulses;
 }
 
 void RepresentativeTracker::reset() {

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "aging/aging_model.hpp"
+#include "obs/metrics.hpp"
 
 namespace xbarlife::aging {
 
@@ -63,8 +64,15 @@ class RepresentativeTracker {
   std::size_t block_rows() const { return block_rows_; }
   std::size_t block_cols() const { return block_cols_; }
 
-  /// Resets all traced history (fresh array).
+  /// Resets all traced history (fresh array). Attached counters are kept
+  /// (they are cumulative run totals, not array state).
   void reset();
+
+  /// Attaches observability counters (either may be null): `pulses` counts
+  /// every recorded pulse, `traced_pulses` only those landing on a
+  /// representative. Counters must outlive the tracker; pass nullptrs to
+  /// detach. With no counters attached recording costs one branch.
+  void attach_counters(obs::Counter* pulses, obs::Counter* traced_pulses);
 
  private:
   std::size_t block_index(std::size_t r, std::size_t c) const;
@@ -77,6 +85,8 @@ class RepresentativeTracker {
   std::vector<double> self_ambient_;   // per block: rep's own pool exports
   std::vector<std::uint64_t> pulses_;  // per block
   double ambient_ = 0.0;               // array-wide thermal share
+  obs::Counter* pulse_counter_ = nullptr;
+  obs::Counter* traced_pulse_counter_ = nullptr;
 };
 
 }  // namespace xbarlife::aging

@@ -12,7 +12,7 @@ CsvWriter::CsvWriter(const std::string& path,
     : path_(path), out_(path, std::ios::trunc), columns_(headers.size()) {
   XB_CHECK(!headers.empty(), "CSV needs at least one column");
   if (!out_) {
-    throw Error("cannot open CSV file for writing: " + path);
+    throw IoError("cannot open CSV file for writing: " + path);
   }
   for (std::size_t c = 0; c < headers.size(); ++c) {
     out_ << (c ? "," : "") << csv_escape(headers[c]);
@@ -27,7 +27,7 @@ void CsvWriter::add_row(const std::vector<std::string>& cells) {
   }
   out_ << "\n";
   if (!out_) {
-    throw Error("CSV write failed: " + path_);
+    throw IoError("CSV write failed: " + path_);
   }
   ++rows_;
 }

@@ -28,6 +28,20 @@ class ShapeError : public Error {
   explicit ShapeError(const std::string& what) : Error(what) {}
 };
 
+/// Thrown when a file or stream operation fails (open, read, write).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an iterative procedure fails to reach its target — e.g. a
+/// strict lifetime run whose tuning stopped converging before the session
+/// cap.
+class ConvergenceError : public Error {
+ public:
+  explicit ConvergenceError(const std::string& what) : Error(what) {}
+};
+
 /// Thrown when an internal invariant is violated (a library bug).
 class InternalError : public Error {
  public:

@@ -37,22 +37,25 @@ nn::Network build_model(const ExperimentConfig& config, Rng& rng) {
   throw InvalidArgument("unknown model");
 }
 
-TrainedModel train_model(const ExperimentConfig& config, bool skewed) {
+TrainedModel train_model(const ExperimentConfig& config, bool skewed,
+                         const obs::Obs& obs) {
   Rng rng(config.seed);
   const data::TrainTest data = data::make_synthetic(config.dataset);
   TrainedModel tm{build_model(config, rng), {}};
   if (skewed) {
     auto reg = make_skewed_regularizer(config.skew);
-    tm.history = train(tm.network, data, config.train_config, reg.get());
+    tm.history =
+        train(tm.network, data, config.train_config, reg.get(), obs);
   } else {
     nn::L2Regularizer reg(config.l2_lambda);
-    tm.history = train(tm.network, data, config.train_config, &reg);
+    tm.history = train(tm.network, data, config.train_config, &reg, obs);
   }
   return tm;
 }
 
-ScenarioOutcome run_scenario(const ExperimentConfig& config, Scenario s) {
-  TrainedModel tm = train_model(config, uses_skewed_training(s));
+ScenarioOutcome run_scenario(const ExperimentConfig& config, Scenario s,
+                             const obs::Obs& obs) {
+  TrainedModel tm = train_model(config, uses_skewed_training(s), obs);
   const data::TrainTest data = data::make_synthetic(config.dataset);
 
   ScenarioOutcome outcome;
@@ -69,16 +72,17 @@ ScenarioOutcome run_scenario(const ExperimentConfig& config, Scenario s) {
   tuning::HardwareNetwork hw(tm.network, config.device, config.aging);
   LifetimeSimulator sim(lc);
   outcome.lifetime =
-      sim.run(hw, data.train, data.test, mapping_policy(s));
+      sim.run(hw, data.train, data.test, mapping_policy(s), obs);
   return outcome;
 }
 
-ExperimentResult run_experiment(const ExperimentConfig& config) {
+ExperimentResult run_experiment(const ExperimentConfig& config,
+                                const obs::Obs& obs) {
   ExperimentResult result;
   result.name = config.name;
   ExperimentConfig shared = config;
   for (Scenario s : {Scenario::kTT, Scenario::kSTT, Scenario::kSTAT}) {
-    ScenarioOutcome outcome = run_scenario(shared, s);
+    ScenarioOutcome outcome = run_scenario(shared, s, obs);
     if (s == Scenario::kTT) {
       result.accuracy_traditional = outcome.software_accuracy;
       // One application-level target for every scenario (see the field's

@@ -74,14 +74,20 @@ struct TrainedModel {
   nn::Network network;
   TrainHistory history;
 };
-TrainedModel train_model(const ExperimentConfig& config, bool skewed);
+TrainedModel train_model(const ExperimentConfig& config, bool skewed,
+                         const obs::Obs& obs = {});
 
 /// Runs one scenario: trains (per the scenario's flavour), deploys, and
-/// simulates the lifetime protocol.
-ScenarioOutcome run_scenario(const ExperimentConfig& config, Scenario s);
+/// simulates the lifetime protocol. The optional observability handle is
+/// threaded through training, deployment aging counters, tuning, and the
+/// lifetime protocol (see obs/obs.hpp); the default handle disables all
+/// instrumentation.
+ScenarioOutcome run_scenario(const ExperimentConfig& config, Scenario s,
+                             const obs::Obs& obs = {});
 
 /// Runs all three scenarios (T+T, ST+T, ST+AT).
-ExperimentResult run_experiment(const ExperimentConfig& config);
+ExperimentResult run_experiment(const ExperimentConfig& config,
+                                const obs::Obs& obs = {});
 
 /// Laptop-scale default configs mirroring the paper's two test cases.
 ExperimentConfig lenet_experiment_config();

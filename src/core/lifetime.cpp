@@ -33,9 +33,13 @@ void LifetimeSimulator::apply_drift(tuning::HardwareNetwork& hw, Rng& rng) {
 LifetimeResult LifetimeSimulator::run(tuning::HardwareNetwork& hw,
                                       const data::Dataset& tune_data,
                                       const data::Dataset& eval_data,
-                                      tuning::MappingPolicy policy) {
+                                      tuning::MappingPolicy policy,
+                                      const obs::Obs& obs) {
   tune_data.validate();
   eval_data.validate();
+  if (obs.metrics_enabled()) {
+    hw.attach_metrics(*obs.metrics);
+  }
   Rng drift_rng(config_.drift_seed);
   tuning::OnlineTuner tuner(config_.tuning);
 
@@ -57,12 +61,20 @@ LifetimeResult LifetimeSimulator::run(tuning::HardwareNetwork& hw,
 
   LifetimeResult result;
   for (std::size_t session = 0; session < config_.max_sessions; ++session) {
+    const obs::ScopeTimer session_timer(obs.metrics, "lifetime.session_ms");
+    obs.count("lifetime.sessions");
+    if (obs.trace_enabled()) {
+      obs.event("session_start",
+                {{"session", session},
+                 {"applications", result.lifetime_applications},
+                 {"pulses_total", hw.total_pulses()}});
+    }
     // Recoverable drift accumulated while processing the previous chunk
     // of applications; online tuning is the routine corrector.
     if (session > 0) {
       apply_drift(hw, drift_rng);
     }
-    tuning::TuningResult tr = tuner.tune(hw, tune_data, eval_data);
+    tuning::TuningResult tr = tuner.tune(hw, tune_data, eval_data, obs);
 
     SessionRecord rec;
     rec.session = session;
@@ -74,12 +86,18 @@ LifetimeResult LifetimeSimulator::run(tuning::HardwareNetwork& hw,
       // fresh-range policies rewrite toward the same unreachable targets;
       // the aging-aware policy re-selects the common range (Fig. 8).
       rec.rescued = true;
+      obs.count("lifetime.rescues");
+      if (obs.trace_enabled()) {
+        obs.event("rescue", {{"session", session},
+                             {"accuracy", tr.final_accuracy},
+                             {"iterations", tr.iterations}});
+      }
       hw.deploy(policy, config_.levels,
                 policy == tuning::MappingPolicy::kAgingAware ? evaluator
                                                              : nullptr,
                 /*keep_threshold=*/config_.tuning.target_accuracy,
                 config_.rescue_switch_margin);
-      tr = tuner.tune(hw, tune_data, eval_data);
+      tr = tuner.tune(hw, tune_data, eval_data, obs);
       rec.tuning_iterations += tr.iterations;
     }
 
@@ -91,18 +109,39 @@ LifetimeResult LifetimeSimulator::run(tuning::HardwareNetwork& hw,
       rec.layer_mean_usable_levels.push_back(stats.mean_usable_levels);
     }
 
-    if (!tr.converged) {
+    if (tr.converged) {
+      result.lifetime_applications += config_.apps_per_session;
+      obs.count("lifetime.applications", config_.apps_per_session);
+    } else {
       // Even the rescue failed: end-of-life; these applications were not
       // processed successfully.
-      rec.applications = result.lifetime_applications;
-      result.sessions.push_back(rec);
       result.died = true;
-      break;
     }
-    result.lifetime_applications += config_.apps_per_session;
     rec.applications = result.lifetime_applications;
     result.sessions.push_back(rec);
+    if (obs.trace_enabled()) {
+      obs.event("session_end",
+                {{"session", rec.session},
+                 {"applications", rec.applications},
+                 {"tuning_iterations", rec.tuning_iterations},
+                 {"rescued", rec.rescued},
+                 {"converged", rec.converged},
+                 {"start_accuracy", rec.start_accuracy},
+                 {"accuracy", rec.accuracy},
+                 {"pulses_total", rec.pulses_total}});
+    }
+    if (result.died) {
+      if (obs.trace_enabled()) {
+        obs.event("eol",
+                  {{"session", session},
+                   {"lifetime_applications", result.lifetime_applications},
+                   {"pulses_total", rec.pulses_total}});
+      }
+      break;
+    }
   }
+  obs.set_gauge("lifetime.applications_final",
+                static_cast<double>(result.lifetime_applications));
   return result;
 }
 

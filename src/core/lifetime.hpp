@@ -20,6 +20,7 @@
 
 #include "core/scenario.hpp"
 #include "data/dataset.hpp"
+#include "obs/obs.hpp"
 #include "tuning/online_tuner.hpp"
 
 namespace xbarlife::core {
@@ -75,10 +76,17 @@ class LifetimeSimulator {
   /// Runs the full lifetime protocol on an already-deployed-able network:
   /// `hw` must hold captured software targets. `policy` selects fresh vs
   /// aging-aware remapping. Returns the session log and lifetime.
+  ///
+  /// When observability is attached, the protocol streams its feedback
+  /// loop as events — `session_start`, per-iteration `tune_iter`,
+  /// `rescue`, `session_end` (the SessionRecord), and `eol` on death —
+  /// and maintains the `lifetime.*` metrics. The default handle disables
+  /// all instrumentation.
   LifetimeResult run(tuning::HardwareNetwork& hw,
                      const data::Dataset& tune_data,
                      const data::Dataset& eval_data,
-                     tuning::MappingPolicy policy);
+                     tuning::MappingPolicy policy,
+                     const obs::Obs& obs = {});
 
  private:
   /// Applies one session's recoverable drift to every crossbar cell.

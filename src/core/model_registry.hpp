@@ -1,0 +1,63 @@
+// Named model registry: one place that maps a model name to its
+// ExperimentConfig factory.
+//
+// The CLI, the bench binaries, and the examples all used to hand-roll the
+// same lenet5/vgg16/mlp switch; they now resolve names here, and an
+// unknown name fails with an error that lists what is available. New
+// models (including test doubles) can be registered at runtime.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace xbarlife::core {
+
+class ModelRegistry {
+ public:
+  using Factory = std::function<ExperimentConfig()>;
+
+  /// The process-wide registry, pre-populated with the built-in models
+  /// ("lenet5", "vgg16", "mlp").
+  static ModelRegistry& instance();
+
+  /// Registers a model; throws InvalidArgument on an empty name or a
+  /// duplicate.
+  void add(const std::string& name, const std::string& description,
+           Factory factory);
+
+  /// Builds the named model's config; an unknown name throws
+  /// InvalidArgument listing the registered names.
+  ExperimentConfig make(const std::string& name) const;
+
+  bool contains(const std::string& name) const;
+
+  /// One-line description of a registered model.
+  std::string describe(const std::string& name) const;
+
+  /// Registered names in sorted order.
+  std::vector<std::string> names() const;
+
+ private:
+  struct Entry {
+    std::string description;
+    Factory factory;
+  };
+
+  std::string names_joined_locked() const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+/// Shorthand for ModelRegistry::instance().make(name).
+ExperimentConfig make_model_config(const std::string& name);
+
+/// Shorthand for ModelRegistry::instance().names().
+std::vector<std::string> model_names();
+
+}  // namespace xbarlife::core

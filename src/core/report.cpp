@@ -1,0 +1,194 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+
+#include "common/table.hpp"
+
+namespace xbarlife::core {
+
+obs::JsonValue result_document(std::string_view command,
+                               obs::JsonValue data,
+                               const obs::Registry* metrics) {
+  obs::JsonValue doc = obs::JsonValue::object();
+  doc.set("schema", kResultSchema);
+  doc.set("command", command);
+  doc.set("data", std::move(data));
+  doc.set("metrics", metrics != nullptr ? metrics->to_json()
+                                        : obs::Registry().to_json());
+  return doc;
+}
+
+obs::JsonValue experiment_config_json(const ExperimentConfig& config) {
+  obs::JsonValue out = obs::JsonValue::object();
+  out.set("name", config.name);
+  switch (config.model) {
+    case ExperimentConfig::Model::kMlp:
+      out.set("model", "mlp");
+      break;
+    case ExperimentConfig::Model::kLeNet5:
+      out.set("model", "lenet5");
+      break;
+    case ExperimentConfig::Model::kVgg16:
+      out.set("model", "vgg16");
+      break;
+  }
+  out.set("seed", config.seed);
+  out.set("classes", config.dataset.classes);
+  out.set("epochs", config.train_config.epochs);
+  out.set("levels", config.lifetime.levels);
+  out.set("apps_per_session", config.lifetime.apps_per_session);
+  out.set("max_sessions", config.lifetime.max_sessions);
+  return out;
+}
+
+obs::JsonValue epoch_stats_json(const EpochStats& e) {
+  obs::JsonValue out = obs::JsonValue::object();
+  out.set("epoch", e.epoch);
+  out.set("loss", e.loss);
+  out.set("penalty", e.penalty);
+  out.set("train_accuracy", e.train_accuracy);
+  out.set("test_accuracy", e.test_accuracy);
+  return out;
+}
+
+obs::JsonValue train_history_json(const TrainHistory& history) {
+  obs::JsonValue epochs = obs::JsonValue::array();
+  for (const EpochStats& e : history.epochs) {
+    epochs.push_back(epoch_stats_json(e));
+  }
+  obs::JsonValue out = obs::JsonValue::object();
+  out.set("epochs", std::move(epochs));
+  out.set("final_test_accuracy", history.final_test_accuracy);
+  return out;
+}
+
+std::string train_history_table(const TrainHistory& history) {
+  TablePrinter table({"epoch", "loss", "train acc", "test acc"});
+  for (const EpochStats& e : history.epochs) {
+    table.add_row({std::to_string(e.epoch), format_double(e.loss, 4),
+                   format_double(e.train_accuracy, 3),
+                   format_double(e.test_accuracy, 3)});
+  }
+  return table.render();
+}
+
+obs::JsonValue session_record_json(const SessionRecord& rec) {
+  obs::JsonValue out = obs::JsonValue::object();
+  out.set("session", rec.session);
+  out.set("applications", rec.applications);
+  out.set("tuning_iterations", rec.tuning_iterations);
+  out.set("rescued", rec.rescued);
+  out.set("converged", rec.converged);
+  out.set("start_accuracy", rec.start_accuracy);
+  out.set("accuracy", rec.accuracy);
+  out.set("pulses_total", rec.pulses_total);
+  obs::JsonValue rmax = obs::JsonValue::array();
+  for (const double v : rec.layer_mean_aged_rmax) {
+    rmax.push_back(v);
+  }
+  out.set("layer_mean_aged_rmax", std::move(rmax));
+  obs::JsonValue levels = obs::JsonValue::array();
+  for (const double v : rec.layer_mean_usable_levels) {
+    levels.push_back(v);
+  }
+  out.set("layer_mean_usable_levels", std::move(levels));
+  return out;
+}
+
+obs::JsonValue lifetime_result_json(const LifetimeResult& result) {
+  obs::JsonValue sessions = obs::JsonValue::array();
+  for (const SessionRecord& rec : result.sessions) {
+    sessions.push_back(session_record_json(rec));
+  }
+  obs::JsonValue out = obs::JsonValue::object();
+  out.set("lifetime_applications", result.lifetime_applications);
+  out.set("died", result.died);
+  out.set("session_count", result.sessions.size());
+  out.set("sessions", std::move(sessions));
+  return out;
+}
+
+obs::JsonValue scenario_outcome_json(const ScenarioOutcome& outcome) {
+  obs::JsonValue out = obs::JsonValue::object();
+  out.set("scenario", to_string(outcome.scenario));
+  out.set("software_accuracy", outcome.software_accuracy);
+  out.set("tuning_target", outcome.tuning_target);
+  out.set("lifetime", lifetime_result_json(outcome.lifetime));
+  return out;
+}
+
+namespace {
+
+void add_session_row(TablePrinter& table, const SessionRecord& r) {
+  table.add_row({std::to_string(r.session), std::to_string(r.applications),
+                 std::to_string(r.tuning_iterations),
+                 r.rescued ? "yes" : "no",
+                 format_double(r.start_accuracy, 3),
+                 format_double(r.accuracy, 3),
+                 std::to_string(r.pulses_total)});
+}
+
+}  // namespace
+
+std::string lifetime_session_table(const LifetimeResult& result,
+                                   std::size_t max_rows) {
+  TablePrinter table({"session", "apps (cum)", "iters", "rescued",
+                      "start acc", "acc", "pulses"});
+  const auto& sessions = result.sessions;
+  const std::size_t stride =
+      max_rows > 0 ? std::max<std::size_t>(1, sessions.size() / max_rows)
+                   : 1;
+  for (std::size_t i = 0; i < sessions.size(); i += stride) {
+    add_session_row(table, sessions[i]);
+  }
+  if (stride > 1 && !sessions.empty() &&
+      (sessions.size() - 1) % stride != 0) {
+    add_session_row(table, sessions.back());
+  }
+  return table.render();
+}
+
+obs::JsonValue sweep_entry_json(const ScenarioSweepEntry& entry) {
+  obs::JsonValue out = obs::JsonValue::object();
+  out.set("label", entry.label);
+  out.set("scenario", to_string(entry.scenario));
+  out.set("stream", entry.stream);
+  out.set("seed", entry.seed);
+  out.set("data_seed", entry.data_seed);
+  out.set("drift_seed", entry.drift_seed);
+  out.set("software_accuracy", entry.outcome.software_accuracy);
+  out.set("tuning_target", entry.outcome.tuning_target);
+  out.set("lifetime_applications",
+          entry.outcome.lifetime.lifetime_applications);
+  out.set("sessions", entry.outcome.lifetime.sessions.size());
+  out.set("died", entry.outcome.lifetime.died);
+  out.set("wall_ms", entry.wall_ms);
+  return out;
+}
+
+obs::JsonValue sweep_entries_json(
+    const std::vector<ScenarioSweepEntry>& entries) {
+  obs::JsonValue jobs = obs::JsonValue::array();
+  for (const ScenarioSweepEntry& e : entries) {
+    jobs.push_back(sweep_entry_json(e));
+  }
+  obs::JsonValue out = obs::JsonValue::object();
+  out.set("job_count", entries.size());
+  out.set("jobs", std::move(jobs));
+  return out;
+}
+
+std::string sweep_table(const std::vector<ScenarioSweepEntry>& entries) {
+  TablePrinter table({"run", "sw acc", "target", "lifetime apps",
+                      "sessions", "outcome"});
+  for (const ScenarioSweepEntry& e : entries) {
+    table.add_row({e.label, format_double(e.outcome.software_accuracy, 3),
+                   format_double(e.outcome.tuning_target, 3),
+                   std::to_string(e.outcome.lifetime.lifetime_applications),
+                   std::to_string(e.outcome.lifetime.sessions.size()),
+                   e.outcome.lifetime.died ? "died" : "survived cap"});
+  }
+  return table.render();
+}
+
+}  // namespace xbarlife::core

@@ -1,0 +1,51 @@
+// Shared reporting: one set of converters from experiment outcomes to
+// human-readable tables and to the versioned machine-readable result
+// document (schema "xbarlife.result.v1", described in
+// docs/output_schema.md).
+//
+// The CLI's commands, the benches, and the examples render through these
+// helpers instead of copy-pasting TablePrinter blocks, so the console
+// table and the --json document can never drift apart.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/experiment.hpp"
+#include "core/scenario_runner.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace xbarlife::core {
+
+/// Version tag stamped into every result document's "schema" field.
+inline constexpr std::string_view kResultSchema = "xbarlife.result.v1";
+
+/// Wraps command-specific `data` into the versioned result document:
+///   {"schema":..., "command":..., "data":..., "metrics":...}
+/// `metrics` may be null (the "metrics" key then holds an empty
+/// snapshot-shaped object).
+obs::JsonValue result_document(std::string_view command, obs::JsonValue data,
+                               const obs::Registry* metrics);
+
+/// Summary of the config knobs that identify a run.
+obs::JsonValue experiment_config_json(const ExperimentConfig& config);
+
+obs::JsonValue epoch_stats_json(const EpochStats& e);
+obs::JsonValue train_history_json(const TrainHistory& history);
+std::string train_history_table(const TrainHistory& history);
+
+obs::JsonValue session_record_json(const SessionRecord& rec);
+obs::JsonValue lifetime_result_json(const LifetimeResult& result);
+obs::JsonValue scenario_outcome_json(const ScenarioOutcome& outcome);
+/// Session log table; `max_rows` > 0 subsamples long logs (the last
+/// session is always shown).
+std::string lifetime_session_table(const LifetimeResult& result,
+                                   std::size_t max_rows = 0);
+
+obs::JsonValue sweep_entry_json(const ScenarioSweepEntry& entry);
+obs::JsonValue sweep_entries_json(
+    const std::vector<ScenarioSweepEntry>& entries);
+std::string sweep_table(const std::vector<ScenarioSweepEntry>& entries);
+
+}  // namespace xbarlife::core

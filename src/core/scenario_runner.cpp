@@ -1,5 +1,8 @@
 #include "core/scenario_runner.hpp"
 
+#include <chrono>
+#include <memory>
+
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 
@@ -9,8 +12,26 @@ ScenarioRunner::ScenarioRunner(std::uint64_t sweep_seed)
     : sweep_seed_(sweep_seed) {}
 
 std::vector<ScenarioSweepEntry> ScenarioRunner::run(
-    const std::vector<ScenarioJob>& jobs) const {
+    const std::vector<ScenarioJob>& jobs, const obs::Obs& obs) const {
   std::vector<ScenarioSweepEntry> entries(jobs.size());
+
+  // Per-job observability: jobs run concurrently, so each gets a private
+  // registry and an in-memory trace; the fan-in below replays them in job
+  // order, which keeps the merged stream independent of scheduling.
+  struct JobObs {
+    obs::Registry registry;
+    obs::MemorySink sink;
+    std::unique_ptr<obs::EventTrace> trace;
+  };
+  std::vector<JobObs> job_obs(obs.enabled() ? jobs.size() : 0);
+  for (std::size_t i = 0; i < job_obs.size(); ++i) {
+    std::vector<std::pair<std::string, obs::JsonValue>> context;
+    context.emplace_back("job", obs::JsonValue(jobs[i].label));
+    job_obs[i].trace = std::make_unique<obs::EventTrace>(
+        obs.trace_enabled() ? &job_obs[i].sink : nullptr,
+        std::move(context));
+  }
+
   // One job per chunk; entries are written by index, so the merged sweep
   // is identical however the pool schedules the jobs. Inside a job every
   // parallel_for nests and therefore runs in the fixed serial order.
@@ -33,9 +54,50 @@ std::vector<ScenarioSweepEntry> ScenarioRunner::run(
       entry.data_seed = cfg.dataset.seed;
       entry.drift_seed = cfg.lifetime.drift_seed;
 
-      entry.outcome = run_scenario(cfg, job.scenario);
+      obs::Obs job_handle;
+      if (!job_obs.empty()) {
+        job_handle.metrics =
+            obs.metrics_enabled() ? &job_obs[i].registry : nullptr;
+        job_handle.trace = job_obs[i].trace.get();
+      }
+      const auto start = std::chrono::steady_clock::now();
+      entry.outcome = run_scenario(cfg, job.scenario, job_handle);
+      entry.wall_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
     }
   });
+
+  // Deterministic fan-in: buffered job traces and registries merge in job
+  // order, each job closed by its sweep_job_done event.
+  for (std::size_t i = 0; i < job_obs.size(); ++i) {
+    if (obs.trace_enabled()) {
+      for (const std::string& line : job_obs[i].sink.lines()) {
+        obs.trace->emit_line(line);
+      }
+    }
+    if (obs.metrics_enabled()) {
+      obs.metrics->merge_from(job_obs[i].registry);
+      obs.metrics->histogram("sweep.job_ms").observe(entries[i].wall_ms);
+    }
+    obs.count("sweep.jobs");
+    if (obs.trace_enabled()) {
+      const ScenarioSweepEntry& e = entries[i];
+      obs.event("sweep_job_done",
+                {{"job", e.label},
+                 {"index", i},
+                 {"scenario", to_string(e.scenario)},
+                 {"stream", e.stream},
+                 {"seed", e.seed},
+                 {"software_accuracy", e.outcome.software_accuracy},
+                 {"tuning_target", e.outcome.tuning_target},
+                 {"lifetime_applications",
+                  e.outcome.lifetime.lifetime_applications},
+                 {"sessions", e.outcome.lifetime.sessions.size()},
+                 {"died", e.outcome.lifetime.died},
+                 {"wall_ms", e.wall_ms}});
+    }
+  }
   return entries;
 }
 

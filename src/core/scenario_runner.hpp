@@ -37,6 +37,7 @@ struct ScenarioSweepEntry {
   std::uint64_t seed = 0;        ///< forked model/training seed used
   std::uint64_t data_seed = 0;   ///< forked dataset seed used
   std::uint64_t drift_seed = 0;  ///< forked drift seed used
+  double wall_ms = 0.0;          ///< job wall-clock (not deterministic)
   ScenarioOutcome outcome;
 };
 
@@ -52,8 +53,16 @@ class ScenarioRunner {
   /// one thread) and returns entries in job order. Each job's config gets
   /// seed / dataset.seed / lifetime.drift_seed replaced by draws from
   /// Rng(sweep_seed).fork(job.stream).
-  std::vector<ScenarioSweepEntry> run(
-      const std::vector<ScenarioJob>& jobs) const;
+  ///
+  /// When observability is attached, every job runs against a private
+  /// registry and an in-memory event trace (context field "job" = label);
+  /// after the fan-out the runner splices the buffered traces into
+  /// `obs.trace`'s sink in job-index order, merges the registries into
+  /// `obs.metrics` in the same order, and emits one `sweep_job_done`
+  /// event per job — so the aggregated metrics and the event stream are
+  /// byte-identical at any thread count (wall-clock fields aside).
+  std::vector<ScenarioSweepEntry> run(const std::vector<ScenarioJob>& jobs,
+                                      const obs::Obs& obs = {}) const;
 
   /// Convenience fan-out: `replicates` copies of `base` per scenario.
   /// Replicate r of every scenario shares stream r.

@@ -6,8 +6,8 @@
 namespace xbarlife::core {
 
 TrainHistory train(nn::Network& net, const data::TrainTest& data,
-                   const TrainConfig& config,
-                   nn::Regularizer* regularizer) {
+                   const TrainConfig& config, nn::Regularizer* regularizer,
+                   const obs::Obs& obs) {
   XB_CHECK(config.epochs > 0, "need at least one epoch");
   XB_CHECK(config.batch > 0, "batch must be positive");
   data.train.validate();
@@ -28,6 +28,7 @@ TrainHistory train(nn::Network& net, const data::TrainTest& data,
 
   TrainHistory history;
   for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    const obs::ScopeTimer epoch_timer(obs.metrics, "train.epoch_ms");
     const auto order =
         data::shuffled_indices(data.train.size(), shuffle_rng);
     const data::Dataset shuffled = data.train.subset(order);
@@ -58,6 +59,16 @@ TrainHistory train(nn::Network& net, const data::TrainTest& data,
         net.evaluate(data.test.images, data.test.labels);
     history.epochs.push_back(es);
 
+    obs.count("train.epochs");
+    obs.count("train.batches", batches);
+    if (obs.trace_enabled()) {
+      obs.event("train_epoch", {{"epoch", es.epoch},
+                                {"loss", es.loss},
+                                {"penalty", es.penalty},
+                                {"train_accuracy", es.train_accuracy},
+                                {"test_accuracy", es.test_accuracy}});
+    }
+
     optimizer.set_learning_rate(optimizer.learning_rate() *
                                 config.lr_decay);
 
@@ -71,6 +82,7 @@ TrainHistory train(nn::Network& net, const data::TrainTest& data,
     }
   }
   history.final_test_accuracy = history.epochs.back().test_accuracy;
+  obs.set_gauge("train.final_test_accuracy", history.final_test_accuracy);
   return history;
 }
 

@@ -8,6 +8,7 @@
 #include "data/synthetic.hpp"
 #include "nn/network.hpp"
 #include "nn/regularizer.hpp"
+#include "obs/obs.hpp"
 
 namespace xbarlife::core {
 
@@ -41,9 +42,13 @@ struct TrainHistory {
 /// Trains `net` in place. `regularizer` may be null (no penalty), an
 /// L2Regularizer (traditional training, "T") or a SkewedL2Regularizer
 /// (skewed training, "ST" — omegas are frozen at omega_freeze_epoch).
+///
+/// When observability is attached, every epoch emits a `train_epoch`
+/// event and the run updates the `train.*` metrics; the default handle
+/// disables all instrumentation.
 TrainHistory train(nn::Network& net, const data::TrainTest& data,
-                   const TrainConfig& config,
-                   nn::Regularizer* regularizer);
+                   const TrainConfig& config, nn::Regularizer* regularizer,
+                   const obs::Obs& obs = {});
 
 /// Paper-style parameter bundle for skewed training (Table II): the
 /// reference weight is omega_factor * sigma_i per layer, with penalties

@@ -39,7 +39,7 @@ std::string read_string(std::ifstream& in) {
 void save_parameters(Network& net, const std::string& path) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) {
-    throw Error("cannot open parameter file for writing: " + path);
+    throw IoError("cannot open parameter file for writing: " + path);
   }
   out.write(kMagic, sizeof(kMagic));
   const auto params = net.params();
@@ -56,14 +56,14 @@ void save_parameters(Network& net, const std::string& path) {
                                            sizeof(float)));
   }
   if (!out) {
-    throw Error("write failed: " + path);
+    throw IoError("write failed: " + path);
   }
 }
 
 void load_parameters(Network& net, const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
-    throw Error("cannot open parameter file: " + path);
+    throw IoError("cannot open parameter file: " + path);
   }
   char magic[4] = {};
   in.read(magic, sizeof(magic));

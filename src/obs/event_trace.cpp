@@ -1,0 +1,73 @@
+#include "obs/event_trace.hpp"
+
+namespace xbarlife::obs {
+
+EventTrace::EventTrace(
+    Sink* sink, std::vector<std::pair<std::string, JsonValue>> context)
+    : sink_(sink),
+      context_(std::move(context)),
+      start_(std::chrono::steady_clock::now()) {}
+
+void EventTrace::emit(std::string_view type,
+                      std::initializer_list<Field> fields) {
+  if (sink_ == nullptr) {
+    return;
+  }
+  write(type, fields.begin(), fields.size());
+}
+
+void EventTrace::emit(std::string_view type,
+                      const std::vector<Field>& fields) {
+  if (sink_ == nullptr) {
+    return;
+  }
+  write(type, fields.data(), fields.size());
+}
+
+void EventTrace::emit_line(const std::string& line) {
+  if (sink_ == nullptr) {
+    return;
+  }
+  sink_->write(line);
+}
+
+std::uint64_t EventTrace::events_emitted() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return seq_;
+}
+
+void EventTrace::write(std::string_view type, const Field* fields,
+                       std::size_t n) {
+  const double t_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start_)
+          .count();
+  std::string line;
+  line.reserve(64 + 32 * n);
+  line += "{\"event\":\"";
+  line += json_escape(type);
+  line += "\"";
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    line += ",\"seq\":";
+    line += std::to_string(seq_++);
+    line += ",\"t_ms\":";
+    line += json_number(t_ms);
+    for (const auto& [key, value] : context_) {
+      line += ",\"";
+      line += json_escape(key);
+      line += "\":";
+      value.dump_to(line);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      line += ",\"";
+      line += json_escape(fields[i].first);
+      line += "\":";
+      fields[i].second.dump_to(line);
+    }
+    line += '}';
+    sink_->write(line);
+  }
+}
+
+}  // namespace xbarlife::obs

@@ -1,0 +1,64 @@
+// Structured event tracing: JSON-lines events with run-relative timestamps.
+//
+// An EventTrace serializes events of the form
+//
+//   {"event":"session_start","seq":12,"t_ms":34.5,<context...>,<fields...>}
+//
+// to its Sink. `seq` is a per-trace monotonic counter and `t_ms` the
+// steady-clock time since the trace was created — run-relative, so traces
+// are comparable across runs (determinism tests strip t_ms, the only
+// wall-clock field). Context fields (e.g. {"job":"T+T/r0"} for a sweep
+// job's private trace) are appended to every event.
+//
+// A trace with no sink is disabled: emit() returns before touching the
+// clock or serializing anything, so instrumented code paths cost one
+// branch when tracing is off.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/sink.hpp"
+
+namespace xbarlife::obs {
+
+/// One event field: name + JSON value.
+using Field = std::pair<std::string_view, JsonValue>;
+
+class EventTrace {
+ public:
+  /// `sink` may be null (disabled trace) and must outlive the trace.
+  explicit EventTrace(Sink* sink = nullptr,
+                      std::vector<std::pair<std::string, JsonValue>>
+                          context = {});
+
+  bool enabled() const { return sink_ != nullptr; }
+  Sink* sink() const { return sink_; }
+
+  void emit(std::string_view type, std::initializer_list<Field> fields);
+  void emit(std::string_view type, const std::vector<Field>& fields);
+
+  /// Replays an already serialized event line verbatim (no re-stamping);
+  /// used to splice per-job traces into a parent trace in job order.
+  void emit_line(const std::string& line);
+
+  std::uint64_t events_emitted() const;
+
+ private:
+  void write(std::string_view type, const Field* fields, std::size_t n);
+
+  Sink* sink_;
+  std::vector<std::pair<std::string, JsonValue>> context_;
+  std::chrono::steady_clock::time_point start_;
+  mutable std::mutex mu_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace xbarlife::obs

@@ -1,0 +1,84 @@
+// Obs: the lightweight handle instrumented code passes around.
+//
+// An Obs bundles an optional metrics Registry and an optional EventTrace.
+// Every helper no-ops on a null member, so library functions take a
+// `const obs::Obs& obs = {}` default parameter and uninstrumented callers
+// (benches, tests, existing code) pay one branch per call site — the
+// "zero-cost when no sink is attached" contract of the observability
+// layer. Guard expensive field construction in hot loops with
+// `obs.trace_enabled()`.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <initializer_list>
+#include <string_view>
+
+#include "obs/event_trace.hpp"
+#include "obs/metrics.hpp"
+
+namespace xbarlife::obs {
+
+struct Obs {
+  Registry* metrics = nullptr;
+  EventTrace* trace = nullptr;
+
+  bool metrics_enabled() const { return metrics != nullptr; }
+  bool trace_enabled() const { return trace != nullptr && trace->enabled(); }
+  bool enabled() const { return metrics_enabled() || trace_enabled(); }
+
+  void count(std::string_view name, std::uint64_t delta = 1) const {
+    if (metrics != nullptr) {
+      metrics->counter(name).add(delta);
+    }
+  }
+  void set_gauge(std::string_view name, double value) const {
+    if (metrics != nullptr) {
+      metrics->gauge(name).set(value);
+    }
+  }
+  void observe(std::string_view name, double sample) const {
+    if (metrics != nullptr) {
+      metrics->histogram(name).observe(sample);
+    }
+  }
+  void event(std::string_view type,
+             std::initializer_list<Field> fields = {}) const {
+    if (trace != nullptr) {
+      trace->emit(type, fields);
+    }
+  }
+};
+
+/// RAII wall-clock timer: records the scope's elapsed milliseconds into
+/// `metrics->histogram(name)` on destruction. With null metrics the
+/// constructor never reads the clock. Wall-clock histograms follow the
+/// `*_ms` naming convention so determinism checks can exclude them.
+class ScopeTimer {
+ public:
+  ScopeTimer(Registry* metrics, std::string_view name)
+      : histogram_(metrics != nullptr ? &metrics->histogram(name) : nullptr),
+        start_(histogram_ != nullptr ? std::chrono::steady_clock::now()
+                                     : std::chrono::steady_clock::time_point{}) {}
+
+  ScopeTimer(const ScopeTimer&) = delete;
+  ScopeTimer& operator=(const ScopeTimer&) = delete;
+
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  ~ScopeTimer() {
+    if (histogram_ != nullptr) {
+      histogram_->observe(elapsed_ms());
+    }
+  }
+
+ private:
+  HistogramMetric* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace xbarlife::obs

@@ -39,6 +39,14 @@ const DeployedLayer& HardwareNetwork::layer(std::size_t i) const {
   return layers_[i];
 }
 
+void HardwareNetwork::attach_metrics(obs::Registry& registry) {
+  obs::Counter& pulses = registry.counter("aging.pulses");
+  obs::Counter& traced = registry.counter("aging.traced_pulses");
+  for (DeployedLayer& layer : layers_) {
+    layer.xbar->attach_pulse_counters(&pulses, &traced);
+  }
+}
+
 void HardwareNetwork::capture_targets() {
   targets_ = net_->save_mappable_weights();
 }

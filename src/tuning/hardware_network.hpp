@@ -15,6 +15,7 @@
 #include "mapping/mapper.hpp"
 #include "mapping/range_select.hpp"
 #include "nn/network.hpp"
+#include "obs/metrics.hpp"
 #include "xbar/crossbar.hpp"
 
 namespace xbarlife::tuning {
@@ -91,6 +92,11 @@ class HardwareNetwork {
   /// Restores the software target weights into the network (e.g. to
   /// retrain in software between deployments).
   void restore_targets_to_network();
+
+  /// Attaches observability pulse counters ("aging.pulses",
+  /// "aging.traced_pulses") from `registry` to every crossbar's
+  /// RepresentativeTracker. The registry must outlive this object.
+  void attach_metrics(obs::Registry& registry);
 
   /// Ground-truth aging statistics per deployed layer.
   std::vector<xbar::CrossbarAgingStats> aging_stats() const;

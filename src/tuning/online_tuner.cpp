@@ -69,9 +69,11 @@ std::uint64_t OnlineTuner::apply_sign_updates(HardwareNetwork& hw) {
 
 TuningResult OnlineTuner::tune(HardwareNetwork& hw,
                                const data::Dataset& tune_data,
-                               const data::Dataset& eval_data) {
+                               const data::Dataset& eval_data,
+                               const obs::Obs& obs) {
   XB_CHECK(tune_data.size() > 0 && eval_data.size() > 0,
            "tuning needs non-empty datasets");
+  const obs::ScopeTimer timer(obs.metrics, "tuning.session_ms");
   nn::Network& net = hw.network();
   const data::Dataset eval_slice =
       eval_data.head(config_.eval_samples);
@@ -103,7 +105,8 @@ TuningResult OnlineTuner::tune(HardwareNetwork& hw,
     cursor_ += batch.labels.size();
 
     net.compute_gradients(batch.images, batch.labels);
-    result.pulses += apply_sign_updates(hw);
+    const std::uint64_t iter_pulses = apply_sign_updates(hw);
+    result.pulses += iter_pulses;
     hw.sync_network_to_hardware();
     acc = net.evaluate(eval_slice.images, eval_slice.labels);
     if (acc > best_acc + 1e-9) {
@@ -112,6 +115,11 @@ TuningResult OnlineTuner::tune(HardwareNetwork& hw,
     } else {
       ++since_improvement;
     }
+    if (obs.trace_enabled()) {
+      obs.event("tune_iter", {{"iteration", result.iterations},
+                              {"accuracy", acc},
+                              {"pulses", iter_pulses}});
+    }
   }
   // A session that exits the loop still at target counts as converged
   // (covers the zero-iteration case where mapping alone suffices).
@@ -119,6 +127,12 @@ TuningResult OnlineTuner::tune(HardwareNetwork& hw,
     result.converged = true;
   }
   result.final_accuracy = acc;
+  obs.count("tuning.sessions");
+  obs.count("tuning.iterations", result.iterations);
+  obs.count("tuning.pulses", result.pulses);
+  if (result.converged) {
+    obs.count("tuning.converged_sessions");
+  }
   return result;
 }
 

@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "data/dataset.hpp"
+#include "obs/obs.hpp"
 #include "tuning/hardware_network.hpp"
 
 namespace xbarlife::tuning {
@@ -57,8 +58,14 @@ class OnlineTuner {
   /// `eval_data` for the convergence check. The hardware network must have
   /// been deployed. On return the network holds the final effective
   /// weights.
+  ///
+  /// When observability is attached, every iteration emits a `tune_iter`
+  /// event and the session updates the `tuning.*` counters; with the
+  /// default (disabled) handle instrumentation costs one branch per
+  /// iteration.
   TuningResult tune(HardwareNetwork& hw, const data::Dataset& tune_data,
-                    const data::Dataset& eval_data);
+                    const data::Dataset& eval_data,
+                    const obs::Obs& obs = {});
 
  private:
   /// One sign-update pass over every deployed layer; returns pulses spent.

@@ -69,6 +69,13 @@ class Crossbar {
   /// The traced (1-of-9) history available to the mapper.
   const aging::RepresentativeTracker& tracker() const { return tracker_; }
 
+  /// Attaches observability pulse counters to the tracker (either may be
+  /// null to detach); counters must outlive the crossbar.
+  void attach_pulse_counters(obs::Counter* pulses,
+                             obs::Counter* traced_pulses) {
+    tracker_.attach_counters(pulses, traced_pulses);
+  }
+
   std::uint64_t total_pulses() const { return total_pulses_; }
 
   /// Array-wide thermal-crosstalk stress pool shared by every cell.
