@@ -2,8 +2,13 @@
 //
 //   xbarlife train     --model <name> [--skewed] [--out w.bin]
 //   xbarlife lifetime  --model <name> --scenario tt|stt|stat
-//                      [--sessions N] [--strict]
-//   xbarlife sweep     --model <name> [--replicates N]
+//                      [--sessions N] [--strict] [--stuck-off F]
+//                      [--stuck-on F] [--write-noise S] [--read-noise S]
+//                      [--line-resistance R] [--spare-rows N] [--no-ladder]
+//   xbarlife sweep     --model <name> [--replicates N] [--strict]
+//   xbarlife faults    --model <name> [--stuck-off LIST] [--stuck-on LIST]
+//                      [--write-noise LIST] [--read-noise LIST]
+//                      [--compare-ladder] [--checkpoint PATH] [--strict]
 //   xbarlife device    [--pulses N] [--target-r OHMS]
 //   xbarlife models
 //   xbarlife info
@@ -28,11 +33,13 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "core/experiment.hpp"
+#include "core/fault_campaign.hpp"
 #include "core/model_registry.hpp"
 #include "core/report.hpp"
 #include "core/scenario_runner.hpp"
@@ -122,10 +129,23 @@ class CliOutput {
 
   /// Emits the versioned result document as the stream's final line.
   void finish(const std::string& command, obs::JsonValue data) {
+    emit(command, std::move(data), &registry_);
+  }
+
+  /// Like finish(), but omits the metrics snapshot. Campaign documents
+  /// must be byte-identical between fresh and checkpoint-resumed runs,
+  /// and the executed/resumed job counters necessarily differ.
+  void finish_deterministic(const std::string& command,
+                            obs::JsonValue data) {
+    emit(command, std::move(data), nullptr);
+  }
+
+ private:
+  void emit(const std::string& command, obs::JsonValue data,
+            const obs::Registry* metrics) {
     if (json_sink_ != nullptr) {
       json_sink_->write(
-          core::result_document(command, std::move(data), &registry_)
-              .dump());
+          core::result_document(command, std::move(data), metrics).dump());
       json_sink_->flush();
     }
     if (trace_sink_ != nullptr) {
@@ -133,7 +153,6 @@ class CliOutput {
     }
   }
 
- private:
   static std::unique_ptr<obs::Sink> make_sink(const std::string& target) {
     if (target == "-") {
       return std::make_unique<obs::StreamSink>(std::cout);
@@ -182,6 +201,68 @@ core::Scenario scenario_for(const Args& args) {
                                   "' (expected tt|stt|stat)");
 }
 
+/// Applies the shared nonideality/resilience flags to `cfg` and validates
+/// them (a bad value surfaces as InvalidArgument -> exit 2). The fault
+/// seed defaults to the experiment seed so `lifetime` runs with the same
+/// flags are reproducible without an extra option.
+void apply_fault_flags(const Args& args, core::ExperimentConfig& cfg) {
+  tuning::HardwareFaultConfig& f = cfg.faults;
+  if (args.flag("stuck-off")) {
+    f.nonideal.stuck_off_fraction = std::stod(args.get("stuck-off", "0"));
+  }
+  if (args.flag("stuck-on")) {
+    f.nonideal.stuck_on_fraction = std::stod(args.get("stuck-on", "0"));
+  }
+  if (args.flag("write-noise")) {
+    f.nonideal.write_noise_sigma = std::stod(args.get("write-noise", "0"));
+  }
+  if (args.flag("read-noise")) {
+    f.nonideal.read_noise_sigma = std::stod(args.get("read-noise", "0"));
+  }
+  if (args.flag("line-resistance")) {
+    f.nonideal.line_resistance =
+        std::stod(args.get("line-resistance", "0"));
+  }
+  if (args.flag("spare-rows")) {
+    f.spare_rows = static_cast<std::size_t>(
+        std::stoul(args.get("spare-rows", "0")));
+  }
+  f.fault_seed =
+      std::stoull(args.get("fault-seed", std::to_string(cfg.seed)));
+  if (args.flag("no-ladder")) {
+    cfg.lifetime.resilience.ladder_enabled = false;
+  }
+  if (args.flag("accuracy-floor")) {
+    cfg.lifetime.resilience.degraded_accuracy_floor =
+        std::stod(args.get("accuracy-floor", "0.5"));
+  }
+  f.validate();
+  cfg.lifetime.resilience.validate();
+}
+
+/// Splits a comma-separated flag value; every token must be non-empty.
+std::vector<std::string> split_list(const std::string& value,
+                                    const std::string& flag) {
+  std::vector<std::string> out;
+  std::string current;
+  for (const char ch : value) {
+    if (ch == ',') {
+      out.push_back(current);
+      current.clear();
+    } else {
+      current += ch;
+    }
+  }
+  out.push_back(current);
+  for (const std::string& token : out) {
+    if (token.empty()) {
+      throw xbarlife::InvalidArgument("--" + flag +
+                                      " has an empty list element");
+    }
+  }
+  return out;
+}
+
 int cmd_train(const Args& args, CliOutput& out) {
   core::ExperimentConfig cfg = config_for(args);
   const bool skewed = args.flag("skewed");
@@ -208,9 +289,21 @@ int cmd_train(const Args& args, CliOutput& out) {
 
 int cmd_lifetime(const Args& args, CliOutput& out) {
   core::ExperimentConfig cfg = config_for(args);
+  apply_fault_flags(args, cfg);
   const core::Scenario scenario = scenario_for(args);
   out.human() << "Scenario " << core::to_string(scenario) << " on "
               << cfg.name << " (this trains the network first)...\n";
+  if (cfg.faults.active()) {
+    out.human() << "hardware faults: stuck-off "
+                << format_double(cfg.faults.nonideal.stuck_off_fraction, 3)
+                << ", stuck-on "
+                << format_double(cfg.faults.nonideal.stuck_on_fraction, 3)
+                << ", write noise "
+                << format_double(cfg.faults.nonideal.write_noise_sigma, 3)
+                << ", read noise "
+                << format_double(cfg.faults.nonideal.read_noise_sigma, 3)
+                << ", spare rows " << cfg.faults.spare_rows << "\n";
+  }
   const core::ScenarioOutcome o =
       core::run_scenario(cfg, scenario, out.obs());
   out.human() << "software accuracy: "
@@ -258,6 +351,109 @@ int cmd_sweep(const Args& args, CliOutput& out) {
   data.set("replicates", replicates);
   data.set("sweep", core::sweep_entries_json(entries));
   out.finish("sweep", std::move(data));
+  std::size_t failed = 0;
+  for (const core::ScenarioSweepEntry& e : entries) {
+    failed += e.failed;
+  }
+  if (failed > 0) {
+    out.human() << failed << " of " << entries.size()
+                << " sweep jobs failed (see the error column)\n";
+    if (args.flag("strict")) {
+      throw xbarlife::ConvergenceError(
+          std::to_string(failed) + " of " +
+          std::to_string(entries.size()) +
+          " sweep jobs failed with --strict");
+    }
+  }
+  return 0;
+}
+
+int cmd_faults(const Args& args, CliOutput& out) {
+  core::FaultCampaignConfig campaign;
+  campaign.base = config_for(args);
+  campaign.scenarios = {scenario_for(args)};
+  campaign.replicates = static_cast<std::size_t>(
+      std::stoul(args.get("replicates", "1")));
+  campaign.campaign_seed = std::stoull(args.get("seed", "7"));
+  campaign.checkpoint_path = args.get("checkpoint", "");
+
+  // The grid is the cross product of the comma-separated fault lists;
+  // scalar flags (line resistance, spare rows, ladder knobs) apply to
+  // every point. Labels reuse the flag tokens verbatim so points are easy
+  // to correlate with the command line.
+  const auto offs = split_list(args.get("stuck-off", "0,0.02"), "stuck-off");
+  const auto ons = split_list(args.get("stuck-on", "0"), "stuck-on");
+  const auto wns =
+      split_list(args.get("write-noise", "0"), "write-noise");
+  const auto rns = split_list(args.get("read-noise", "0"), "read-noise");
+  const double line_r = std::stod(args.get("line-resistance", "0"));
+  const auto spare_rows = static_cast<std::size_t>(
+      std::stoul(args.get("spare-rows", "0")));
+  resilience::ResilienceConfig policy;
+  if (args.flag("no-ladder")) {
+    policy.ladder_enabled = false;
+  }
+  if (args.flag("accuracy-floor")) {
+    policy.degraded_accuracy_floor =
+        std::stod(args.get("accuracy-floor", "0.5"));
+  }
+  for (const std::string& off : offs) {
+    for (const std::string& on : ons) {
+      for (const std::string& wn : wns) {
+        for (const std::string& rn : rns) {
+          core::FaultPoint point;
+          point.label =
+              "off" + off + "_on" + on + "_wn" + wn + "_rn" + rn;
+          point.faults.nonideal.stuck_off_fraction = std::stod(off);
+          point.faults.nonideal.stuck_on_fraction = std::stod(on);
+          point.faults.nonideal.write_noise_sigma = std::stod(wn);
+          point.faults.nonideal.read_noise_sigma = std::stod(rn);
+          point.faults.nonideal.line_resistance = line_r;
+          point.faults.spare_rows = spare_rows;
+          point.resilience = policy;
+          campaign.points.push_back(point);
+          if (args.flag("compare-ladder")) {
+            point.label += "_noladder";
+            point.resilience.ladder_enabled = false;
+            campaign.points.push_back(std::move(point));
+          }
+        }
+      }
+    }
+  }
+  campaign.validate();
+
+  const std::size_t job_count = campaign.points.size() *
+                                campaign.scenarios.size() *
+                                campaign.replicates;
+  out.human() << "Fault campaign: " << campaign.points.size()
+              << " fault point(s) x " << campaign.replicates
+              << " replicate(s) on " << campaign.base.name << " ("
+              << job_count << " jobs, " << parallel_threads()
+              << " thread(s))...\n";
+  const core::FaultCampaignResult result =
+      core::run_fault_campaign(campaign, out.obs());
+  out.human() << core::fault_campaign_table(result);
+  if (result.resumed_jobs > 0) {
+    out.human() << result.resumed_jobs
+                << " job(s) restored from the checkpoint, "
+                << result.executed_jobs << " executed\n";
+  }
+
+  obs::JsonValue data = obs::JsonValue::object();
+  data.set("config", core::experiment_config_json(campaign.base));
+  data.set("campaign", core::fault_campaign_json(result));
+  out.finish_deterministic("faults", std::move(data));
+  if (result.failed_jobs > 0) {
+    out.human() << result.failed_jobs << " of " << result.jobs.size()
+                << " campaign jobs failed\n";
+    if (args.flag("strict")) {
+      throw xbarlife::ConvergenceError(
+          std::to_string(result.failed_jobs) + " of " +
+          std::to_string(result.jobs.size()) +
+          " campaign jobs failed with --strict");
+    }
+  }
   return 0;
 }
 
@@ -335,11 +531,29 @@ int cmd_info() {
              "            [--strict]     run one lifetime scenario (--strict\n"
              "            exits 4 if the array dies before the session cap)\n"
              "  sweep     --model ... [--replicates N] [--sessions N]\n"
-             "            run all scenarios x replicates (parallel fan-out)\n"
+             "            [--strict]     run all scenarios x replicates\n"
+             "            (parallel fan-out; per-job errors are isolated,\n"
+             "            --strict exits 4 if any job failed)\n"
+             "  faults    --model ... [--scenario S] [--replicates N]\n"
+             "            [--compare-ladder] [--checkpoint PATH] [--strict]\n"
+             "            deterministic fault-injection campaign over the\n"
+             "            cross product of the fault lists; --checkpoint\n"
+             "            makes a killed campaign resumable\n"
              "  device    [--pulses N] [--target-r OHMS]\n"
              "            age a single device and report its window\n"
              "  models    list registered models\n"
              "  info      this text\n\n"
+             "fault options (lifetime: scalars; faults: comma lists for\n"
+             "the stuck/noise flags):\n"
+             "  --stuck-off F   manufacture-time stuck-at-R_max fraction\n"
+             "  --stuck-on F    manufacture-time stuck-at-R_min fraction\n"
+             "  --write-noise S lognormal sigma on every programming pulse\n"
+             "  --read-noise S  lognormal sigma on every conductance read\n"
+             "  --line-resistance R  per-cell wire resistance (IR drop)\n"
+             "  --spare-rows N  redundant rows per crossbar for remapping\n"
+             "  --fault-seed N  fault-map seed (default: experiment seed)\n"
+             "  --no-ladder     disable the resilience escalation ladder\n"
+             "  --accuracy-floor F  degraded-mode acceptance floor\n\n"
              "global options:\n"
              "  --threads N     worker threads (0 = all cores; default 1 or\n"
              "                  $XBARLIFE_THREADS); results are identical at\n"
@@ -376,6 +590,9 @@ int main(int argc, char** argv) {
     }
     if (args.command == "sweep") {
       return cmd_sweep(args, out);
+    }
+    if (args.command == "faults") {
+      return cmd_faults(args, out);
     }
     if (args.command == "device") {
       return cmd_device(args, out);

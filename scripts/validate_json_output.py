@@ -35,7 +35,10 @@ def fail(message):
 
 def read_lines(args):
     if args.exe:
-        cmd = [args.exe] + args.cmd + ["--json", "-"]
+        # With --exe the positionals form the command line; argparse puts
+        # the first token (the subcommand) into `path`.
+        lead = [args.path] if args.path != "-" else []
+        cmd = [args.exe] + lead + args.cmd + ["--json", "-"]
         proc = subprocess.run(cmd, capture_output=True, text=True)
         if proc.returncode != 0:
             fail(f"{' '.join(cmd)} exited {proc.returncode}: "
@@ -45,6 +48,32 @@ def read_lines(args):
         with open(args.path, encoding="utf-8") as handle:
             return handle.read().splitlines()
     return sys.stdin.read().splitlines()
+
+
+def validate_faults_data(data):
+    """Checks a `faults` campaign document's data payload."""
+    campaign = data.get("campaign")
+    if not isinstance(campaign, dict):
+        fail("faults data must carry a 'campaign' object")
+    for key in ("campaign_seed", "job_count", "results"):
+        if key not in campaign:
+            fail(f"faults campaign missing {key!r}")
+    results = campaign["results"]
+    if not isinstance(results, list) or len(results) != campaign["job_count"]:
+        fail("faults campaign 'results' must be a list of job_count entries")
+    for index, entry in enumerate(results):
+        if not isinstance(entry, dict):
+            fail(f"campaign entry {index} is not an object")
+        for key in ("label", "point", "scenario", "seed", "fault_seed"):
+            if key not in entry:
+                fail(f"campaign entry {index} missing {key!r}")
+        if entry.get("failed"):
+            if not entry.get("error"):
+                fail(f"failed campaign entry {index} has no 'error'")
+        elif "lifetime_applications" not in entry or "died" not in entry:
+            fail(f"campaign entry {index} lacks lifetime fields")
+        if "wall_ms" in entry:
+            fail(f"campaign entry {index} carries nondeterministic wall_ms")
 
 
 def main():
@@ -90,6 +119,8 @@ def main():
     metrics = result["metrics"]
     if not isinstance(metrics, dict) or list(metrics.keys()) != METRIC_KEYS:
         fail(f"result 'metrics' must have keys {METRIC_KEYS}")
+    if result["command"] == "faults":
+        validate_faults_data(result["data"])
 
     for spec in args.expect_events:
         event_type, _, count = spec.partition("=")

@@ -69,7 +69,8 @@ ScenarioOutcome run_scenario(const ExperimentConfig& config, Scenario s,
   LifetimeConfig lc = config.lifetime;
   lc.tuning.target_accuracy = outcome.tuning_target;
 
-  tuning::HardwareNetwork hw(tm.network, config.device, config.aging);
+  tuning::HardwareNetwork hw(tm.network, config.device, config.aging,
+                             config.faults);
   LifetimeSimulator sim(lc);
   outcome.lifetime =
       sim.run(hw, data.train, data.test, mapping_policy(s), obs);

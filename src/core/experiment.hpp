@@ -30,6 +30,9 @@ struct ExperimentConfig {
 
   device::DeviceParams device;
   aging::AgingParams aging;
+  /// Hardware-fault model installed on every deployed crossbar; inactive
+  /// by default (ideal arrays, legacy behaviour).
+  tuning::HardwareFaultConfig faults;
   LifetimeConfig lifetime;
 
   /// The application's required accuracy is a property of the deployment,

@@ -1,0 +1,336 @@
+#include "core/fault_campaign.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <unordered_set>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "core/report.hpp"
+
+namespace xbarlife::core {
+
+namespace {
+
+constexpr std::string_view kCheckpointSchema = "xbarlife.faults.v1";
+
+/// Extracts the unsigned integer following `"key":` in `line`; campaign
+/// files are written by this module, so a full JSON parser is not needed.
+std::uint64_t scan_u64(const std::string& line, const std::string& key,
+                       const std::string& what) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t pos = line.find(needle);
+  if (pos == std::string::npos) {
+    throw IoError("checkpoint " + what + ": missing field '" + key + "'");
+  }
+  std::size_t i = pos + needle.size();
+  std::uint64_t value = 0;
+  bool any = false;
+  while (i < line.size() && line[i] >= '0' && line[i] <= '9') {
+    value = value * 10 + static_cast<std::uint64_t>(line[i] - '0');
+    ++i;
+    any = true;
+  }
+  if (!any) {
+    throw IoError("checkpoint " + what + ": field '" + key +
+                  "' is not a number");
+  }
+  return value;
+}
+
+}  // namespace
+
+void FaultCampaignConfig::validate() const {
+  XB_CHECK(!points.empty(), "fault campaign needs at least one point");
+  XB_CHECK(!scenarios.empty(), "fault campaign needs at least one scenario");
+  XB_CHECK(replicates > 0, "fault campaign needs at least one replicate");
+  std::unordered_set<std::string> labels;
+  for (const FaultPoint& p : points) {
+    XB_CHECK(!p.label.empty(), "fault point label must be non-empty");
+    XB_CHECK(labels.insert(p.label).second,
+             "duplicate fault point label: " + p.label);
+    p.faults.validate();
+    p.resilience.validate();
+  }
+}
+
+obs::JsonValue campaign_entry_json(const ScenarioSweepEntry& entry,
+                                   const std::string& point,
+                                   const std::string& job_label) {
+  obs::JsonValue out = obs::JsonValue::object();
+  out.set("label", job_label);
+  out.set("point", point);
+  out.set("scenario", to_string(entry.scenario));
+  out.set("stream", entry.stream);
+  out.set("seed", entry.seed);
+  out.set("data_seed", entry.data_seed);
+  out.set("drift_seed", entry.drift_seed);
+  out.set("fault_seed", entry.fault_seed);
+  if (entry.failed) {
+    out.set("failed", true);
+    out.set("error", entry.error);
+    return out;
+  }
+  out.set("software_accuracy", entry.outcome.software_accuracy);
+  out.set("tuning_target", entry.outcome.tuning_target);
+  out.set("lifetime_applications",
+          entry.outcome.lifetime.lifetime_applications);
+  out.set("sessions", entry.outcome.lifetime.sessions.size());
+  std::size_t rescued = 0;
+  std::size_t degraded = 0;
+  for (const SessionRecord& rec : entry.outcome.lifetime.sessions) {
+    rescued += rec.rescued;
+    degraded += rec.degraded;
+  }
+  out.set("rescued_sessions", rescued);
+  out.set("degraded_sessions", degraded);
+  out.set("died", entry.outcome.lifetime.died);
+  return out;
+}
+
+namespace {
+
+struct JobSpec {
+  ScenarioJob job;
+  std::string point;
+};
+
+std::vector<JobSpec> build_jobs(const FaultCampaignConfig& config) {
+  std::vector<JobSpec> specs;
+  specs.reserve(config.points.size() * config.scenarios.size() *
+                config.replicates);
+  for (const FaultPoint& point : config.points) {
+    for (std::size_t rep = 0; rep < config.replicates; ++rep) {
+      for (const Scenario s : config.scenarios) {
+        JobSpec spec;
+        spec.point = point.label;
+        spec.job.label = point.label + "/" + std::string(to_string(s)) +
+                         "/r" + std::to_string(rep);
+        spec.job.config = config.base;
+        spec.job.config.faults = point.faults;
+        spec.job.config.lifetime.resilience = point.resilience;
+        spec.job.scenario = s;
+        // Replicate r shares stream r across every point and scenario, so
+        // the grid's cells are directly comparable.
+        spec.job.stream = rep;
+        specs.push_back(std::move(spec));
+      }
+    }
+  }
+  return specs;
+}
+
+/// Restores completed entries from the checkpoint file into `result`.
+/// A missing file is a fresh start; a malformed or mismatched file is an
+/// IoError (resuming it would corrupt the campaign).
+std::size_t load_checkpoint(const std::string& path,
+                            std::uint64_t campaign_seed,
+                            FaultCampaignResult& result) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return 0;
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw IoError("checkpoint file is empty: " + path);
+  }
+  if (line.find("\"checkpoint\":\"") == std::string::npos ||
+      line.find(kCheckpointSchema) == std::string::npos) {
+    throw IoError("not a fault-campaign checkpoint: " + path);
+  }
+  if (scan_u64(line, "campaign_seed", "header") != campaign_seed) {
+    throw IoError("checkpoint belongs to a different campaign seed: " +
+                  path);
+  }
+  if (scan_u64(line, "jobs", "header") != result.jobs.size()) {
+    throw IoError("checkpoint job count does not match this campaign: " +
+                  path);
+  }
+  std::size_t restored = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    const std::uint64_t index = scan_u64(line, "index", "entry");
+    if (index >= result.jobs.size()) {
+      throw IoError("checkpoint entry index out of range: " + path);
+    }
+    const std::string needle = "\"entry\":";
+    const std::size_t pos = line.find(needle);
+    if (pos == std::string::npos || line.back() != '}') {
+      throw IoError("malformed checkpoint entry: " + path);
+    }
+    // The stored entry is the serialized campaign_entry_json document;
+    // keep the exact bytes so the resumed result document is identical.
+    FaultCampaignJob& job = result.jobs[index];
+    job.entry_json =
+        line.substr(pos + needle.size(),
+                    line.size() - pos - needle.size() - 1);
+    job.resumed = true;
+    ++restored;
+  }
+  return restored;
+}
+
+/// Atomically rewrites the checkpoint with every completed entry.
+void write_checkpoint(const std::string& path, std::uint64_t campaign_seed,
+                      const FaultCampaignResult& result) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out.is_open()) {
+      throw IoError("cannot write checkpoint: " + tmp);
+    }
+    out << "{\"checkpoint\":\"" << kCheckpointSchema
+        << "\",\"campaign_seed\":" << campaign_seed
+        << ",\"jobs\":" << result.jobs.size() << "}\n";
+    for (std::size_t i = 0; i < result.jobs.size(); ++i) {
+      const FaultCampaignJob& job = result.jobs[i];
+      if (job.entry_json.empty()) {
+        continue;
+      }
+      out << "{\"index\":" << i << ",\"entry\":" << job.entry_json
+          << "}\n";
+    }
+    if (!out.good()) {
+      throw IoError("checkpoint write failed: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw IoError("cannot move checkpoint into place: " + path);
+  }
+}
+
+}  // namespace
+
+FaultCampaignResult run_fault_campaign(const FaultCampaignConfig& config,
+                                       const obs::Obs& obs) {
+  config.validate();
+  const std::vector<JobSpec> specs = build_jobs(config);
+
+  FaultCampaignResult result;
+  result.campaign_seed = config.campaign_seed;
+  result.jobs.resize(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    result.jobs[i].label = specs[i].job.label;
+  }
+
+  if (!config.checkpoint_path.empty()) {
+    result.resumed_jobs =
+        load_checkpoint(config.checkpoint_path, config.campaign_seed,
+                        result);
+    obs.count("faults.jobs_resumed", result.resumed_jobs);
+  }
+
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < result.jobs.size(); ++i) {
+    if (result.jobs[i].entry_json.empty()) {
+      pending.push_back(i);
+    }
+  }
+
+  // Chunked fan-out: the checkpoint is rewritten after every chunk so a
+  // killed campaign loses at most one chunk of work. The chunk size is a
+  // constant — NOT the pool size — so batch composition (and with it the
+  // batch-relative fields of sweep_job_done trace events) is identical
+  // at any thread count.
+  constexpr std::size_t kChunk = 16;
+  const ScenarioRunner runner(config.campaign_seed);
+  const std::size_t chunk = kChunk;
+  for (std::size_t start = 0; start < pending.size(); start += chunk) {
+    const std::size_t end = std::min(pending.size(), start + chunk);
+    std::vector<ScenarioJob> batch;
+    batch.reserve(end - start);
+    for (std::size_t k = start; k < end; ++k) {
+      batch.push_back(specs[pending[k]].job);
+    }
+    const std::vector<ScenarioSweepEntry> entries = runner.run(batch, obs);
+    for (std::size_t k = start; k < end; ++k) {
+      const std::size_t idx = pending[k];
+      FaultCampaignJob& job = result.jobs[idx];
+      job.entry = entries[k - start];
+      job.entry_json =
+          campaign_entry_json(*job.entry, specs[idx].point, job.label)
+              .dump();
+      ++result.executed_jobs;
+    }
+    if (!config.checkpoint_path.empty()) {
+      write_checkpoint(config.checkpoint_path, config.campaign_seed,
+                       result);
+    }
+  }
+  obs.count("faults.jobs_executed", result.executed_jobs);
+
+  for (const FaultCampaignJob& job : result.jobs) {
+    const bool failed =
+        job.entry.has_value()
+            ? job.entry->failed
+            : job.entry_json.find("\"failed\":true") != std::string::npos;
+    result.failed_jobs += failed;
+  }
+  if (obs.trace_enabled()) {
+    obs.event("campaign_done",
+              {{"campaign_seed", result.campaign_seed},
+               {"jobs", result.jobs.size()},
+               {"executed", result.executed_jobs},
+               {"resumed", result.resumed_jobs},
+               {"failed", result.failed_jobs}});
+  }
+  return result;
+}
+
+obs::JsonValue fault_campaign_json(const FaultCampaignResult& result) {
+  obs::JsonValue results = obs::JsonValue::array();
+  for (const FaultCampaignJob& job : result.jobs) {
+    XB_ASSERT(!job.entry_json.empty(),
+              "campaign job has no entry: " + job.label);
+    results.push_back(obs::JsonValue::raw(job.entry_json));
+  }
+  obs::JsonValue out = obs::JsonValue::object();
+  out.set("campaign_seed", result.campaign_seed);
+  out.set("job_count", result.jobs.size());
+  out.set("results", std::move(results));
+  return out;
+}
+
+std::string fault_campaign_table(const FaultCampaignResult& result) {
+  TablePrinter table({"job", "source", "lifetime apps", "outcome"});
+  for (const FaultCampaignJob& job : result.jobs) {
+    std::string apps = "-";
+    std::string outcome;
+    if (job.entry_json.find("\"failed\":true") != std::string::npos) {
+      outcome = "error";
+      const std::string needle = "\"error\":\"";
+      const std::size_t pos = job.entry_json.find(needle);
+      if (pos != std::string::npos) {
+        const std::size_t stop =
+            job.entry_json.find('"', pos + needle.size());
+        outcome = "error: " + job.entry_json.substr(
+                                  pos + needle.size(),
+                                  stop - pos - needle.size());
+      }
+    } else {
+      const std::string needle = "\"lifetime_applications\":";
+      const std::size_t pos = job.entry_json.find(needle);
+      if (pos != std::string::npos) {
+        std::size_t i = pos + needle.size();
+        std::string digits;
+        while (i < job.entry_json.size() &&
+               job.entry_json[i] >= '0' && job.entry_json[i] <= '9') {
+          digits += job.entry_json[i];
+          ++i;
+        }
+        apps = digits;
+      }
+      outcome = job.entry_json.find("\"died\":true") != std::string::npos
+                    ? "died"
+                    : "survived cap";
+    }
+    table.add_row(
+        {job.label, job.resumed ? "checkpoint" : "run", apps, outcome});
+  }
+  return table.render();
+}
+
+}  // namespace xbarlife::core

@@ -1,0 +1,85 @@
+// Deterministic fault-injection campaign engine.
+//
+// A campaign sweeps hardware-fault points (stuck-at rates, noise levels,
+// spare-row budgets, ladder on/off) across lifetime scenarios and
+// replicates, reusing ScenarioRunner's forked-seed fan-out so the whole
+// grid is pinned by one campaign seed — byte-identical at any thread
+// count. Per-job failures are isolated (a throwing scenario becomes a
+// failed entry, not a fatal error), and an optional checkpoint file makes
+// the campaign resumable: completed entries are persisted as serialized
+// JSON and spliced back verbatim on resume, so a killed-and-resumed
+// campaign emits the same result document as an uninterrupted one.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/scenario_runner.hpp"
+#include "resilience/resilience.hpp"
+
+namespace xbarlife::core {
+
+/// One point of the fault grid: a hardware-fault model plus the
+/// resilience policy to run it under.
+struct FaultPoint {
+  std::string label;
+  tuning::HardwareFaultConfig faults;  ///< fault_seed is overwritten per job
+  resilience::ResilienceConfig resilience;
+};
+
+struct FaultCampaignConfig {
+  ExperimentConfig base;
+  std::vector<FaultPoint> points;
+  std::vector<Scenario> scenarios{Scenario::kSTAT};
+  /// Replicate r shares seed stream r across every point and scenario, so
+  /// grid cells compare on identical data/init/drift/fault draws.
+  std::size_t replicates = 1;
+  std::uint64_t campaign_seed = 0x5eedULL;
+  /// Checkpoint file path; empty disables checkpointing.
+  std::string checkpoint_path;
+
+  void validate() const;
+};
+
+/// Per-job campaign outcome: the job's identity plus its persisted entry
+/// JSON. `entry` is present only for jobs executed in this process (jobs
+/// restored from a checkpoint carry their stored JSON instead).
+struct FaultCampaignJob {
+  std::string label;
+  std::string entry_json;  ///< deterministic (no wall-clock fields)
+  bool resumed = false;    ///< restored from the checkpoint file
+  std::optional<ScenarioSweepEntry> entry;
+};
+
+struct FaultCampaignResult {
+  std::uint64_t campaign_seed = 0;
+  std::vector<FaultCampaignJob> jobs;
+  std::size_t resumed_jobs = 0;
+  std::size_t executed_jobs = 0;
+  std::size_t failed_jobs = 0;
+};
+
+/// Deterministic entry document for one campaign job (excludes wall_ms —
+/// the one nondeterministic sweep field — so stored and fresh entries
+/// serialize identically).
+obs::JsonValue campaign_entry_json(const ScenarioSweepEntry& entry,
+                                   const std::string& point,
+                                   const std::string& job_label);
+
+/// Runs (or resumes) the campaign. Throws InvalidArgument on an empty or
+/// inconsistent grid and IoError when the checkpoint file is unreadable
+/// or belongs to a different campaign.
+FaultCampaignResult run_fault_campaign(const FaultCampaignConfig& config,
+                                       const obs::Obs& obs = {});
+
+/// The campaign's result-document "data" payload:
+///   {"campaign_seed":..., "job_count":N, "results":[<entries>]}
+/// Entries restored from a checkpoint are spliced verbatim, so resumed
+/// and uninterrupted campaigns dump identical bytes.
+obs::JsonValue fault_campaign_json(const FaultCampaignResult& result);
+
+/// Console summary, one row per job.
+std::string fault_campaign_table(const FaultCampaignResult& result);
+
+}  // namespace xbarlife::core

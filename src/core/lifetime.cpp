@@ -42,6 +42,9 @@ LifetimeResult LifetimeSimulator::run(tuning::HardwareNetwork& hw,
   }
   Rng drift_rng(config_.drift_seed);
   tuning::OnlineTuner tuner(config_.tuning);
+  const bool ladder_active =
+      config_.resilience.active_for(hw.fault_config());
+  const resilience::EscalationLadder ladder(config_.resilience);
 
   // Evaluator for the aging-aware range selection: accuracy of the network
   // as currently loaded, on a small validation slice.
@@ -92,13 +95,36 @@ LifetimeResult LifetimeSimulator::run(tuning::HardwareNetwork& hw,
                              {"accuracy", tr.final_accuracy},
                              {"iterations", tr.iterations}});
       }
-      hw.deploy(policy, config_.levels,
-                policy == tuning::MappingPolicy::kAgingAware ? evaluator
-                                                             : nullptr,
-                /*keep_threshold=*/config_.tuning.target_accuracy,
-                config_.rescue_switch_margin);
-      tr = tuner.tune(hw, tune_data, eval_data, obs);
-      rec.tuning_iterations += tr.iterations;
+      if (ladder_active) {
+        // Faulty arrays walk the bounded escalation ladder instead of the
+        // single-shot remap: retry -> remap -> fault masking -> spare
+        // rows -> degraded mode (see resilience/escalation.hpp).
+        const resilience::RescueContext ctx{
+            hw,
+            tuner,
+            tune_data,
+            eval_data,
+            policy,
+            config_.levels,
+            evaluator,
+            /*keep_threshold=*/config_.tuning.target_accuracy,
+            config_.rescue_switch_margin};
+        const resilience::RescueOutcome ro =
+            ladder.rescue(ctx, session, tr.final_accuracy, obs);
+        rec.tuning_iterations += ro.iterations;
+        rec.rescue_rungs = ro.rungs;
+        rec.degraded = ro.degraded;
+        tr.converged = ro.converged;
+        tr.final_accuracy = ro.accuracy;
+      } else {
+        hw.deploy(policy, config_.levels,
+                  policy == tuning::MappingPolicy::kAgingAware ? evaluator
+                                                               : nullptr,
+                  /*keep_threshold=*/config_.tuning.target_accuracy,
+                  config_.rescue_switch_margin);
+        tr = tuner.tune(hw, tune_data, eval_data, obs);
+        rec.tuning_iterations += tr.iterations;
+      }
     }
 
     rec.converged = tr.converged;
@@ -108,27 +134,45 @@ LifetimeResult LifetimeSimulator::run(tuning::HardwareNetwork& hw,
       rec.layer_mean_aged_rmax.push_back(stats.mean_aged_r_max);
       rec.layer_mean_usable_levels.push_back(stats.mean_usable_levels);
     }
+    if (ladder_active) {
+      rec.resilience_active = true;
+      const resilience::FaultCensus c = resilience::census(hw);
+      rec.cells_faulty = c.manufacture;
+      rec.cells_clamped = c.clamped;
+      rec.cells_dead = c.dead;
+    }
 
-    if (tr.converged) {
+    if (tr.converged || rec.degraded) {
+      // Degraded sessions keep serving applications (below target, above
+      // the accuracy floor) — graceful degradation instead of EOL.
       result.lifetime_applications += config_.apps_per_session;
       obs.count("lifetime.applications", config_.apps_per_session);
+      if (rec.degraded) {
+        obs.count("lifetime.degraded_sessions");
+      }
     } else {
-      // Even the rescue failed: end-of-life; these applications were not
-      // processed successfully.
+      // Even the rescue ladder failed: end-of-life; these applications
+      // were not processed successfully.
       result.died = true;
     }
     rec.applications = result.lifetime_applications;
     result.sessions.push_back(rec);
     if (obs.trace_enabled()) {
-      obs.event("session_end",
-                {{"session", rec.session},
-                 {"applications", rec.applications},
-                 {"tuning_iterations", rec.tuning_iterations},
-                 {"rescued", rec.rescued},
-                 {"converged", rec.converged},
-                 {"start_accuracy", rec.start_accuracy},
-                 {"accuracy", rec.accuracy},
-                 {"pulses_total", rec.pulses_total}});
+      std::vector<obs::Field> fields{
+          {"session", rec.session},
+          {"applications", rec.applications},
+          {"tuning_iterations", rec.tuning_iterations},
+          {"rescued", rec.rescued},
+          {"converged", rec.converged},
+          {"start_accuracy", rec.start_accuracy},
+          {"accuracy", rec.accuracy},
+          {"pulses_total", rec.pulses_total}};
+      if (rec.resilience_active) {
+        fields.emplace_back("degraded", rec.degraded);
+        fields.emplace_back("cells_clamped", rec.cells_clamped);
+        fields.emplace_back("cells_dead", rec.cells_dead);
+      }
+      obs.event("session_end", fields);
     }
     if (result.died) {
       if (obs.trace_enabled()) {

@@ -16,11 +16,13 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/scenario.hpp"
 #include "data/dataset.hpp"
 #include "obs/obs.hpp"
+#include "resilience/escalation.hpp"
 #include "tuning/online_tuner.hpp"
 
 namespace xbarlife::core {
@@ -43,6 +45,11 @@ struct LifetimeConfig {
   /// Predicted-accuracy gain a rescue's candidate range must deliver over
   /// the incumbent to justify rewriting the array.
   double rescue_switch_margin = 0.10;
+  /// Escalation-ladder policy; governs rescues when the deployed network
+  /// carries a hardware-fault model (or when explicitly enabled). With
+  /// the default config on an ideal array, rescues follow the legacy
+  /// single-shot remap path bit-identically.
+  resilience::ResilienceConfig resilience;
 };
 
 /// One re-tune session's outcome.
@@ -59,6 +66,16 @@ struct SessionRecord {
   std::vector<double> layer_mean_aged_rmax;
   /// Mean usable levels per deployed layer.
   std::vector<double> layer_mean_usable_levels;
+  // --- resilience fields; populated (and serialized) only when the
+  // escalation ladder governs rescues for this run.
+  bool resilience_active = false;
+  bool degraded = false;  ///< served below target, above the floor
+  /// Ladder rungs attempted this session, in order (empty when the
+  /// session converged without a rescue).
+  std::vector<std::string> rescue_rungs;
+  std::size_t cells_faulty = 0;   ///< manufacture stuck-at cells
+  std::size_t cells_clamped = 0;  ///< write-verify clamped cells
+  std::size_t cells_dead = 0;     ///< write-verify dead cells
 };
 
 struct LifetimeResult {

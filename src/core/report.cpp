@@ -92,6 +92,20 @@ obs::JsonValue session_record_json(const SessionRecord& rec) {
     levels.push_back(v);
   }
   out.set("layer_mean_usable_levels", std::move(levels));
+  // Resilience fields are emitted only when the escalation ladder governs
+  // this run, so fault-free documents stay byte-identical to pre-ladder
+  // builds (pinned by the golden tests).
+  if (rec.resilience_active) {
+    out.set("degraded", rec.degraded);
+    obs::JsonValue rungs = obs::JsonValue::array();
+    for (const std::string& r : rec.rescue_rungs) {
+      rungs.push_back(r);
+    }
+    out.set("rescue_rungs", std::move(rungs));
+    out.set("cells_faulty", rec.cells_faulty);
+    out.set("cells_clamped", rec.cells_clamped);
+    out.set("cells_dead", rec.cells_dead);
+  }
   return out;
 }
 
@@ -156,6 +170,13 @@ obs::JsonValue sweep_entry_json(const ScenarioSweepEntry& entry) {
   out.set("seed", entry.seed);
   out.set("data_seed", entry.data_seed);
   out.set("drift_seed", entry.drift_seed);
+  if (entry.failed) {
+    // Failed jobs keep their identity fields and gain an error record;
+    // the outcome fields would be meaningless defaults.
+    out.set("failed", true);
+    out.set("error", entry.error);
+    return out;
+  }
   out.set("software_accuracy", entry.outcome.software_accuracy);
   out.set("tuning_target", entry.outcome.tuning_target);
   out.set("lifetime_applications",
@@ -182,6 +203,10 @@ std::string sweep_table(const std::vector<ScenarioSweepEntry>& entries) {
   TablePrinter table({"run", "sw acc", "target", "lifetime apps",
                       "sessions", "outcome"});
   for (const ScenarioSweepEntry& e : entries) {
+    if (e.failed) {
+      table.add_row({e.label, "-", "-", "-", "-", "error: " + e.error});
+      continue;
+    }
     table.add_row({e.label, format_double(e.outcome.software_accuracy, 3),
                    format_double(e.outcome.tuning_target, 3),
                    std::to_string(e.outcome.lifetime.lifetime_applications),

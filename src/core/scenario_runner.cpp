@@ -50,9 +50,13 @@ std::vector<ScenarioSweepEntry> ScenarioRunner::run(
       cfg.seed = stream_rng();
       cfg.dataset.seed = stream_rng();
       cfg.lifetime.drift_seed = stream_rng();
+      // Drawn unconditionally (fourth in the stream) so fault-enabled and
+      // fault-free sweeps share the first three seeds.
+      cfg.faults.fault_seed = stream_rng();
       entry.seed = cfg.seed;
       entry.data_seed = cfg.dataset.seed;
       entry.drift_seed = cfg.lifetime.drift_seed;
+      entry.fault_seed = cfg.faults.fault_seed;
 
       obs::Obs job_handle;
       if (!job_obs.empty()) {
@@ -61,7 +65,16 @@ std::vector<ScenarioSweepEntry> ScenarioRunner::run(
         job_handle.trace = job_obs[i].trace.get();
       }
       const auto start = std::chrono::steady_clock::now();
-      entry.outcome = run_scenario(cfg, job.scenario, job_handle);
+      try {
+        entry.outcome = run_scenario(cfg, job.scenario, job_handle);
+      } catch (const std::exception& e) {
+        // Error isolation: a throwing scenario becomes a failed entry —
+        // the fan-out keeps going and the other jobs' results survive.
+        entry.failed = true;
+        entry.error = e.what();
+        entry.outcome = ScenarioOutcome{};
+        entry.outcome.scenario = job.scenario;
+      }
       entry.wall_ms = std::chrono::duration<double, std::milli>(
                           std::chrono::steady_clock::now() - start)
                           .count();
@@ -81,21 +94,28 @@ std::vector<ScenarioSweepEntry> ScenarioRunner::run(
       obs.metrics->histogram("sweep.job_ms").observe(entries[i].wall_ms);
     }
     obs.count("sweep.jobs");
+    if (entries[i].failed) {
+      obs.count("sweep.failed_jobs");
+    }
     if (obs.trace_enabled()) {
       const ScenarioSweepEntry& e = entries[i];
-      obs.event("sweep_job_done",
-                {{"job", e.label},
-                 {"index", i},
-                 {"scenario", to_string(e.scenario)},
-                 {"stream", e.stream},
-                 {"seed", e.seed},
-                 {"software_accuracy", e.outcome.software_accuracy},
-                 {"tuning_target", e.outcome.tuning_target},
-                 {"lifetime_applications",
-                  e.outcome.lifetime.lifetime_applications},
-                 {"sessions", e.outcome.lifetime.sessions.size()},
-                 {"died", e.outcome.lifetime.died},
-                 {"wall_ms", e.wall_ms}});
+      std::vector<obs::Field> fields{
+          {"job", e.label},
+          {"index", i},
+          {"scenario", to_string(e.scenario)},
+          {"stream", e.stream},
+          {"seed", e.seed},
+          {"software_accuracy", e.outcome.software_accuracy},
+          {"tuning_target", e.outcome.tuning_target},
+          {"lifetime_applications",
+           e.outcome.lifetime.lifetime_applications},
+          {"sessions", e.outcome.lifetime.sessions.size()},
+          {"died", e.outcome.lifetime.died},
+          {"wall_ms", e.wall_ms}};
+      if (e.failed) {
+        fields.emplace_back("error", e.error);
+      }
+      obs.event("sweep_job_done", fields);
     }
   }
   return entries;

@@ -37,7 +37,13 @@ struct ScenarioSweepEntry {
   std::uint64_t seed = 0;        ///< forked model/training seed used
   std::uint64_t data_seed = 0;   ///< forked dataset seed used
   std::uint64_t drift_seed = 0;  ///< forked drift seed used
+  std::uint64_t fault_seed = 0;  ///< forked hardware-fault seed used
   double wall_ms = 0.0;          ///< job wall-clock (not deterministic)
+  /// A job that throws is recorded here instead of poisoning the sweep:
+  /// `failed` is set, `error` holds the exception message, and `outcome`
+  /// stays default-constructed. The other jobs' results are unaffected.
+  bool failed = false;
+  std::string error;
   ScenarioOutcome outcome;
 };
 

@@ -56,6 +56,11 @@ double Memristor::program(double target_r) {
   return achieved;
 }
 
+void Memristor::force_resistance(double r) {
+  XB_CHECK(r > 0.0, "forced resistance must be positive");
+  resistance_ = r;
+}
+
 void Memristor::drift_to(double r) {
   XB_CHECK(r > 0.0, "drift target must be positive");
   const aging::AgedWindow w = aged_window();

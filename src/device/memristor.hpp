@@ -83,6 +83,12 @@ class Memristor {
   /// without aging. Clamped into the current aged window.
   void drift_to(double r);
 
+  /// Simulator-only: pins the stored resistance without a pulse and without
+  /// the aged-window clamp. Used by the fault-injection layer to hold a
+  /// manufacture-stuck cell at its defect value (a broken device sits
+  /// outside the behavioural switching window by definition).
+  void force_resistance(double r);
+
   /// Reads the cell as a conductance under a small read voltage; reading
   /// does not age the device (the paper distinguishes aging from read
   /// drift, which is recoverable and out of scope here).

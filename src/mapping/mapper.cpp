@@ -56,18 +56,29 @@ Tensor predict_effective_weights(
 MappingReport program_weights(xbar::Crossbar& xbar, const Tensor& weights,
                               const MappingPlan& plan, bool skip_unchanged,
                               std::vector<std::uint8_t>* stuck,
-                              std::vector<float>* pinned_g) {
+                              std::vector<float>* pinned_g,
+                              const std::vector<std::uint8_t>* row_active) {
   XB_CHECK(weights.shape().rank() == 2 &&
                weights.shape()[0] == xbar.rows() &&
                weights.shape()[1] == xbar.cols(),
            "weight matrix must match crossbar dimensions");
+  XB_CHECK(row_active == nullptr || row_active->size() == xbar.rows(),
+           "row-active mask size must match the crossbar rows");
   MappingReport report;
-  report.total_cells = xbar.rows() * xbar.cols();
-  XB_CHECK(stuck == nullptr || stuck->size() == report.total_cells,
+  std::size_t active_rows = xbar.rows();
+  if (row_active != nullptr) {
+    active_rows = 0;
+    for (const std::uint8_t a : *row_active) {
+      active_rows += a != 0;
+    }
+  }
+  XB_CHECK(active_rows > 0, "row-active mask must keep at least one row");
+  report.total_cells = active_rows * xbar.cols();
+  const std::size_t full_cells = xbar.rows() * xbar.cols();
+  XB_CHECK(stuck == nullptr || stuck->size() == full_cells,
            "stuck map size must match the crossbar");
   XB_CHECK(stuck == nullptr ||
-               (pinned_g != nullptr &&
-                pinned_g->size() == report.total_cells),
+               (pinned_g != nullptr && pinned_g->size() == full_cells),
            "a stuck map needs a matching pinned-conductance map");
   // Skip cells already within half a quantization step of the target *in
   // conductance space*: weight error is proportional to conductance error
@@ -80,6 +91,9 @@ MappingReport program_weights(xbar::Crossbar& xbar, const Tensor& weights,
   double sq_err = 0.0;
   double sum_g = 0.0;
   for (std::size_t r = 0; r < xbar.rows(); ++r) {
+    if (row_active != nullptr && (*row_active)[r] == 0) {
+      continue;  // Unused spare row: never pulsed, never scored.
+    }
     for (std::size_t c = 0; c < xbar.cols(); ++c) {
       const auto w = static_cast<double>(weights.at(r, c));
       const double target = plan.target_resistance(w);
@@ -147,7 +161,7 @@ Tensor effective_weights(const xbar::Crossbar& xbar,
   for (std::size_t r = 0; r < xbar.rows(); ++r) {
     for (std::size_t c = 0; c < xbar.cols(); ++c) {
       eff.at(r, c) = static_cast<float>(
-          plan.weight_of_resistance(xbar.cell(r, c).resistance()));
+          plan.weight_of_resistance(xbar.read_resistance(r, c)));
     }
   }
   return eff;

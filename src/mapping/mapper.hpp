@@ -94,13 +94,19 @@ inline constexpr std::uint8_t kCellDead = 2;
 /// target-chasing a window that cannot reach the target would burn a
 /// pulse every session for nothing. Clear both whenever the plan's range
 /// changes so every cell gets a fresh verdict against its new target.
-MappingReport program_weights(xbar::Crossbar& xbar, const Tensor& weights,
-                              const MappingPlan& plan,
-                              bool skip_unchanged = true,
-                              std::vector<std::uint8_t>* stuck = nullptr,
-                              std::vector<float>* pinned_g = nullptr);
+///
+/// `row_active`, when non-null, is a rows-sized mask; rows with a zero
+/// entry (unused spare rows of an over-provisioned array) are skipped
+/// entirely and excluded from the report's totals and RMSE.
+MappingReport program_weights(
+    xbar::Crossbar& xbar, const Tensor& weights, const MappingPlan& plan,
+    bool skip_unchanged = true, std::vector<std::uint8_t>* stuck = nullptr,
+    std::vector<float>* pinned_g = nullptr,
+    const std::vector<std::uint8_t>* row_active = nullptr);
 
-/// Weights currently held by the crossbar under `plan`'s transfer.
+/// Weights currently held by the crossbar under `plan`'s transfer, as
+/// seen through the read periphery (read noise / IR drop when the array
+/// is nonideal; the exact stored values otherwise).
 Tensor effective_weights(const xbar::Crossbar& xbar,
                          const MappingPlan& plan);
 

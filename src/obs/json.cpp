@@ -94,6 +94,7 @@ void JsonValue::dump_to(std::string& out) const {
       out += json_escape(s);
       out += '"';
     }
+    void operator()(const RawJson& r) const { out += r.text; }
     void operator()(const Array& a) const {
       out += '[';
       for (std::size_t i = 0; i < a.size(); ++i) {

@@ -46,6 +46,15 @@ class JsonValue {
   static JsonValue array() { return JsonValue(Array{}); }
   static JsonValue object() { return JsonValue(Object{}); }
 
+  /// Wraps an already-serialized JSON fragment: dump() splices `json`
+  /// verbatim (no validation, no re-encoding). Used to replay stored
+  /// documents — e.g. checkpointed campaign entries — byte-identically.
+  static JsonValue raw(std::string json) {
+    JsonValue v;
+    v.value_ = RawJson{std::move(json)};
+    return v;
+  }
+
   bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
   bool is_object() const { return std::holds_alternative<Object>(value_); }
   bool is_array() const { return std::holds_alternative<Array>(value_); }
@@ -69,8 +78,13 @@ class JsonValue {
   void dump_to(std::string& out) const;
 
  private:
+  /// Pre-serialized fragment; see raw().
+  struct RawJson {
+    std::string text;
+  };
+
   std::variant<std::nullptr_t, bool, double, std::int64_t, std::uint64_t,
-               std::string, Array, Object>
+               std::string, Array, Object, RawJson>
       value_;
 };
 

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <initializer_list>
 #include <string_view>
+#include <vector>
 
 #include "obs/event_trace.hpp"
 #include "obs/metrics.hpp"
@@ -44,6 +45,12 @@ struct Obs {
   }
   void event(std::string_view type,
              std::initializer_list<Field> fields = {}) const {
+    if (trace != nullptr) {
+      trace->emit(type, fields);
+    }
+  }
+  /// Overload for call sites that assemble fields dynamically.
+  void event(std::string_view type, const std::vector<Field>& fields) const {
     if (trace != nullptr) {
       trace->emit(type, fields);
     }

@@ -1,0 +1,108 @@
+#include "resilience/resilience.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace xbarlife::resilience {
+
+void ResilienceConfig::validate() const {
+  XB_CHECK(degraded_accuracy_floor >= 0.0 &&
+               degraded_accuracy_floor <= 1.0,
+           "degraded accuracy floor must lie in [0, 1]");
+}
+
+FaultCensus census(const tuning::HardwareNetwork& hw) {
+  FaultCensus total;
+  for (std::size_t i = 0; i < hw.layer_count(); ++i) {
+    const tuning::LayerFaultCounts counts = hw.fault_counts(i);
+    total.manufacture += counts.manufacture;
+    total.clamped += counts.clamped;
+    total.dead += counts.dead;
+    total.cells += counts.cells;
+  }
+  return total;
+}
+
+std::vector<std::size_t> fault_masking_permutation(
+    const tuning::HardwareNetwork& hw, std::size_t i, bool use_spares) {
+  const tuning::DeployedLayer& layer = hw.layer(i);
+  const std::size_t logical = layer.logical_rows;
+  const std::size_t physical = layer.xbar->rows();
+  const std::size_t cols = layer.xbar->cols();
+
+  // Bad cells per physical row: manufacture stuck-at faults plus cells the
+  // write-verify controller has clamped or retired.
+  const xbar::FaultMap* map = layer.xbar->fault_map();
+  std::vector<std::size_t> badness(physical, 0);
+  for (std::size_t pr = 0; pr < physical; ++pr) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const bool manufactured =
+          map != nullptr && map->at(pr, c) != xbar::FaultMap::Fault::kNone;
+      const bool verified_bad = layer.stuck[pr * cols + c] != 0;
+      badness[pr] += manufactured || verified_bad;
+    }
+  }
+
+  // Importance per logical row: L1 mass of the target weights — the rows
+  // whose corruption moves the network output the most.
+  const Tensor& targets = hw.targets()[i];
+  std::vector<double> importance(logical, 0.0);
+  for (std::size_t r = 0; r < logical; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      importance[r] += std::fabs(static_cast<double>(targets.at(r, c)));
+    }
+  }
+
+  // Eligible physical rows: the whole array when spares may be drafted,
+  // otherwise only the rows the layer currently occupies.
+  std::vector<std::size_t> pool;
+  if (use_spares) {
+    pool.resize(physical);
+    std::iota(pool.begin(), pool.end(), std::size_t{0});
+  } else {
+    pool.reserve(logical);
+    for (std::size_t r = 0; r < logical; ++r) {
+      pool.push_back(layer.physical_row(r));
+    }
+    std::sort(pool.begin(), pool.end());
+  }
+  XB_ASSERT(pool.size() >= logical, "row pool smaller than weight matrix");
+
+  // Healthiest physical rows first; ties broken by index so the result is
+  // deterministic.
+  std::stable_sort(pool.begin(), pool.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return badness[a] < badness[b];
+                   });
+
+  // Heaviest logical rows first.
+  std::vector<std::size_t> order(logical);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return importance[a] > importance[b];
+                   });
+
+  std::vector<std::size_t> perm(logical, 0);
+  for (std::size_t k = 0; k < logical; ++k) {
+    perm[order[k]] = pool[k];
+  }
+
+  // Nothing to gain when the assignment matches the current mapping.
+  bool identical = true;
+  for (std::size_t r = 0; r < logical; ++r) {
+    if (perm[r] != layer.physical_row(r)) {
+      identical = false;
+      break;
+    }
+  }
+  if (identical) {
+    return {};
+  }
+  return perm;
+}
+
+}  // namespace xbarlife::resilience

@@ -1,17 +1,34 @@
 #include "tuning/hardware_network.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 
 namespace xbarlife::tuning {
+
+void HardwareFaultConfig::validate() const {
+  nonideal.validate();
+}
 
 HardwareNetwork::HardwareNetwork(nn::Network& net,
                                  const device::DeviceParams& dev,
                                  const aging::AgingParams& aging)
-    : net_(&net), dev_(dev), aging_(aging) {
+    : HardwareNetwork(net, dev, aging, HardwareFaultConfig{}) {}
+
+HardwareNetwork::HardwareNetwork(nn::Network& net,
+                                 const device::DeviceParams& dev,
+                                 const aging::AgingParams& aging,
+                                 const HardwareFaultConfig& faults)
+    : net_(&net), dev_(dev), aging_(aging), faults_(faults) {
   dev_.validate();
   aging_.validate();
+  faults_.validate();
+  // One seed stream per layer so adding a layer does not reshuffle the
+  // fault maps of the others.
+  Rng fault_root(faults_.fault_seed);
+  std::size_t layer_index = 0;
   for (const nn::MappableWeight& mw : net.mappable_weights()) {
     XB_CHECK(mw.value->shape().rank() == 2,
              "mappable weight must be a matrix: " + mw.name);
@@ -19,11 +36,19 @@ HardwareNetwork::HardwareNetwork(nn::Network& net,
     layer.weight_index = mw.index;
     layer.name = mw.name;
     layer.kind = mw.layer_kind;
+    layer.logical_rows = mw.value->shape()[0];
+    const std::size_t physical_rows =
+        layer.logical_rows + (faults_.active() ? faults_.spare_rows : 0);
     layer.xbar = std::make_unique<xbar::Crossbar>(
-        mw.value->shape()[0], mw.value->shape()[1], dev_, aging_);
-    layer.stuck.assign(mw.value->numel(), 0);
-    layer.pinned_g.assign(mw.value->numel(), 0.0f);
+        physical_rows, mw.value->shape()[1], dev_, aging_);
+    if (faults_.nonideal.any()) {
+      layer.xbar->configure_nonideality(faults_.nonideal,
+                                        fault_root.fork(layer_index)());
+    }
+    layer.stuck.assign(physical_rows * mw.value->shape()[1], 0);
+    layer.pinned_g.assign(physical_rows * mw.value->shape()[1], 0.0f);
     layers_.push_back(std::move(layer));
+    ++layer_index;
   }
   XB_CHECK(!layers_.empty(), "network has no mappable weights");
   capture_targets();
@@ -86,10 +111,11 @@ std::vector<mapping::MappingReport> HardwareNetwork::deploy(
           layer.plan != nullptr ? &layer.plan->resistance_range() : nullptr;
       // Candidate bounds come from the 1-of-9 trace; candidate *scoring*
       // uses the simulated per-cell windows, as the paper's TF simulation
-      // does when it picks the accuracy-argmax.
-      const xbar::Crossbar& xb = *layer.xbar;
-      auto true_windows = [&xb](std::size_t r, std::size_t c) {
-        return xb.cell(r, c).aged_window();
+      // does when it picks the accuracy-argmax. Logical row indices go
+      // through the layer's permutation.
+      const DeployedLayer& l = layer;
+      auto true_windows = [&l](std::size_t r, std::size_t c) {
+        return l.xbar->cell(l.physical_row(r), c).aged_window();
       };
       const mapping::RangeSelectionResult sel =
           mapping::select_common_range(
@@ -115,13 +141,57 @@ std::vector<mapping::MappingReport> HardwareNetwork::deploy(
     // Write-verify mapping: cells already holding their target (within
     // half a conductance step) are not pulsed, and cells whose window no
     // longer covers the target are blacklisted after one failed retry.
-    layer.last_report = mapping::program_weights(
-        *layer.xbar, target_w, *layer.plan, /*skip_unchanged=*/true,
-        &layer.stuck, &layer.pinned_g);
+    layer.last_report = program_layer(i);
     reports.push_back(layer.last_report);
   }
   sync_network_to_hardware();
   return reports;
+}
+
+Tensor HardwareNetwork::physical_targets(std::size_t i) const {
+  const DeployedLayer& layer = layers_[i];
+  const Tensor& logical = targets_[i];
+  const std::size_t cols = logical.shape()[1];
+  Tensor physical(Shape{layer.xbar->rows(), cols});
+  for (std::size_t r = 0; r < layer.logical_rows; ++r) {
+    const std::size_t pr = layer.physical_row(r);
+    for (std::size_t c = 0; c < cols; ++c) {
+      physical.at(pr, c) = logical.at(r, c);
+    }
+  }
+  return physical;
+}
+
+std::vector<std::uint8_t> HardwareNetwork::row_mask(std::size_t i) const {
+  const DeployedLayer& layer = layers_[i];
+  if (layer.row_perm.empty() &&
+      layer.xbar->rows() == layer.logical_rows) {
+    return {};  // Identity mapping, no spares: every row is active.
+  }
+  std::vector<std::uint8_t> mask(layer.xbar->rows(), 0);
+  for (std::size_t r = 0; r < layer.logical_rows; ++r) {
+    mask[layer.physical_row(r)] = 1;
+  }
+  return mask;
+}
+
+mapping::MappingReport HardwareNetwork::program_layer(std::size_t i) {
+  DeployedLayer& layer = layers_[i];
+  XB_CHECK(layer.plan != nullptr,
+           "program before first deploy: " + layer.name);
+  const std::vector<std::uint8_t> mask = row_mask(i);
+  if (mask.empty()) {
+    // Identity fast path: byte-for-byte the pre-resilience behaviour.
+    layer.last_report = mapping::program_weights(
+        *layer.xbar, targets_[i], *layer.plan, /*skip_unchanged=*/true,
+        &layer.stuck, &layer.pinned_g);
+  } else {
+    const Tensor physical = physical_targets(i);
+    layer.last_report = mapping::program_weights(
+        *layer.xbar, physical, *layer.plan, /*skip_unchanged=*/true,
+        &layer.stuck, &layer.pinned_g, &mask);
+  }
+  return layer.last_report;
 }
 
 void HardwareNetwork::sync_network_to_hardware() {
@@ -129,15 +199,91 @@ void HardwareNetwork::sync_network_to_hardware() {
   XB_ASSERT(mappable.size() == layers_.size(),
             "network mappable-weight count changed after deployment");
   for (std::size_t i = 0; i < layers_.size(); ++i) {
-    XB_CHECK(layers_[i].plan != nullptr,
-             "sync before first deploy: " + layers_[i].name);
-    *mappable[i].value =
-        mapping::effective_weights(*layers_[i].xbar, *layers_[i].plan);
+    const DeployedLayer& layer = layers_[i];
+    XB_CHECK(layer.plan != nullptr,
+             "sync before first deploy: " + layer.name);
+    const std::size_t cols = layer.xbar->cols();
+    Tensor eff(Shape{layer.logical_rows, cols});
+    for (std::size_t r = 0; r < layer.logical_rows; ++r) {
+      const std::size_t pr = layer.physical_row(r);
+      for (std::size_t c = 0; c < cols; ++c) {
+        eff.at(r, c) = static_cast<float>(layer.plan->weight_of_resistance(
+            layer.xbar->read_resistance(pr, c)));
+      }
+    }
+    *mappable[i].value = std::move(eff);
   }
 }
 
 void HardwareNetwork::restore_targets_to_network() {
   net_->load_mappable_weights(targets_);
+}
+
+mapping::MappingReport HardwareNetwork::retry_clamped_cells(std::size_t i) {
+  DeployedLayer& l = layer(i);
+  for (std::size_t idx = 0; idx < l.stuck.size(); ++idx) {
+    if (l.stuck[idx] == mapping::kCellClamped) {
+      l.stuck[idx] = mapping::kCellHealthy;
+      l.pinned_g[idx] = 0.0f;
+    }
+  }
+  return program_layer(i);
+}
+
+mapping::MappingReport HardwareNetwork::reprogram_targets(std::size_t i) {
+  (void)layer(i);
+  return program_layer(i);
+}
+
+void HardwareNetwork::set_row_permutation(std::size_t i,
+                                          std::vector<std::size_t> perm) {
+  DeployedLayer& layer = this->layer(i);
+  if (!perm.empty()) {
+    XB_CHECK(perm.size() == layer.logical_rows,
+             "row permutation must cover every logical row");
+    std::vector<std::uint8_t> used(layer.xbar->rows(), 0);
+    for (const std::size_t pr : perm) {
+      XB_CHECK(pr < layer.xbar->rows(),
+               "row permutation entry out of physical range");
+      XB_CHECK(used[pr] == 0, "row permutation must be injective");
+      used[pr] = 1;
+    }
+  }
+  layer.row_perm = std::move(perm);
+  // Every logical row may now face different physical cells: clamped
+  // verdicts are stale (dead cells stay retired — their windows are
+  // collapsed regardless of which logical row they serve).
+  for (std::size_t idx = 0; idx < layer.stuck.size(); ++idx) {
+    if (layer.stuck[idx] == mapping::kCellClamped) {
+      layer.stuck[idx] = mapping::kCellHealthy;
+      layer.pinned_g[idx] = 0.0f;
+    }
+  }
+}
+
+std::size_t HardwareNetwork::physical_rows(std::size_t i) const {
+  return layer(i).xbar->rows();
+}
+
+LayerFaultCounts HardwareNetwork::fault_counts(std::size_t i) const {
+  const DeployedLayer& l = layer(i);
+  LayerFaultCounts counts;
+  const std::size_t cols = l.xbar->cols();
+  counts.cells = l.logical_rows * cols;
+  const xbar::FaultMap* map = l.xbar->fault_map();
+  for (std::size_t r = 0; r < l.logical_rows; ++r) {
+    const std::size_t pr = l.physical_row(r);
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (map != nullptr &&
+          map->at(pr, c) != xbar::FaultMap::Fault::kNone) {
+        ++counts.manufacture;
+      }
+      const std::uint8_t state = l.stuck[pr * cols + c];
+      counts.clamped += state == mapping::kCellClamped;
+      counts.dead += state == mapping::kCellDead;
+    }
+  }
+  return counts;
 }
 
 std::vector<xbar::CrossbarAgingStats> HardwareNetwork::aging_stats() const {

@@ -26,6 +26,23 @@ enum class MappingPolicy {
   kAgingAware,  ///< Fig. 8 iterative range selection ("AT")
 };
 
+/// Hardware-fault model applied to every deployed crossbar: analog
+/// non-idealities (manufacture stuck-at faults, write/read noise, IR
+/// drop) plus optional spare rows held in reserve for the resilience
+/// ladder's redundancy rung. An inactive config (`active()` false) makes
+/// HardwareNetwork behave bit-identically to a build without it.
+struct HardwareFaultConfig {
+  xbar::NonidealityConfig nonideal;
+  /// Extra physical rows per crossbar, unused until the resilience
+  /// ladder's redundancy rung swaps a failing logical row onto one.
+  std::size_t spare_rows = 0;
+  /// Root seed for the per-layer fault maps and noise streams.
+  std::uint64_t fault_seed = 0;
+
+  bool active() const { return nonideal.any() || spare_rows > 0; }
+  void validate() const;
+};
+
 /// Per-layer deployment state.
 struct DeployedLayer {
   std::size_t weight_index = 0;          ///< index into mappable weights
@@ -34,10 +51,31 @@ struct DeployedLayer {
   std::unique_ptr<xbar::Crossbar> xbar;
   std::unique_ptr<mapping::MappingPlan> plan;  ///< null until first deploy
   mapping::MappingReport last_report;
-  /// Write-verify bad-cell list (row-major); cleared on range changes.
+  /// Write-verify bad-cell list (row-major, *physical* layout); cleared
+  /// on range changes.
   std::vector<std::uint8_t> stuck;
-  /// Best-achievable conductance pinned per clamped cell (row-major).
+  /// Best-achievable conductance pinned per clamped cell (row-major,
+  /// physical layout).
   std::vector<float> pinned_g;
+  /// Rows of the logical weight matrix; the crossbar may hold more
+  /// (spare rows) when a HardwareFaultConfig is active.
+  std::size_t logical_rows = 0;
+  /// Logical-to-physical row permutation; empty means identity. Set by
+  /// the resilience ladder's fault-masking / redundancy rungs.
+  std::vector<std::size_t> row_perm;
+
+  std::size_t physical_row(std::size_t logical) const {
+    return row_perm.empty() ? logical : row_perm[logical];
+  }
+};
+
+/// Bad-cell census of one deployed layer (physical cells under the
+/// current logical-to-physical mapping).
+struct LayerFaultCounts {
+  std::size_t manufacture = 0;  ///< stuck-at cells from the fault map
+  std::size_t clamped = 0;      ///< write-verify kCellClamped cells
+  std::size_t dead = 0;         ///< write-verify kCellDead cells
+  std::size_t cells = 0;        ///< active (mapped) cells counted
 };
 
 /// Scores a *full network* whose weights are currently loaded into the
@@ -50,6 +88,15 @@ class HardwareNetwork {
   /// this object and is mutated by sync_* calls.
   HardwareNetwork(nn::Network& net, const device::DeviceParams& dev,
                   const aging::AgingParams& aging);
+
+  /// Same, with a hardware-fault model: each crossbar is manufactured
+  /// with `faults.nonideal` installed (per-layer streams forked from
+  /// `faults.fault_seed`) and `faults.spare_rows` extra physical rows.
+  HardwareNetwork(nn::Network& net, const device::DeviceParams& dev,
+                  const aging::AgingParams& aging,
+                  const HardwareFaultConfig& faults);
+
+  const HardwareFaultConfig& fault_config() const { return faults_; }
 
   std::size_t layer_count() const { return layers_.size(); }
   DeployedLayer& layer(std::size_t i);
@@ -93,6 +140,28 @@ class HardwareNetwork {
   /// retrain in software between deployments).
   void restore_targets_to_network();
 
+  /// Resilience rung 1: gives every write-verify *clamped* (not dead)
+  /// cell of layer `i` a fresh verdict and reprograms the layer's
+  /// targets. Returns the new mapping report.
+  mapping::MappingReport retry_clamped_cells(std::size_t i);
+
+  /// Reprograms layer `i`'s targets under its current plan and row
+  /// permutation (write-verify; unchanged cells are skipped).
+  mapping::MappingReport reprogram_targets(std::size_t i);
+
+  /// Installs a logical-to-physical row permutation on layer `i` (used by
+  /// the fault-masking and spare-row rungs). `perm` must be injective
+  /// with every entry < the crossbar's physical row count; an empty
+  /// vector restores the identity. Clamped cells get a fresh verdict
+  /// (dead cells stay retired); call reprogram_targets afterwards.
+  void set_row_permutation(std::size_t i, std::vector<std::size_t> perm);
+
+  /// Physical rows of layer `i`'s crossbar (logical rows + spares).
+  std::size_t physical_rows(std::size_t i) const;
+
+  /// Bad-cell census of layer `i`, restricted to its active cells.
+  LayerFaultCounts fault_counts(std::size_t i) const;
+
   /// Attaches observability pulse counters ("aging.pulses",
   /// "aging.traced_pulses") from `registry` to every crossbar's
   /// RepresentativeTracker. The registry must outlive this object.
@@ -105,9 +174,17 @@ class HardwareNetwork {
   std::uint64_t total_pulses() const;
 
  private:
+  /// Physical (rows + spares) target tensor for layer `i` under its
+  /// current row permutation; spare/unmapped rows hold zeros.
+  Tensor physical_targets(std::size_t i) const;
+  /// Physical row mask of layer `i`; empty when every row is active.
+  std::vector<std::uint8_t> row_mask(std::size_t i) const;
+  mapping::MappingReport program_layer(std::size_t i);
+
   nn::Network* net_;
   device::DeviceParams dev_;
   aging::AgingParams aging_;
+  HardwareFaultConfig faults_;
   std::vector<DeployedLayer> layers_;
   std::vector<Tensor> targets_;
 };

@@ -41,9 +41,12 @@ std::uint64_t OnlineTuner::apply_sign_updates(HardwareNetwork& hw) {
     const double threshold = config_.min_grad_fraction * mean_abs;
 
     xbar::Crossbar& xb = *layer.xbar;
-    for (std::size_t r = 0; r < xb.rows(); ++r) {
+    // Gradients are logical (weight-matrix) coordinates; the crossbar may
+    // hold spare rows and a remap permutation, so go through physical_row.
+    for (std::size_t r = 0; r < layer.logical_rows; ++r) {
+      const std::size_t pr = layer.physical_row(r);
       for (std::size_t c = 0; c < xb.cols(); ++c) {
-        if (layer.stuck[r * xb.cols() + c] != 0) {
+        if (layer.stuck[pr * xb.cols() + c] != 0) {
           continue;  // write-verify blacklisted this cell
         }
         const auto g = static_cast<double>(grad.at(r, c));
@@ -53,13 +56,13 @@ std::uint64_t OnlineTuner::apply_sign_updates(HardwareNetwork& hw) {
         // Weight must move along -grad; weight grows with conductance
         // (Eq. (4) is monotone increasing), so the pulse polarity is the
         // sign of -grad in conductance space.
-        const double cond = xb.cell(r, c).conductance();
+        const double cond = xb.read_conductance(pr, c);
         const double target =
             std::clamp(g < 0.0 ? cond + dg : cond - dg, g_lo, g_hi);
         if (std::fabs(target - cond) < 0.25 * dg) {
           continue;  // saturated at a range edge
         }
-        xb.program_cell(r, c, 1.0 / target);
+        xb.program_cell(pr, c, 1.0 / target);
         ++pulses;
       }
     }

@@ -34,10 +34,42 @@ device::Memristor& Crossbar::mutable_cell(std::size_t r, std::size_t c) {
   return cells_[r * cols_ + c];
 }
 
+void Crossbar::configure_nonideality(const NonidealityConfig& config,
+                                     std::uint64_t seed) {
+  config.validate();
+  XB_CHECK(total_pulses_ == 0,
+           "nonideality must be configured before the first pulse");
+  if (!config.any()) {
+    return;  // Ideal array: no RNG streams, no fault map, legacy behaviour.
+  }
+  nonideal_ = config;
+  Rng root(seed);
+  const std::uint64_t map_seed = root();
+  write_rng_ = root.fork(1);
+  read_rng_ = root.fork(2);
+  if (config.stuck_off_fraction > 0.0 || config.stuck_on_fraction > 0.0) {
+    faults_ = std::make_unique<FaultMap>(rows_, cols_, config, map_seed);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      for (std::size_t c = 0; c < cols_; ++c) {
+        switch (faults_->at(r, c)) {
+          case FaultMap::Fault::kNone:
+            break;
+          case FaultMap::Fault::kStuckOff:
+            mutable_cell(r, c).force_resistance(params_.r_max_fresh);
+            break;
+          case FaultMap::Fault::kStuckOn:
+            mutable_cell(r, c).force_resistance(params_.r_min_fresh);
+            break;
+        }
+      }
+    }
+  }
+}
+
 double Crossbar::program_cell(std::size_t r, std::size_t c,
                               double target_r) {
   device::Memristor& m = mutable_cell(r, c);
-  const double achieved = m.program(target_r);
+  double achieved = m.program(target_r);
   const double ds = m.last_stress_increment();
   // Thermal crosstalk: a share of every pulse's stress heats the whole
   // array (the Arrhenius common-mode component of Eqs. (6)-(7)). The
@@ -48,11 +80,47 @@ double Crossbar::program_cell(std::size_t r, std::size_t c,
   m.exclude_ambient_self_share(ambient_share);
   tracker_.record_pulse(r, c, ds, ambient_share);
   ++total_pulses_;
+  if (nonideal_.has_value()) {
+    const FaultMap::Fault fault =
+        faults_ != nullptr ? faults_->at(r, c) : FaultMap::Fault::kNone;
+    if (fault != FaultMap::Fault::kNone) {
+      // The pulse still stressed the device, but a stuck cell cannot leave
+      // its defect value — snap it back to the pin.
+      achieved = fault == FaultMap::Fault::kStuckOff ? params_.r_max_fresh
+                                                     : params_.r_min_fresh;
+      m.force_resistance(achieved);
+    } else if (nonideal_->write_noise_sigma > 0.0) {
+      m.drift_to(1.0 / apply_write_noise(*nonideal_, 1.0 / achieved,
+                                         write_rng_));
+      achieved = m.resistance();
+    }
+  }
   return achieved;
 }
 
 void Crossbar::drift_cell(std::size_t r, std::size_t c, double new_r) {
+  if (faults_ != nullptr && faults_->at(r, c) != FaultMap::Fault::kNone) {
+    return;  // Stuck cells do not drift.
+  }
   mutable_cell(r, c).drift_to(new_r);
+}
+
+double Crossbar::read_conductance(std::size_t r, std::size_t c) const {
+  const device::Memristor& m = cell(r, c);
+  if (!nonideal_.has_value()) {
+    return m.conductance();
+  }
+  double g = apply_read_noise(*nonideal_, m.conductance(), read_rng_);
+  g = ir_drop_conductance(*nonideal_, g, r, c);
+  return g;
+}
+
+double Crossbar::read_resistance(std::size_t r, std::size_t c) const {
+  if (!nonideal_.has_value()) {
+    // Return the stored resistance directly: 1/(1/r) is not bit-exact.
+    return cell(r, c).resistance();
+  }
+  return 1.0 / read_conductance(r, c);
 }
 
 void Crossbar::vmm(std::span<const float> v_in,

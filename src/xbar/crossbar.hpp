@@ -8,13 +8,17 @@
 // ground-truth stress used by the simulator.
 #pragma once
 
+#include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "aging/aging_model.hpp"
 #include "aging/tracker.hpp"
+#include "common/rng.hpp"
 #include "device/memristor.hpp"
 #include "tensor/tensor.hpp"
+#include "xbar/nonideal.hpp"
 
 namespace xbarlife::xbar {
 
@@ -47,12 +51,41 @@ class Crossbar {
 
   const device::Memristor& cell(std::size_t r, std::size_t c) const;
 
+  /// Installs analog non-idealities on this array: a manufacture-time
+  /// stuck-at FaultMap drawn from `seed` (faulty cells are pinned at their
+  /// defect value immediately), cycle-to-cycle write noise applied on every
+  /// programming pulse, and read noise / IR drop applied by the read_*
+  /// accessors. Must be called before the first programming pulse. An
+  /// all-zero config is a no-op: the array stays ideal, draws no random
+  /// numbers, and behaves bit-identically to an unconfigured one.
+  void configure_nonideality(const NonidealityConfig& config,
+                             std::uint64_t seed);
+
+  /// True once a nonzero NonidealityConfig has been installed.
+  bool nonideal() const { return nonideal_.has_value(); }
+  /// Manufacture-time fault map; null when no stuck faults were drawn.
+  const FaultMap* fault_map() const { return faults_.get(); }
+
   /// Programs cell (r, c) toward `target_r` ohms; returns the achieved
   /// resistance. Ages the cell and updates the tracker when traced.
+  /// Under nonideality the pulse still ages the cell, but a stuck cell's
+  /// resistance snaps back to its defect value and a healthy cell's
+  /// achieved conductance picks up write noise.
   double program_cell(std::size_t r, std::size_t c, double target_r);
 
   /// Recoverable drift on cell (r, c): resistance moves without a pulse.
+  /// Stuck cells do not drift — the defect pins them.
   void drift_cell(std::size_t r, std::size_t c, double new_r);
+
+  /// Conductance as seen by the read periphery: the stored value plus
+  /// read noise and IR-drop attenuation when nonideality is configured.
+  /// Serial-use only (the noise stream is ordered); returns the exact
+  /// stored conductance on an ideal array.
+  double read_conductance(std::size_t r, std::size_t c) const;
+
+  /// Reciprocal view of read_conductance; returns the exact stored
+  /// resistance (no double roundtrip) on an ideal array.
+  double read_resistance(std::size_t r, std::size_t c) const;
 
   /// Analog VMM: i_out[j] = sum_i v_in[i] * g_ij. Sizes must match.
   void vmm(std::span<const float> v_in, std::span<float> i_out) const;
@@ -92,6 +125,11 @@ class Crossbar {
   aging::RepresentativeTracker tracker_;
   std::uint64_t total_pulses_ = 0;
   double ambient_stress_ = 0.0;
+  /// Engaged only by configure_nonideality with a nonzero config.
+  std::optional<NonidealityConfig> nonideal_;
+  std::unique_ptr<FaultMap> faults_;
+  Rng write_rng_{0};
+  mutable Rng read_rng_{0};
 };
 
 }  // namespace xbarlife::xbar

@@ -10,12 +10,14 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "tensor/tensor.hpp"
-#include "xbar/crossbar.hpp"
 
 namespace xbarlife::xbar {
+
+class Crossbar;
 
 struct NonidealityConfig {
   /// Cycle-to-cycle programming variability: the achieved conductance is
@@ -30,6 +32,15 @@ struct NonidealityConfig {
   /// Wire resistance per cell-to-cell segment (ohms); models the IR-drop
   /// attenuation of far cells in a first-order way.
   double line_resistance = 0.0;
+
+  /// True when any knob is nonzero — the all-zero config is the exact
+  /// ideal-array behaviour (no RNG draws, no fault map, bit-identical to a
+  /// build without the nonideality layer).
+  bool any() const {
+    return write_noise_sigma != 0.0 || read_noise_sigma != 0.0 ||
+           stuck_off_fraction != 0.0 || stuck_on_fraction != 0.0 ||
+           line_resistance != 0.0;
+  }
 
   void validate() const;
 };
@@ -47,12 +58,17 @@ class FaultMap {
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
   std::size_t fault_count() const { return faults_total_; }
+  std::size_t stuck_off_count() const { return stuck_off_; }
+  std::size_t stuck_on_count() const { return faults_total_ - stuck_off_; }
+  /// Faulty cells in physical row `r`.
+  std::size_t row_fault_count(std::size_t r) const;
 
  private:
   std::size_t rows_;
   std::size_t cols_;
   std::vector<std::uint8_t> faults_;
   std::size_t faults_total_ = 0;
+  std::size_t stuck_off_ = 0;
 };
 
 /// Applies write noise to a target conductance (returns the perturbed

@@ -1,0 +1,182 @@
+// Fault-injection campaign engine: grid validation, per-job error
+// isolation, thread-count determinism of the full result document, and
+// byte-identical checkpoint resume (the "kill -9 the campaign" gate).
+#include "core/fault_campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+
+namespace xbarlife::core {
+namespace {
+
+/// Restores the serial default so test order never leaks thread state.
+struct ThreadGuard {
+  ~ThreadGuard() { set_parallel_threads(1); }
+};
+
+ExperimentConfig tiny_config() {
+  ExperimentConfig cfg;
+  cfg.name = "campaign-tiny";
+  cfg.model = ExperimentConfig::Model::kMlp;
+  cfg.mlp_hidden = {16};
+  cfg.dataset.classes = 4;
+  cfg.dataset.channels = 1;
+  cfg.dataset.height = 6;
+  cfg.dataset.width = 6;
+  cfg.dataset.train_per_class = 24;
+  cfg.dataset.test_per_class = 6;
+  cfg.dataset.noise = 0.1;
+  cfg.train_config.epochs = 2;
+  cfg.train_config.batch = 16;
+  cfg.train_config.learning_rate = 0.05;
+  cfg.lifetime.max_sessions = 4;
+  cfg.lifetime.tuning.eval_samples = 24;
+  cfg.lifetime.tuning.max_iterations = 20;
+  cfg.target_accuracy_fraction = 0.8;
+  return cfg;
+}
+
+FaultCampaignConfig tiny_campaign() {
+  FaultCampaignConfig cc;
+  cc.base = tiny_config();
+  cc.replicates = 2;
+  cc.campaign_seed = 33;
+  FaultPoint clean;
+  clean.label = "clean";
+  cc.points.push_back(clean);
+  FaultPoint faulty;
+  faulty.label = "faulty";
+  faulty.faults.nonideal.stuck_off_fraction = 0.05;
+  faulty.faults.nonideal.write_noise_sigma = 0.03;
+  faulty.faults.spare_rows = 2;
+  cc.points.push_back(faulty);
+  return cc;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(FaultCampaignConfig, RejectsBadGrids) {
+  FaultCampaignConfig cc = tiny_campaign();
+  cc.points.clear();
+  EXPECT_THROW(cc.validate(), InvalidArgument);
+
+  cc = tiny_campaign();
+  cc.points[1].label = cc.points[0].label;
+  EXPECT_THROW(cc.validate(), InvalidArgument);
+
+  cc = tiny_campaign();
+  cc.points[0].label.clear();
+  EXPECT_THROW(cc.validate(), InvalidArgument);
+
+  cc = tiny_campaign();
+  cc.replicates = 0;
+  EXPECT_THROW(cc.validate(), InvalidArgument);
+
+  cc = tiny_campaign();
+  cc.points[1].faults.nonideal.stuck_off_fraction = 2.0;
+  EXPECT_THROW(cc.validate(), InvalidArgument);
+}
+
+TEST(FaultCampaign, ThreadedRunMatchesSerialByteForByte) {
+  ThreadGuard guard;
+  const FaultCampaignConfig cc = tiny_campaign();
+
+  set_parallel_threads(1);
+  const std::string serial =
+      fault_campaign_json(run_fault_campaign(cc)).dump();
+  set_parallel_threads(4);
+  const std::string threaded =
+      fault_campaign_json(run_fault_campaign(cc)).dump();
+
+  EXPECT_EQ(serial, threaded);
+  EXPECT_NE(serial.find("\"label\":\"faulty/ST+AT/r1\""),
+            std::string::npos);
+}
+
+TEST(FaultCampaign, FailedJobsAreRecordedNotFatal) {
+  FaultCampaignConfig cc = tiny_campaign();
+  cc.replicates = 1;
+  // A one-level quantizer cannot exist: every job throws InvalidArgument
+  // inside the fan-out. The campaign must record the failures per entry
+  // and still assemble a complete result document.
+  cc.base.lifetime.levels = 1;
+  const FaultCampaignResult result = run_fault_campaign(cc);
+  ASSERT_EQ(result.jobs.size(), 2u);
+  EXPECT_EQ(result.failed_jobs, result.jobs.size());
+  const std::string doc = fault_campaign_json(result).dump();
+  EXPECT_NE(doc.find("\"failed\":true"), std::string::npos);
+  EXPECT_NE(doc.find("two levels"), std::string::npos);
+}
+
+TEST(FaultCampaign, CheckpointResumeIsByteIdentical) {
+  ThreadGuard guard;
+  set_parallel_threads(2);
+  FaultCampaignConfig cc = tiny_campaign();
+
+  // Reference: one uninterrupted run, no checkpoint.
+  const std::string reference =
+      fault_campaign_json(run_fault_campaign(cc)).dump();
+
+  // Full checkpointed run to produce the on-disk entry records.
+  const std::string path = ::testing::TempDir() + "xbarlife_ck.jsonl";
+  std::remove(path.c_str());
+  cc.checkpoint_path = path;
+  const FaultCampaignResult full = run_fault_campaign(cc);
+  EXPECT_EQ(full.resumed_jobs, 0u);
+  EXPECT_EQ(full.executed_jobs, full.jobs.size());
+  EXPECT_EQ(fault_campaign_json(full).dump(), reference);
+
+  // Simulate a campaign killed mid-flight: truncate the checkpoint to
+  // the header plus the first entry, then resume.
+  std::istringstream lines(read_file(path));
+  std::string header;
+  std::string first;
+  ASSERT_TRUE(std::getline(lines, header));
+  ASSERT_TRUE(std::getline(lines, first));
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << header << "\n" << first << "\n";
+  }
+
+  const FaultCampaignResult resumed = run_fault_campaign(cc);
+  EXPECT_EQ(resumed.resumed_jobs, 1u);
+  EXPECT_EQ(resumed.executed_jobs, resumed.jobs.size() - 1);
+  EXPECT_EQ(fault_campaign_json(resumed).dump(), reference);
+  std::remove(path.c_str());
+}
+
+TEST(FaultCampaign, RejectsForeignCheckpoints) {
+  FaultCampaignConfig cc = tiny_campaign();
+  const std::string path = ::testing::TempDir() + "xbarlife_ck_bad.jsonl";
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "{\"something\":\"else\"}\n";
+  }
+  cc.checkpoint_path = path;
+  EXPECT_THROW(run_fault_campaign(cc), IoError);
+
+  // A checkpoint from a different campaign seed is also rejected.
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "{\"checkpoint\":\"xbarlife.faults.v1\",\"campaign_seed\":999"
+        << ",\"jobs\":4}\n";
+  }
+  EXPECT_THROW(run_fault_campaign(cc), IoError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace xbarlife::core

@@ -132,5 +132,36 @@ TEST(ScenarioRunner, ThreadedSweepIsByteIdenticalToSerial) {
             serial[1].outcome.software_accuracy);
 }
 
+TEST(ScenarioRunner, PoisonedJobDoesNotLoseTheOthers) {
+  ThreadGuard guard;
+  set_parallel_threads(2);
+  ScenarioRunner runner;
+  std::vector<ScenarioJob> jobs(3);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].label = "j" + std::to_string(i);
+    jobs[i].config = tiny_config();
+    jobs[i].config.lifetime.max_sessions = 2;
+    jobs[i].stream = i;
+  }
+  // A one-level quantizer cannot exist: job 1 throws InvalidArgument
+  // inside the fan-out.
+  jobs[1].config.lifetime.levels = 1;
+
+  const auto entries = runner.run(jobs);
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_FALSE(entries[0].failed);
+  EXPECT_FALSE(entries[2].failed);
+  EXPECT_TRUE(entries[1].failed);
+  EXPECT_NE(entries[1].error.find("two levels"), std::string::npos)
+      << entries[1].error;
+  // The healthy jobs' results are intact...
+  EXPECT_FALSE(entries[0].outcome.lifetime.sessions.empty());
+  EXPECT_FALSE(entries[2].outcome.lifetime.sessions.empty());
+  // ...and the failed one still carries its identity and seeds.
+  EXPECT_EQ(entries[1].label, "j1");
+  EXPECT_NE(entries[1].seed, 0u);
+  EXPECT_TRUE(entries[1].outcome.lifetime.sessions.empty());
+}
+
 }  // namespace
 }  // namespace xbarlife::core

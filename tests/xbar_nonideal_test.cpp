@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/stats.hpp"
+#include "xbar/crossbar.hpp"
 
 namespace xbarlife::xbar {
 namespace {
