@@ -10,6 +10,7 @@
 //                      [--write-noise LIST] [--read-noise LIST]
 //                      [--compare-ladder] [--checkpoint PATH] [--strict]
 //   xbarlife device    [--pulses N] [--target-r OHMS]
+//   xbarlife bench     [--reps N] [--dim N]
 //   xbarlife models
 //   xbarlife info
 //
@@ -24,11 +25,18 @@
 //                    tune_iter, rescue, eol, sweep_job_done, ...); defaults
 //                    to $XBARLIFE_TRACE, or to the --json stream when that
 //                    is set
+//   --profile <path|-> record a hierarchical span profile; writes a
+//                    Chrome trace_event/Perfetto JSON file (open it in
+//                    ui.perfetto.dev), embeds the span-aggregate rollup
+//                    into the result document under "profile", and prints
+//                    the per-phase table; defaults to $XBARLIFE_PROFILE
 //
 // Exit codes: 0 ok, 2 invalid argument/usage, 3 I/O failure,
 // 4 failed convergence (--strict), 5 internal error, 1 anything else.
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -37,7 +45,9 @@
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "common/rng.hpp"
 #include "common/table.hpp"
+#include "core/bench_report.hpp"
 #include "core/experiment.hpp"
 #include "core/fault_campaign.hpp"
 #include "core/model_registry.hpp"
@@ -46,7 +56,9 @@
 #include "device/memristor.hpp"
 #include "nn/serialize.hpp"
 #include "obs/obs.hpp"
+#include "obs/perfetto.hpp"
 #include "obs/sink.hpp"
+#include "tensor/matmul.hpp"
 
 using namespace xbarlife;
 
@@ -88,7 +100,8 @@ Args parse(int argc, char** argv) {
 
 /// Output wiring shared by every command: an optional result-document
 /// stream (--json), an optional event trace (--trace / $XBARLIFE_TRACE,
-/// defaulting to the --json stream), and a metrics registry that is always
+/// defaulting to the --json stream), an optional span profile
+/// (--profile / $XBARLIFE_PROFILE), and a metrics registry that is always
 /// collected and embedded into the result document.
 class CliOutput {
  public:
@@ -117,9 +130,26 @@ class CliOutput {
     }
     trace_ = std::make_unique<obs::EventTrace>(trace_sink);
     human_enabled_ = !(args.flag("json") && json_target == "-");
+
+    std::string profile_target = args.get("profile", "-");
+    if (!args.flag("profile")) {
+      const char* env = std::getenv("XBARLIFE_PROFILE");
+      profile_target = (env != nullptr) ? env : "";
+    }
+    if (!profile_target.empty()) {
+      // Opened up front so an unwritable path fails fast (IoError,
+      // exit 3) instead of after a long run.
+      profile_sink_ = make_sink(profile_target);
+      profiler_ = std::make_unique<obs::Profiler>();
+      // Command-level root span: everything (and every dropped-in
+      // domain counter) nests under it.
+      root_span_ = profiler_->begin_span("cmd." + args.command);
+    }
   }
 
-  obs::Obs obs() { return obs::Obs{&registry_, trace_.get()}; }
+  obs::Obs obs() {
+    return obs::Obs{&registry_, trace_.get(), profiler_.get()};
+  }
 
   /// Human-readable stream: stdout normally, silenced (null) when the
   /// JSON document owns stdout.
@@ -129,27 +159,67 @@ class CliOutput {
 
   /// Emits the versioned result document as the stream's final line.
   void finish(const std::string& command, obs::JsonValue data) {
-    emit(command, std::move(data), &registry_);
+    emit(command, std::move(data), &registry_, /*include_profile=*/true);
   }
 
-  /// Like finish(), but omits the metrics snapshot. Campaign documents
-  /// must be byte-identical between fresh and checkpoint-resumed runs,
-  /// and the executed/resumed job counters necessarily differ.
+  /// Like finish(), but omits the metrics snapshot and the profile key.
+  /// Campaign documents must be byte-identical between fresh and
+  /// checkpoint-resumed runs, and the executed/resumed job counters (and
+  /// span counts) necessarily differ.
   void finish_deterministic(const std::string& command,
                             obs::JsonValue data) {
-    emit(command, std::move(data), nullptr);
+    emit(command, std::move(data), nullptr, /*include_profile=*/false);
   }
 
- private:
-  void emit(const std::string& command, obs::JsonValue data,
-            const obs::Registry* metrics) {
+  /// Emits a pre-built document (e.g. xbarlife.bench.v1) as the stream's
+  /// final line instead of a result.v1 envelope.
+  void finish_document(const std::string& command,
+                       const obs::JsonValue& doc) {
+    close_profile(command);
     if (json_sink_ != nullptr) {
-      json_sink_->write(
-          core::result_document(command, std::move(data), metrics).dump());
+      json_sink_->write(doc.dump());
       json_sink_->flush();
     }
     if (trace_sink_ != nullptr) {
       trace_sink_->flush();
+    }
+  }
+
+ private:
+  void emit(const std::string& command, obs::JsonValue data,
+            const obs::Registry* metrics, bool include_profile) {
+    close_profile(command);
+    if (json_sink_ != nullptr) {
+      json_sink_->write(
+          core::result_document(command, std::move(data), metrics,
+                                include_profile ? profiler_.get()
+                                                : nullptr)
+              .dump());
+      json_sink_->flush();
+    }
+    if (trace_sink_ != nullptr) {
+      trace_sink_->flush();
+    }
+  }
+
+  /// Ends the root span, prints the per-phase table, and writes the
+  /// Perfetto trace file. Idempotent; no-op when profiling is off.
+  void close_profile(const std::string& command) {
+    if (profiler_ == nullptr) {
+      return;
+    }
+    if (root_span_ != obs::kNoSpan) {
+      profiler_->end_span(root_span_);
+      root_span_ = obs::kNoSpan;
+    }
+    if (profile_sink_ != nullptr) {
+      human() << "\nprofile (per-phase rollup):\n"
+              << core::profile_table(*profiler_);
+      profile_sink_->write(
+          obs::perfetto_trace_json(*profiler_, "xbarlife " + command)
+              .dump());
+      profile_sink_->flush();
+      profile_sink_.reset();
     }
   }
 
@@ -169,6 +239,9 @@ class CliOutput {
   std::unique_ptr<obs::Sink> json_sink_;
   std::unique_ptr<obs::Sink> trace_sink_;
   std::unique_ptr<obs::EventTrace> trace_;
+  std::unique_ptr<obs::Sink> profile_sink_;
+  std::unique_ptr<obs::Profiler> profiler_;
+  std::size_t root_span_ = obs::kNoSpan;
   NullStream null_;
   bool human_enabled_ = true;
 };
@@ -493,6 +566,86 @@ int cmd_device(const Args& args, CliOutput& out) {
   return 0;
 }
 
+/// Downscaled in-process perf smoke: one GEMM kernel, one sweep fan-out,
+/// one lifetime scenario. Reports xbarlife.bench.v1 (the same schema the
+/// bench/ binaries emit) so CI can gate on regressions with
+/// scripts/check_bench_regression.py.
+int cmd_bench(const Args& args, CliOutput& out) {
+  const auto reps = static_cast<std::size_t>(
+      std::stoul(args.get("reps", "5")));
+  const auto dim = static_cast<std::size_t>(
+      std::stoul(args.get("dim", "96")));
+  if (reps == 0) {
+    throw xbarlife::InvalidArgument("--reps must be at least 1");
+  }
+  const auto ms_of = [](const std::function<void()>& fn) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+  const auto measure = [&](const std::string& name,
+                           const std::function<void()>& fn) {
+    core::BenchSample sample;
+    sample.name = name;
+    fn();  // warm-up repetition, not recorded
+    for (std::size_t r = 0; r < reps; ++r) {
+      sample.values.push_back(ms_of(fn));
+    }
+    return sample;
+  };
+  out.human() << "Bench smoke: " << reps << " repetition(s), "
+              << parallel_threads() << " thread(s)...\n";
+
+  std::vector<core::BenchSample> samples;
+
+  Rng rng(11);
+  Tensor a(Shape{dim, dim});
+  Tensor b(Shape{dim, dim});
+  a.fill_gaussian(rng, 0.0f, 1.0f);
+  b.fill_gaussian(rng, 0.0f, 1.0f);
+  Tensor c(Shape{dim, dim});
+  samples.push_back(measure("gemm_" + std::to_string(dim),
+                            [&] { c = matmul(a, b); }));
+
+  core::ExperimentConfig cfg;
+  cfg.name = "bench-mlp";
+  cfg.model = core::ExperimentConfig::Model::kMlp;
+  cfg.mlp_hidden = {16};
+  cfg.dataset.classes = 4;
+  cfg.dataset.channels = 1;
+  cfg.dataset.height = 8;
+  cfg.dataset.width = 8;
+  cfg.dataset.train_per_class = 8;
+  cfg.dataset.test_per_class = 4;
+  cfg.train_config.epochs = 2;
+  cfg.train_config.batch = 8;
+  cfg.lifetime.max_sessions = 6;
+  cfg.lifetime.tuning.max_iterations = 10;
+  cfg.lifetime.tuning.eval_samples = 16;
+  cfg.lifetime.selection_eval_samples = 16;
+  cfg.target_accuracy_fraction = 0.8;
+
+  // The workloads run unobserved: instrumentation is zero-cost when no
+  // sink is attached, and timing the bare path keeps the numbers honest.
+  samples.push_back(measure("lifetime_scenario", [&] {
+    core::run_scenario(cfg, core::Scenario::kTT);
+  }));
+
+  const core::ScenarioRunner runner(21);
+  const auto jobs = core::ScenarioRunner::cross(
+      cfg, {core::Scenario::kTT, core::Scenario::kSTT}, 2);
+  samples.push_back(
+      measure("sweep_fanout", [&] { runner.run(jobs); }));
+
+  out.human() << core::bench_table(samples);
+  out.finish_document(
+      "bench",
+      core::bench_document("xbarlife bench", samples, parallel_threads()));
+  return 0;
+}
+
 int cmd_models(CliOutput& out) {
   const core::ModelRegistry& registry = core::ModelRegistry::instance();
   TablePrinter table({"model", "description"});
@@ -541,6 +694,9 @@ int cmd_info() {
              "            makes a killed campaign resumable\n"
              "  device    [--pulses N] [--target-r OHMS]\n"
              "            age a single device and report its window\n"
+             "  bench     [--reps N] [--dim N]\n"
+             "            in-process perf smoke (GEMM, lifetime scenario,\n"
+             "            sweep fan-out); --json emits xbarlife.bench.v1\n"
              "  models    list registered models\n"
              "  info      this text\n\n"
              "fault options (lifetime: scalars; faults: comma lists for\n"
@@ -562,7 +718,12 @@ int cmd_info() {
              "                  (JSONL, schema xbarlife.result.v1); '-' is\n"
              "                  stdout and silences the human report\n"
              "  --trace PATH|-  stream JSONL events (or $XBARLIFE_TRACE);\n"
-             "                  defaults to the --json stream\n\n"
+             "                  defaults to the --json stream\n"
+             "  --profile PATH|- record a span profile (or\n"
+             "                  $XBARLIFE_PROFILE): writes a Perfetto/Chrome\n"
+             "                  trace_event JSON (open in ui.perfetto.dev),\n"
+             "                  adds the 'profile' key to the result document\n"
+             "                  and prints the per-phase rollup table\n\n"
              "exit codes: 0 ok, 2 bad arguments, 3 I/O failure,\n"
              "4 failed convergence (--strict), 5 internal error\n";
   return 0;
@@ -596,6 +757,9 @@ int main(int argc, char** argv) {
     }
     if (args.command == "device") {
       return cmd_device(args, out);
+    }
+    if (args.command == "bench") {
+      return cmd_bench(args, out);
     }
     if (args.command == "models") {
       return cmd_models(out);

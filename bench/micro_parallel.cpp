@@ -20,16 +20,9 @@ using namespace xbarlife;
 
 namespace {
 
-double seconds_of(const std::function<void()>& fn, int repeats) {
-  double best = 1e300;
-  for (int r = 0; r < repeats; ++r) {
-    const auto t0 = std::chrono::steady_clock::now();
-    fn();
-    const std::chrono::duration<double> dt =
-        std::chrono::steady_clock::now() - t0;
-    best = std::min(best, dt.count());
-  }
-  return best;
+double min_seconds(const core::BenchSample& sample) {
+  return *std::min_element(sample.values.begin(), sample.values.end()) /
+         1e3;
 }
 
 core::ExperimentConfig sweep_config(bool quick) {
@@ -101,12 +94,16 @@ int main() {
 
   set_parallel_threads(1);
   Tensor c_serial = matmul(a, b);
-  const double gemm_serial =
-      seconds_of([&] { c_serial = matmul(a, b); }, repeats);
+  const core::BenchSample gemm_serial_sample = bench::measure_ms(
+      "gemm_serial", [&] { c_serial = matmul(a, b); },
+      static_cast<std::size_t>(repeats));
+  const double gemm_serial = min_seconds(gemm_serial_sample);
   set_parallel_threads(threads);
   Tensor c_threaded = matmul(a, b);
-  const double gemm_threaded =
-      seconds_of([&] { c_threaded = matmul(a, b); }, repeats);
+  const core::BenchSample gemm_threaded_sample = bench::measure_ms(
+      "gemm_threaded", [&] { c_threaded = matmul(a, b); },
+      static_cast<std::size_t>(repeats));
+  const double gemm_threaded = min_seconds(gemm_threaded_sample);
   const bool gemm_identical = c_serial == c_threaded;
   const double gemm_speedup = gemm_serial / gemm_threaded;
   std::cout << "gemm " << dim << "^3: serial " << gemm_serial
@@ -119,14 +116,22 @@ int main() {
   const auto jobs = core::ScenarioRunner::cross(
       sweep_config(quick), {core::Scenario::kTT, core::Scenario::kSTT},
       2);
+  // The sweep is timed with a single repetition (no warm-up): one run is
+  // already seconds-scale, and the byte-identity check needs its result.
   set_parallel_threads(1);
   std::vector<core::ScenarioSweepEntry> sweep_one;
-  const double sweep_serial =
-      seconds_of([&] { sweep_one = runner.run(jobs); }, 1);
+  core::BenchSample sweep_serial_sample;
+  sweep_serial_sample.name = "sweep_serial";
+  sweep_serial_sample.values.push_back(
+      bench::ms_of([&] { sweep_one = runner.run(jobs); }));
+  const double sweep_serial = min_seconds(sweep_serial_sample);
   set_parallel_threads(threads);
   std::vector<core::ScenarioSweepEntry> sweep_n;
-  const double sweep_threaded =
-      seconds_of([&] { sweep_n = runner.run(jobs); }, 1);
+  core::BenchSample sweep_threaded_sample;
+  sweep_threaded_sample.name = "sweep_threaded";
+  sweep_threaded_sample.values.push_back(
+      bench::ms_of([&] { sweep_n = runner.run(jobs); }));
+  const double sweep_threaded = min_seconds(sweep_threaded_sample);
   set_parallel_threads(1);
   const bool sweep_identical = sweeps_identical(sweep_one, sweep_n);
   const double sweep_speedup = sweep_serial / sweep_threaded;
@@ -155,5 +160,10 @@ int main() {
   const std::string out = bench::results_path("micro_parallel.json");
   std::ofstream(out) << json.str();
   std::cout << "JSON written to " << out << "\n";
+  bench::write_bench_json(
+      "micro_parallel",
+      {gemm_serial_sample, gemm_threaded_sample, sweep_serial_sample,
+       sweep_threaded_sample},
+      threads);
   return (gemm_identical && sweep_identical) ? 0 : 1;
 }

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Gate on perf regressions between two xbarlife.bench.v1 documents.
+
+Compares the median of every result name present in BOTH documents and
+fails when any current median exceeds the baseline median by more than
+--threshold (default 0.25 = 25%). Names present in only one document are
+reported and skipped — machines differ, suites grow, and the gate must
+not block on that.
+
+Usage:
+  build/apps/xbarlife bench --reps 5 --json bench_current.json
+  python3 scripts/check_bench_regression.py \
+      --baseline BENCH_PR4.json --current bench_current.json
+  # PRs warn instead of failing:
+  python3 scripts/check_bench_regression.py ... --warn-only
+
+Exit status: 0 when no regression (or --warn-only), 1 on regression,
+2 on unusable inputs.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"check_bench_regression: cannot read {path}: {err}",
+              file=sys.stderr)
+        sys.exit(2)
+    if doc.get("schema") != "xbarlife.bench.v1":
+        print(f"check_bench_regression: {path} is not a bench.v1 document",
+              file=sys.stderr)
+        sys.exit(2)
+    return {r["name"]: r for r in doc["results"]}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="committed bench.v1 baseline (BENCH_PR*.json)")
+    parser.add_argument("--current", required=True,
+                        help="freshly measured bench.v1 document")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed relative median increase (0.25 = 25%%)")
+    parser.add_argument("--warn-only", action="store_true",
+                        help="report regressions but exit 0 (PR mode)")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+    shared = sorted(set(baseline) & set(current))
+    skipped = sorted(set(baseline) ^ set(current))
+    if not shared:
+        print("check_bench_regression: no shared result names; nothing "
+              "to compare", file=sys.stderr)
+        sys.exit(2)
+
+    regressions = []
+    for name in shared:
+        base = baseline[name]["median"]
+        cur = current[name]["median"]
+        ratio = cur / base if base > 0 else float("inf")
+        marker = ""
+        if ratio > 1.0 + args.threshold:
+            regressions.append(name)
+            marker = "  <-- REGRESSION"
+        print(f"  {name}: baseline {base:.3f} ms, current {cur:.3f} ms "
+              f"({ratio:.1%} of baseline){marker}")
+    if skipped:
+        print(f"  (skipped, present in only one document: "
+              f"{', '.join(skipped)})")
+
+    if regressions:
+        level = "WARN" if args.warn_only else "FAIL"
+        print(f"check_bench_regression: {level}: {len(regressions)} of "
+              f"{len(shared)} benches regressed beyond "
+              f"{args.threshold:.0%}: {', '.join(regressions)}")
+        return 0 if args.warn_only else 1
+    print(f"check_bench_regression: OK: {len(shared)} benches within "
+          f"{args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,15 +1,23 @@
 #!/usr/bin/env python3
-"""Validate xbarlife's machine-readable JSONL output.
+"""Validate xbarlife's machine-readable JSON output.
 
 Reads a JSONL stream (stdin or a file), checks that every line parses,
-that the final line is a versioned result document
-(schema "xbarlife.result.v1" with keys schema/command/data/metrics),
-and reports the event counts seen along the way.
+validates the final document, and reports the event counts seen along the
+way. The final document's type is auto-detected:
+
+  * result documents   — schema "xbarlife.result.v1" with keys
+                         schema/command/data/metrics (+ optional trailing
+                         "profile" span-aggregate rollup),
+  * bench documents    — schema "xbarlife.bench.v1" (median/p10/p90 per
+                         result, pinned thread count, git rev),
+  * profile documents  — Chrome trace_event/Perfetto JSON as written by
+                         --profile (otherData.schema "xbarlife.profile.v1").
 
 Usage:
   xbarlife lifetime --model lenet5 --sessions 2 --json - \
       | python3 scripts/validate_json_output.py
   python3 scripts/validate_json_output.py trace.jsonl
+  python3 scripts/validate_json_output.py profile.json
   python3 scripts/validate_json_output.py --exe build/apps/xbarlife -- \
       lifetime --model mlp --sessions 2
   python3 scripts/validate_json_output.py --expect-events sweep_job_done=6
@@ -24,8 +32,12 @@ import subprocess
 import sys
 
 RESULT_SCHEMA = "xbarlife.result.v1"
+BENCH_SCHEMA = "xbarlife.bench.v1"
+PROFILE_SCHEMA = "xbarlife.profile.v1"
 RESULT_KEYS = ["schema", "command", "data", "metrics"]
 METRIC_KEYS = ["counters", "gauges", "histograms"]
+BENCH_KEYS = ["schema", "tool", "threads", "git_rev", "results"]
+BENCH_RESULT_KEYS = ["name", "unit", "reps", "median", "p10", "p90"]
 
 
 def fail(message):
@@ -76,6 +88,106 @@ def validate_faults_data(data):
             fail(f"campaign entry {index} carries nondeterministic wall_ms")
 
 
+def validate_profile_rollup(profile):
+    """Checks the span-aggregate object (the result document's "profile"
+    key, i.e. Profiler::report_json)."""
+    if not isinstance(profile, dict):
+        fail("'profile' must be an object")
+    if "span_count" not in profile or "spans" not in profile:
+        fail("'profile' must carry span_count and spans")
+    spans = profile["spans"]
+    if not isinstance(spans, list):
+        fail("'profile.spans' must be a list")
+    for index, span in enumerate(spans):
+        for key in ("name", "count", "counters"):
+            if key not in span:
+                fail(f"profile span {index} missing {key!r}")
+
+
+def validate_result(result):
+    keys = list(result.keys())
+    # "profile" is the one optional key and must come last so unprofiled
+    # documents stay byte-identical to pre-profiler builds.
+    if keys not in (RESULT_KEYS, RESULT_KEYS + ["profile"]):
+        fail(f"result document keys {keys} != {RESULT_KEYS} (+ optional "
+             f"trailing 'profile')")
+    if result["schema"] != RESULT_SCHEMA:
+        fail(f"schema {result['schema']!r} != {RESULT_SCHEMA!r}")
+    if not isinstance(result["command"], str) or not result["command"]:
+        fail("result 'command' must be a non-empty string")
+    if not isinstance(result["data"], dict):
+        fail("result 'data' must be an object")
+    metrics = result["metrics"]
+    if not isinstance(metrics, dict) or list(metrics.keys()) != METRIC_KEYS:
+        fail(f"result 'metrics' must have keys {METRIC_KEYS}")
+    if "profile" in result:
+        validate_profile_rollup(result["profile"])
+    if result["command"] == "faults":
+        validate_faults_data(result["data"])
+    return f"command={result['command']!r}"
+
+
+def validate_bench(doc):
+    if list(doc.keys()) != BENCH_KEYS:
+        fail(f"bench document keys {list(doc.keys())} != {BENCH_KEYS}")
+    if not isinstance(doc["threads"], int) or doc["threads"] < 1:
+        fail("bench 'threads' must be a positive integer")
+    if not isinstance(doc["git_rev"], str) or not doc["git_rev"]:
+        fail("bench 'git_rev' must be a non-empty string")
+    results = doc["results"]
+    if not isinstance(results, list) or not results:
+        fail("bench 'results' must be a non-empty list")
+    for index, entry in enumerate(results):
+        if list(entry.keys()) != BENCH_RESULT_KEYS:
+            fail(f"bench result {index} keys {list(entry.keys())} != "
+                 f"{BENCH_RESULT_KEYS}")
+        if entry["reps"] < 1:
+            fail(f"bench result {index} has no repetitions")
+        if not entry["p10"] <= entry["median"] <= entry["p90"]:
+            fail(f"bench result {index} percentiles out of order")
+    return f"tool={doc['tool']!r}, {len(results)} results"
+
+
+def validate_profile(doc):
+    """Checks a Chrome trace_event/Perfetto document written by --profile."""
+    if doc.get("displayTimeUnit") != "ms":
+        fail("profile document must set displayTimeUnit 'ms'")
+    other = doc.get("otherData")
+    if not isinstance(other, dict) or other.get("schema") != PROFILE_SCHEMA:
+        fail(f"profile otherData.schema must be {PROFILE_SCHEMA!r}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("profile 'traceEvents' must be a non-empty list")
+    span_events = 0
+    ids = set()
+    for index, event in enumerate(events):
+        phase = event.get("ph")
+        if phase == "M":
+            if event.get("name") not in ("process_name", "thread_name"):
+                fail(f"trace event {index}: unknown metadata {event!r}")
+            continue
+        if phase != "X":
+            fail(f"trace event {index}: unexpected phase {phase!r}")
+        for key in ("pid", "tid", "name", "cat", "id", "ts", "dur", "args"):
+            if key not in event:
+                fail(f"trace event {index} missing {key!r}")
+        span_id = event["id"]
+        if len(span_id) != 16 or any(c not in "0123456789abcdef"
+                                     for c in span_id):
+            fail(f"trace event {index}: id {span_id!r} is not a "
+                 f"16-char content address")
+        if span_id in ids:
+            fail(f"trace event {index}: duplicate span id {span_id!r}")
+        ids.add(span_id)
+        if "path" not in event["args"]:
+            fail(f"trace event {index}: args must carry the span path")
+        span_events += 1
+    if span_events != other.get("span_count"):
+        fail(f"otherData.span_count {other.get('span_count')} != "
+             f"{span_events} X events")
+    return f"tool={other.get('tool')!r}, {span_events} spans"
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("path", nargs="?", default="-",
@@ -108,19 +220,12 @@ def main():
         fail("final line is not a JSON object")
     if "event" in result:
         fail("final line is an event, not a result document")
-    if list(result.keys()) != RESULT_KEYS:
-        fail(f"result document keys {list(result.keys())} != {RESULT_KEYS}")
-    if result["schema"] != RESULT_SCHEMA:
-        fail(f"schema {result['schema']!r} != {RESULT_SCHEMA!r}")
-    if not isinstance(result["command"], str) or not result["command"]:
-        fail("result 'command' must be a non-empty string")
-    if not isinstance(result["data"], dict):
-        fail("result 'data' must be an object")
-    metrics = result["metrics"]
-    if not isinstance(metrics, dict) or list(metrics.keys()) != METRIC_KEYS:
-        fail(f"result 'metrics' must have keys {METRIC_KEYS}")
-    if result["command"] == "faults":
-        validate_faults_data(result["data"])
+    if "traceEvents" in result:
+        detail = validate_profile(result)
+    elif result.get("schema") == BENCH_SCHEMA:
+        detail = validate_bench(result)
+    else:
+        detail = validate_result(result)
 
     for spec in args.expect_events:
         event_type, _, count = spec.partition("=")
@@ -130,7 +235,7 @@ def main():
                  f"saw {events[event_type]}")
 
     summary = ", ".join(f"{k}={v}" for k, v in sorted(events.items()))
-    print(f"validate_json_output: OK: command={result['command']!r}, "
+    print(f"validate_json_output: OK: {detail}, "
           f"{len(lines)} lines, events: {summary or 'none'}")
     return 0
 

@@ -1,0 +1,63 @@
+#include "core/bench_report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace xbarlife::core {
+
+double bench_percentile(std::vector<double> values, double p) {
+  XB_CHECK(!values.empty(), "percentile of an empty sample set");
+  XB_CHECK(p >= 0.0 && p <= 100.0, "percentile must lie in [0, 100]");
+  std::sort(values.begin(), values.end());
+  const double rank =
+      p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+std::string bench_git_rev() {
+  const char* env = std::getenv("XBARLIFE_GIT_REV");
+  return (env != nullptr && env[0] != '\0') ? env : "unknown";
+}
+
+obs::JsonValue bench_document(std::string_view tool,
+                              const std::vector<BenchSample>& samples,
+                              std::size_t threads) {
+  obs::JsonValue results = obs::JsonValue::array();
+  for (const BenchSample& s : samples) {
+    obs::JsonValue entry = obs::JsonValue::object();
+    entry.set("name", s.name);
+    entry.set("unit", s.unit);
+    entry.set("reps", s.values.size());
+    entry.set("median", bench_percentile(s.values, 50.0));
+    entry.set("p10", bench_percentile(s.values, 10.0));
+    entry.set("p90", bench_percentile(s.values, 90.0));
+    results.push_back(std::move(entry));
+  }
+  obs::JsonValue out = obs::JsonValue::object();
+  out.set("schema", kBenchSchema);
+  out.set("tool", tool);
+  out.set("threads", threads);
+  out.set("git_rev", bench_git_rev());
+  out.set("results", std::move(results));
+  return out;
+}
+
+std::string bench_table(const std::vector<BenchSample>& samples) {
+  TablePrinter table({"bench", "unit", "reps", "median", "p10", "p90"});
+  for (const BenchSample& s : samples) {
+    table.add_row({s.name, s.unit, std::to_string(s.values.size()),
+                   format_double(bench_percentile(s.values, 50.0), 3),
+                   format_double(bench_percentile(s.values, 10.0), 3),
+                   format_double(bench_percentile(s.values, 90.0), 3)});
+  }
+  return table.render();
+}
+
+}  // namespace xbarlife::core

@@ -1,0 +1,51 @@
+// Versioned machine-readable bench results (schema "xbarlife.bench.v1").
+//
+// Every perf harness — the bench/ binaries and the `xbarlife bench`
+// subcommand — reports through this one document shape so the perf
+// trajectory can be tracked across PRs (BENCH_PR*.json) and gated in CI
+// (scripts/check_bench_regression.py):
+//
+//   {"schema":"xbarlife.bench.v1","tool":...,"threads":N,
+//    "git_rev":...,"results":[
+//      {"name":"gemm_256","unit":"ms","reps":5,
+//       "median":...,"p10":...,"p90":...},...]}
+//
+// `git_rev` comes from $XBARLIFE_GIT_REV (the scripts stamp it; "unknown"
+// otherwise) — binaries never shell out to git.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace xbarlife::core {
+
+/// Version tag stamped into every bench document's "schema" field.
+inline constexpr std::string_view kBenchSchema = "xbarlife.bench.v1";
+
+/// One measured series: raw per-repetition values in `values` (the
+/// document stores the median/p10/p90 summary, not the raw samples).
+struct BenchSample {
+  std::string name;
+  std::string unit = "ms";
+  std::vector<double> values;
+};
+
+/// Linear-interpolated percentile of `values` (p in [0,100]); values need
+/// not be sorted. Throws InvalidArgument when `values` is empty.
+double bench_percentile(std::vector<double> values, double p);
+
+/// $XBARLIFE_GIT_REV or "unknown".
+std::string bench_git_rev();
+
+/// The full bench document for `samples` measured with `threads` workers.
+obs::JsonValue bench_document(std::string_view tool,
+                              const std::vector<BenchSample>& samples,
+                              std::size_t threads);
+
+/// Console rendering of the same summary statistics.
+std::string bench_table(const std::vector<BenchSample>& samples);
+
+}  // namespace xbarlife::core

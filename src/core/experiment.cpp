@@ -55,6 +55,7 @@ TrainedModel train_model(const ExperimentConfig& config, bool skewed,
 
 ScenarioOutcome run_scenario(const ExperimentConfig& config, Scenario s,
                              const obs::Obs& obs) {
+  const obs::Span scenario_span(obs, "experiment.scenario");
   TrainedModel tm = train_model(config, uses_skewed_training(s), obs);
   const data::TrainTest data = data::make_synthetic(config.dataset);
 

@@ -207,6 +207,7 @@ void write_checkpoint(const std::string& path, std::uint64_t campaign_seed,
 FaultCampaignResult run_fault_campaign(const FaultCampaignConfig& config,
                                        const obs::Obs& obs) {
   config.validate();
+  const obs::Span campaign_span(obs, "faults.campaign");
   const std::vector<JobSpec> specs = build_jobs(config);
 
   FaultCampaignResult result;

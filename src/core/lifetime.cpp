@@ -64,7 +64,7 @@ LifetimeResult LifetimeSimulator::run(tuning::HardwareNetwork& hw,
 
   LifetimeResult result;
   for (std::size_t session = 0; session < config_.max_sessions; ++session) {
-    const obs::ScopeTimer session_timer(obs.metrics, "lifetime.session_ms");
+    const obs::Span session_span(obs, "lifetime.session");
     obs.count("lifetime.sessions");
     if (obs.trace_enabled()) {
       obs.event("session_start",

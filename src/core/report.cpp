@@ -1,6 +1,7 @@
 #include "core/report.hpp"
 
 #include <algorithm>
+#include <map>
 
 #include "common/table.hpp"
 
@@ -8,14 +9,62 @@ namespace xbarlife::core {
 
 obs::JsonValue result_document(std::string_view command,
                                obs::JsonValue data,
-                               const obs::Registry* metrics) {
+                               const obs::Registry* metrics,
+                               const obs::Profiler* profiler) {
   obs::JsonValue doc = obs::JsonValue::object();
   doc.set("schema", kResultSchema);
   doc.set("command", command);
   doc.set("data", std::move(data));
   doc.set("metrics", metrics != nullptr ? metrics->to_json()
                                         : obs::Registry().to_json());
+  // "profile" is an optional trailing key: documents from unprofiled runs
+  // stay byte-identical to pre-profiler builds (pinned by the goldens).
+  if (profiler != nullptr) {
+    doc.set("profile", profiler->report_json());
+  }
   return doc;
+}
+
+std::string profile_table(const obs::Profiler& profiler) {
+  // Same aggregation as Profiler::report_json, rendered for the console.
+  struct Aggregate {
+    std::uint64_t count = 0;
+    double total_ms = 0.0;
+    double self_ms = 0.0;
+    std::map<std::string, std::uint64_t> counters;
+  };
+  const auto& records = profiler.records();
+  std::vector<double> child_ms(records.size(), 0.0);
+  for (const obs::SpanRecord& rec : records) {
+    if (rec.parent != obs::kNoSpan) {
+      child_ms[rec.parent] += rec.dur_ms;
+    }
+  }
+  std::map<std::string, Aggregate> by_name;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const obs::SpanRecord& rec = records[i];
+    Aggregate& agg = by_name[rec.name];
+    ++agg.count;
+    agg.total_ms += rec.dur_ms;
+    agg.self_ms += std::max(0.0, rec.dur_ms - child_ms[i]);
+    for (const auto& [key, value] : rec.counters) {
+      agg.counters[key] += value;
+    }
+  }
+  TablePrinter table({"span", "calls", "total ms", "self ms", "counters"});
+  for (const auto& [name, agg] : by_name) {
+    std::string counters;
+    for (const auto& [key, value] : agg.counters) {
+      if (!counters.empty()) {
+        counters += ", ";
+      }
+      counters += key + "=" + std::to_string(value);
+    }
+    table.add_row({name, std::to_string(agg.count),
+                   format_double(agg.total_ms, 2),
+                   format_double(agg.self_ms, 2), counters});
+  }
+  return table.render();
 }
 
 obs::JsonValue experiment_config_json(const ExperimentConfig& config) {

@@ -15,6 +15,7 @@
 #include "core/scenario_runner.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 
 namespace xbarlife::core {
 
@@ -24,9 +25,16 @@ inline constexpr std::string_view kResultSchema = "xbarlife.result.v1";
 /// Wraps command-specific `data` into the versioned result document:
 ///   {"schema":..., "command":..., "data":..., "metrics":...}
 /// `metrics` may be null (the "metrics" key then holds an empty
-/// snapshot-shaped object).
+/// snapshot-shaped object). A non-null `profiler` appends the optional
+/// trailing "profile" key (the span-aggregate rollup of
+/// Profiler::report_json); consumers must treat it as optional.
 obs::JsonValue result_document(std::string_view command, obs::JsonValue data,
-                               const obs::Registry* metrics);
+                               const obs::Registry* metrics,
+                               const obs::Profiler* profiler = nullptr);
+
+/// Per-phase span-aggregate table (name, calls, total/self ms, counters)
+/// — the human-readable rendering of the "profile" result-document key.
+std::string profile_table(const obs::Profiler& profiler);
 
 /// Summary of the config knobs that identify a run.
 obs::JsonValue experiment_config_json(const ExperimentConfig& config);

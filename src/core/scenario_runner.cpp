@@ -1,10 +1,11 @@
 #include "core/scenario_runner.hpp"
 
 #include <chrono>
-#include <memory>
+#include <string>
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "obs/fork.hpp"
 
 namespace xbarlife::core {
 
@@ -15,22 +16,16 @@ std::vector<ScenarioSweepEntry> ScenarioRunner::run(
     const std::vector<ScenarioJob>& jobs, const obs::Obs& obs) const {
   std::vector<ScenarioSweepEntry> entries(jobs.size());
 
-  // Per-job observability: jobs run concurrently, so each gets a private
-  // registry and an in-memory trace; the fan-in below replays them in job
-  // order, which keeps the merged stream independent of scheduling.
-  struct JobObs {
-    obs::Registry registry;
-    obs::MemorySink sink;
-    std::unique_ptr<obs::EventTrace> trace;
-  };
-  std::vector<JobObs> job_obs(obs.enabled() ? jobs.size() : 0);
-  for (std::size_t i = 0; i < job_obs.size(); ++i) {
-    std::vector<std::pair<std::string, obs::JsonValue>> context;
-    context.emplace_back("job", obs::JsonValue(jobs[i].label));
-    job_obs[i].trace = std::make_unique<obs::EventTrace>(
-        obs.trace_enabled() ? &job_obs[i].sink : nullptr,
-        std::move(context));
+  // Jobs run concurrently, so each gets a forked child context (private
+  // registry, buffered trace, private profiler); merge_into() below fans
+  // them back in job-index order, which keeps the merged stream
+  // independent of scheduling.
+  std::vector<std::string> labels;
+  labels.reserve(jobs.size());
+  for (const ScenarioJob& job : jobs) {
+    labels.push_back(job.label);
   }
+  obs::ObsFork fork(obs, std::move(labels));
 
   // One job per chunk; entries are written by index, so the merged sweep
   // is identical however the pool schedules the jobs. Inside a job every
@@ -58,14 +53,14 @@ std::vector<ScenarioSweepEntry> ScenarioRunner::run(
       entry.drift_seed = cfg.lifetime.drift_seed;
       entry.fault_seed = cfg.faults.fault_seed;
 
-      obs::Obs job_handle;
-      if (!job_obs.empty()) {
-        job_handle.metrics =
-            obs.metrics_enabled() ? &job_obs[i].registry : nullptr;
-        job_handle.trace = job_obs[i].trace.get();
-      }
+      const obs::Obs job_handle = fork.job(i);
+      // Job root span for trace/profile only: the fan-in already records
+      // the canonical sweep.job_ms histogram sample from entry.wall_ms.
+      obs::Obs span_handle = job_handle;
+      span_handle.metrics = nullptr;
       const auto start = std::chrono::steady_clock::now();
       try {
+        const obs::Span job_span(span_handle, "sweep.job");
         entry.outcome = run_scenario(cfg, job.scenario, job_handle);
       } catch (const std::exception& e) {
         // Error isolation: a throwing scenario becomes a failed entry —
@@ -81,16 +76,11 @@ std::vector<ScenarioSweepEntry> ScenarioRunner::run(
     }
   });
 
-  // Deterministic fan-in: buffered job traces and registries merge in job
-  // order, each job closed by its sweep_job_done event.
-  for (std::size_t i = 0; i < job_obs.size(); ++i) {
-    if (obs.trace_enabled()) {
-      for (const std::string& line : job_obs[i].sink.lines()) {
-        obs.trace->emit_line(line);
-      }
-    }
+  // Deterministic fan-in: buffered job traces, registries, and span
+  // profiles merge in job order, each job closed by its sweep_job_done
+  // event.
+  fork.merge_into([&](std::size_t i) {
     if (obs.metrics_enabled()) {
-      obs.metrics->merge_from(job_obs[i].registry);
       obs.metrics->histogram("sweep.job_ms").observe(entries[i].wall_ms);
     }
     obs.count("sweep.jobs");
@@ -117,7 +107,7 @@ std::vector<ScenarioSweepEntry> ScenarioRunner::run(
       }
       obs.event("sweep_job_done", fields);
     }
-  }
+  });
   return entries;
 }
 

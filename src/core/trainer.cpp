@@ -27,8 +27,9 @@ TrainHistory train(nn::Network& net, const data::TrainTest& data,
   Rng shuffle_rng(config.shuffle_seed);
 
   TrainHistory history;
+  const obs::Span fit_span(obs, "train.fit");
   for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
-    const obs::ScopeTimer epoch_timer(obs.metrics, "train.epoch_ms");
+    const obs::Span epoch_span(obs, "train.epoch");
     const auto order =
         data::shuffled_indices(data.train.size(), shuffle_rng);
     const data::Dataset shuffled = data.train.subset(order);

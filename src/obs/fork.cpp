@@ -1,0 +1,62 @@
+#include "obs/fork.hpp"
+
+#include <utility>
+
+namespace xbarlife::obs {
+
+ObsFork::ObsFork(const Obs& parent, std::vector<std::string> labels)
+    : parent_(parent), labels_(std::move(labels)) {
+  if (!parent_.enabled()) {
+    return;
+  }
+  children_.reserve(labels_.size());
+  for (const std::string& label : labels_) {
+    auto child = std::make_unique<Child>();
+    std::vector<std::pair<std::string, JsonValue>> context;
+    context.emplace_back("job", JsonValue(label));
+    child->trace = std::make_unique<EventTrace>(
+        parent_.trace_enabled() ? &child->sink : nullptr,
+        std::move(context));
+    if (parent_.profile_enabled()) {
+      child->profiler = std::make_unique<Profiler>();
+    }
+    children_.push_back(std::move(child));
+  }
+}
+
+Obs ObsFork::job(std::size_t i) {
+  if (children_.empty()) {
+    return {};
+  }
+  Child& child = *children_[i];
+  Obs handle;
+  handle.metrics = parent_.metrics_enabled() ? &child.registry : nullptr;
+  handle.trace = child.trace.get();
+  handle.profiler = child.profiler.get();
+  return handle;
+}
+
+void ObsFork::merge_into(
+    const std::function<void(std::size_t)>& after_job) {
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    if (!children_.empty()) {
+      Child& child = *children_[i];
+      if (parent_.trace_enabled()) {
+        for (const std::string& line : child.sink.lines()) {
+          parent_.trace->emit_line(line);
+        }
+      }
+      if (parent_.metrics_enabled()) {
+        parent_.metrics->merge_from(child.registry);
+      }
+      if (parent_.profile_enabled()) {
+        parent_.profiler->adopt(*child.profiler, labels_[i]);
+      }
+    }
+    if (after_job) {
+      after_job(i);
+    }
+  }
+}
+
+}  // namespace xbarlife::obs

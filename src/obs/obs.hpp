@@ -1,36 +1,48 @@
 // Obs: the lightweight handle instrumented code passes around.
 //
-// An Obs bundles an optional metrics Registry and an optional EventTrace.
-// Every helper no-ops on a null member, so library functions take a
-// `const obs::Obs& obs = {}` default parameter and uninstrumented callers
-// (benches, tests, existing code) pay one branch per call site — the
-// "zero-cost when no sink is attached" contract of the observability
-// layer. Guard expensive field construction in hot loops with
+// An Obs bundles an optional metrics Registry, an optional EventTrace, and
+// an optional span Profiler. Every helper no-ops on a null member, so
+// library functions take a `const obs::Obs& obs = {}` default parameter and
+// uninstrumented callers (benches, tests, existing code) pay one branch per
+// call site — the "zero-cost when no sink is attached" contract of the
+// observability layer. Guard expensive field construction in hot loops with
 // `obs.trace_enabled()`.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
 #include <initializer_list>
+#include <string>
 #include <string_view>
 #include <vector>
 
 #include "obs/event_trace.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 
 namespace xbarlife::obs {
 
 struct Obs {
   Registry* metrics = nullptr;
   EventTrace* trace = nullptr;
+  Profiler* profiler = nullptr;
 
   bool metrics_enabled() const { return metrics != nullptr; }
   bool trace_enabled() const { return trace != nullptr && trace->enabled(); }
-  bool enabled() const { return metrics_enabled() || trace_enabled(); }
+  bool profile_enabled() const { return profiler != nullptr; }
+  bool enabled() const {
+    return metrics_enabled() || trace_enabled() || profile_enabled();
+  }
 
+  /// Counter increments also attribute to the profiler's innermost open
+  /// span, so domain counters (tuning.pulses, tuning.iterations,
+  /// resilience.rung.*, ...) roll up per phase for free.
   void count(std::string_view name, std::uint64_t delta = 1) const {
     if (metrics != nullptr) {
       metrics->counter(name).add(delta);
+    }
+    if (profiler != nullptr) {
+      profiler->add_counter(name, delta);
     }
   }
   void set_gauge(std::string_view name, double value) const {
@@ -57,19 +69,49 @@ struct Obs {
   }
 };
 
-/// RAII wall-clock timer: records the scope's elapsed milliseconds into
-/// `metrics->histogram(name)` on destruction. With null metrics the
-/// constructor never reads the clock. Wall-clock histograms follow the
-/// `*_ms` naming convention so determinism checks can exclude them.
-class ScopeTimer {
+/// RAII span: the one scope primitive of the observability layer. On every
+/// attached sink it records the scope as
+///   * a profiler span (hierarchical, with attributed domain counters),
+///   * a span_begin/span_end trace event pair (span_end carries the
+///     duration as "wall_ms", the stripped-by-convention field), and
+///   * a sample in `metrics->histogram(name + "_ms")` (the existing
+///     wall-clock histogram convention, excluded from determinism checks).
+/// With no sink attached the constructor never reads the clock.
+///
+/// The legacy (Registry*, histogram_name) constructor keeps the historical
+/// ScopeTimer behavior: metrics only, histogram name used verbatim.
+class Span {
  public:
-  ScopeTimer(Registry* metrics, std::string_view name)
-      : histogram_(metrics != nullptr ? &metrics->histogram(name) : nullptr),
-        start_(histogram_ != nullptr ? std::chrono::steady_clock::now()
-                                     : std::chrono::steady_clock::time_point{}) {}
+  Span(const Obs& obs, std::string_view name)
+      : histogram_(obs.metrics != nullptr
+                       ? &obs.metrics->histogram(std::string(name) + "_ms")
+                       : nullptr),
+        trace_(obs.trace_enabled() ? obs.trace : nullptr),
+        profiler_(obs.profiler),
+        name_(name) {
+    if (profiler_ != nullptr) {
+      span_index_ = profiler_->begin_span(name_);
+    }
+    if (trace_ != nullptr) {
+      trace_->emit("span_begin", {{"name", name_}});
+    }
+    if (histogram_ != nullptr || trace_ != nullptr ||
+        profiler_ != nullptr) {
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
 
-  ScopeTimer(const ScopeTimer&) = delete;
-  ScopeTimer& operator=(const ScopeTimer&) = delete;
+  Span(Registry* metrics, std::string_view histogram_name)
+      : histogram_(metrics != nullptr ? &metrics->histogram(histogram_name)
+                                      : nullptr),
+        name_(histogram_name) {
+    if (histogram_ != nullptr) {
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
 
   double elapsed_ms() const {
     return std::chrono::duration<double, std::milli>(
@@ -77,15 +119,34 @@ class ScopeTimer {
         .count();
   }
 
-  ~ScopeTimer() {
+  ~Span() {
+    if (histogram_ == nullptr && trace_ == nullptr &&
+        profiler_ == nullptr) {
+      return;
+    }
+    const double dur = elapsed_ms();
+    if (profiler_ != nullptr) {
+      profiler_->end_span(span_index_);
+    }
+    if (trace_ != nullptr) {
+      trace_->emit("span_end", {{"name", name_}, {"wall_ms", dur}});
+    }
     if (histogram_ != nullptr) {
-      histogram_->observe(elapsed_ms());
+      histogram_->observe(dur);
     }
   }
 
  private:
-  HistogramMetric* histogram_;
-  std::chrono::steady_clock::time_point start_;
+  HistogramMetric* histogram_ = nullptr;
+  EventTrace* trace_ = nullptr;
+  Profiler* profiler_ = nullptr;
+  std::size_t span_index_ = kNoSpan;
+  std::string name_;
+  std::chrono::steady_clock::time_point start_{};
 };
+
+/// Historical name for the metrics-only scope timer; Span subsumes it (and
+/// fixes the old gap where a trace-only run recorded nothing from timers).
+using ScopeTimer = Span;
 
 }  // namespace xbarlife::obs

@@ -1,0 +1,106 @@
+#include "obs/perfetto.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace xbarlife::obs {
+
+std::string content_address(std::string_view path) {
+  // FNV-1a 64-bit: stable across platforms, no dependency.
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const char c : path) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[hash & 0xf];
+    hash >>= 4;
+  }
+  return out;
+}
+
+JsonValue perfetto_trace_json(const Profiler& profiler,
+                              std::string_view tool) {
+  const auto& records = profiler.records();
+
+  // Content-addressed ids: path = parent path / name # occurrence, where
+  // occurrence counts earlier same-name spans under the same parent.
+  std::vector<std::string> paths(records.size());
+  std::map<std::string, std::size_t> occurrences;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const SpanRecord& rec = records[i];
+    std::string path =
+        rec.parent == kNoSpan ? "" : paths[rec.parent];
+    path += "/";
+    path += rec.name;
+    const std::size_t k = occurrences[path]++;
+    path += "#";
+    path += std::to_string(k);
+    paths[i] = std::move(path);
+  }
+
+  JsonValue events = JsonValue::array();
+  {
+    JsonValue meta = JsonValue::object();
+    meta.set("ph", "M");
+    meta.set("pid", 1);
+    meta.set("tid", 0);
+    meta.set("name", "process_name");
+    JsonValue args = JsonValue::object();
+    args.set("name", "xbarlife");
+    meta.set("args", std::move(args));
+    events.push_back(std::move(meta));
+  }
+  const auto& tracks = profiler.track_names();
+  for (std::size_t t = 0; t < tracks.size(); ++t) {
+    JsonValue meta = JsonValue::object();
+    meta.set("ph", "M");
+    meta.set("pid", 1);
+    meta.set("tid", t);
+    meta.set("name", "thread_name");
+    JsonValue args = JsonValue::object();
+    args.set("name", tracks[t]);
+    meta.set("args", std::move(args));
+    events.push_back(std::move(meta));
+  }
+
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const SpanRecord& rec = records[i];
+    JsonValue ev = JsonValue::object();
+    ev.set("ph", "X");
+    ev.set("pid", 1);
+    ev.set("tid", rec.track);
+    ev.set("name", rec.name);
+    ev.set("cat", "xbarlife");
+    ev.set("id", content_address(paths[i]));
+    // Microseconds since the root profiler's epoch — the trace's only
+    // nondeterministic fields (strip ts/dur to compare runs).
+    ev.set("ts", std::chrono::duration<double, std::micro>(
+                     rec.start - profiler.epoch())
+                     .count());
+    ev.set("dur", rec.dur_ms * 1000.0);
+    JsonValue args = JsonValue::object();
+    args.set("path", paths[i]);
+    for (const auto& [key, value] : rec.counters) {
+      args.set(key, value);
+    }
+    ev.set("args", std::move(args));
+    events.push_back(std::move(ev));
+  }
+
+  JsonValue other = JsonValue::object();
+  other.set("schema", kProfileSchema);
+  other.set("tool", tool);
+  other.set("span_count", records.size());
+  JsonValue out = JsonValue::object();
+  out.set("displayTimeUnit", "ms");
+  out.set("otherData", std::move(other));
+  out.set("traceEvents", std::move(events));
+  return out;
+}
+
+}  // namespace xbarlife::obs

@@ -1,0 +1,38 @@
+// Chrome trace_event / Perfetto export of a span profile.
+//
+// perfetto_trace_json() converts a Profiler's span tree into the JSON
+// object format understood by ui.perfetto.dev and chrome://tracing: one
+// complete ("ph":"X") event per span, metadata events naming the process
+// and one display track per adopted fan-out job.
+//
+// Determinism contract: every field except the wall-clock "ts"/"dur"
+// values is deterministic at any thread count. Span ids are
+// content-addressed — an FNV-1a hash of the span's path
+// (parent-path "/" name "#" same-name-sibling-occurrence) — so the same
+// run always produces the same ids and diffing two trace files is
+// meaningful. Tests strip ts/dur and compare the rest byte-for-byte, the
+// same convention the event-trace goldens use for t_ms.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/json.hpp"
+#include "obs/profiler.hpp"
+
+namespace xbarlife::obs {
+
+/// Stable hex span id for the given path string (FNV-1a 64).
+std::string content_address(std::string_view path);
+
+/// The full trace document:
+///   {"displayTimeUnit":"ms","otherData":{"schema":"xbarlife.profile.v1",
+///    "tool":...},"traceEvents":[...]}
+/// `tool` labels otherData.tool (e.g. "xbarlife lifetime").
+JsonValue perfetto_trace_json(const Profiler& profiler,
+                              std::string_view tool);
+
+/// Schema tag stamped into otherData.schema.
+inline constexpr std::string_view kProfileSchema = "xbarlife.profile.v1";
+
+}  // namespace xbarlife::obs

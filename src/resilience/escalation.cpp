@@ -66,6 +66,8 @@ RescueOutcome EscalationLadder::rescue(const RescueContext& ctx,
     }
     const char* name = to_string(rung);
     out.rungs.emplace_back(name);
+    const obs::Span rung_span(obs,
+                              std::string("resilience.rung.") + name);
     obs.count(std::string("resilience.rung.") + name);
     const tuning::TuningResult tr =
         ctx.tuner.tune(ctx.hw, ctx.tune_data, ctx.eval_data, obs);
@@ -136,6 +138,8 @@ RescueOutcome EscalationLadder::rescue(const RescueContext& ctx,
     out.degraded = true;
     const char* name = to_string(Rung::kDegraded);
     out.rungs.emplace_back(name);
+    const obs::Span rung_span(obs,
+                              std::string("resilience.rung.") + name);
     obs.count(std::string("resilience.rung.") + name);
     if (obs.trace_enabled()) {
       obs.event("resilience_rung", {{"session", session},

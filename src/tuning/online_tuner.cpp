@@ -76,7 +76,7 @@ TuningResult OnlineTuner::tune(HardwareNetwork& hw,
                                const obs::Obs& obs) {
   XB_CHECK(tune_data.size() > 0 && eval_data.size() > 0,
            "tuning needs non-empty datasets");
-  const obs::ScopeTimer timer(obs.metrics, "tuning.session_ms");
+  const obs::Span tuning_span(obs, "tuning.session");
   nn::Network& net = hw.network();
   const data::Dataset eval_slice =
       eval_data.head(config_.eval_samples);

@@ -1,0 +1,163 @@
+// End-to-end CLI output-path tests: every subcommand that accepts the
+// --json/--trace/--profile sink flags must fail fast with the IoError
+// exit code (3) when the target path is unwritable — before any real
+// work runs — and the --profile happy path must produce a Perfetto
+// trace_event document.
+//
+// The binary path comes in via XBARLIFE_CLI_PATH (set in
+// tests/CMakeLists.txt from $<TARGET_FILE:xbarlife_cli>).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#ifndef _WIN32
+#include <sys/wait.h>
+#endif
+
+namespace {
+
+constexpr const char* kUnwritable =
+    "/nonexistent-xbarlife-dir/out.json";
+
+std::string cli_path() { return XBARLIFE_CLI_PATH; }
+
+/// Runs the CLI with `args`, discarding stdout/stderr, and returns its
+/// exit code (-1 when the shell itself failed).
+int run_cli(const std::string& args) {
+  const std::string cmd =
+      cli_path() + " " + args + " >/dev/null 2>&1";
+  const int status = std::system(cmd.c_str());
+#ifdef _WIN32
+  return status;
+#else
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+#endif
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+struct SinkCase {
+  const char* command;  ///< subcommand plus fast-run flags
+  const char* flag;     ///< sink flag under test
+};
+
+std::string PrintToString(const SinkCase& c) {
+  std::string name = std::string(c.command) + "_" + (c.flag + 2);
+  for (char& ch : name) {
+    if (!std::isalnum(static_cast<unsigned char>(ch))) {
+      ch = '_';
+    }
+  }
+  return name;
+}
+
+class UnwritableSink : public ::testing::TestWithParam<SinkCase> {};
+
+// Every sink is opened before the command does any work, so even the
+// heavy subcommands fail in milliseconds.
+TEST_P(UnwritableSink, FailsFastWithIoExitCode) {
+  const SinkCase& c = GetParam();
+  const int code = run_cli(std::string(c.command) + " " + c.flag + " " +
+                           kUnwritable);
+  EXPECT_EQ(code, 3) << "command: " << c.command << " " << c.flag;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCommands, UnwritableSink,
+    ::testing::Values(
+        SinkCase{"train", "--json"}, SinkCase{"train", "--trace"},
+        SinkCase{"train", "--profile"},
+        SinkCase{"lifetime", "--json"}, SinkCase{"lifetime", "--trace"},
+        SinkCase{"lifetime", "--profile"},
+        SinkCase{"sweep", "--json"}, SinkCase{"sweep", "--trace"},
+        SinkCase{"sweep", "--profile"},
+        SinkCase{"faults", "--json"}, SinkCase{"faults", "--trace"},
+        SinkCase{"faults", "--profile"},
+        SinkCase{"device", "--json"}, SinkCase{"device", "--trace"},
+        SinkCase{"device", "--profile"},
+        SinkCase{"bench", "--json"}, SinkCase{"bench", "--trace"},
+        SinkCase{"bench", "--profile"},
+        SinkCase{"models", "--json"}, SinkCase{"models", "--trace"},
+        SinkCase{"models", "--profile"}),
+    [](const ::testing::TestParamInfo<SinkCase>& info) {
+      return PrintToString(info.param);
+    });
+
+TEST(CliOutput, UnknownCommandExitsUsage) {
+  EXPECT_EQ(run_cli("frobnicate"), 2);
+}
+
+TEST(CliOutput, BenchRejectsZeroReps) {
+  EXPECT_EQ(run_cli("bench --reps 0"), 2);
+}
+
+TEST(CliOutput, DeviceProfileWritesPerfettoDocument) {
+  const std::string path =
+      ::testing::TempDir() + "/xbarlife_device_profile.json";
+  std::remove(path.c_str());
+  ASSERT_EQ(run_cli("device --pulses 5 --profile " + path), 0);
+  const std::string text = slurp(path);
+  ASSERT_FALSE(text.empty()) << "no profile written to " << path;
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(text.find("\"schema\":\"xbarlife.profile.v1\""),
+            std::string::npos);
+  // The command-level root span names the subcommand.
+  EXPECT_NE(text.find("\"name\":\"cmd.device\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliOutput, DeviceJsonEmbedsProfileKeyWhenProfiling) {
+  const std::string json = ::testing::TempDir() + "/xbarlife_device.jsonl";
+  const std::string prof =
+      ::testing::TempDir() + "/xbarlife_device_prof.json";
+  std::remove(json.c_str());
+  std::remove(prof.c_str());
+  ASSERT_EQ(run_cli("device --pulses 5 --json " + json + " --profile " +
+                    prof),
+            0);
+  const std::string text = slurp(json);
+  ASSERT_FALSE(text.empty());
+  // Final line is the result document; the profile rollup rides as its
+  // trailing key.
+  EXPECT_NE(text.find("\"schema\":\"xbarlife.result.v1\""),
+            std::string::npos);
+  EXPECT_NE(text.find("\"profile\":{\"span_count\":"), std::string::npos);
+  std::remove(json.c_str());
+  std::remove(prof.c_str());
+}
+
+TEST(CliOutput, DeviceJsonWithoutProfileHasNoProfileKey) {
+  const std::string json =
+      ::testing::TempDir() + "/xbarlife_device_noprof.jsonl";
+  std::remove(json.c_str());
+  ASSERT_EQ(run_cli("device --pulses 5 --json " + json), 0);
+  const std::string text = slurp(json);
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.find("\"profile\""), std::string::npos);
+  std::remove(json.c_str());
+}
+
+TEST(CliOutput, ProfileEnvVarEnablesProfiling) {
+  const std::string path =
+      ::testing::TempDir() + "/xbarlife_env_profile.json";
+  std::remove(path.c_str());
+  const std::string cmd = "XBARLIFE_PROFILE=" + path + " " + cli_path() +
+                          " device --pulses 5 >/dev/null 2>&1";
+  ASSERT_EQ(std::system(cmd.c_str()), 0);
+  const std::string text = slurp(path);
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace

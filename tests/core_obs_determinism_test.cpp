@@ -4,6 +4,7 @@
 // gate for instrumenting the fan-out layer at all.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <map>
 #include <string>
 #include <vector>
@@ -11,6 +12,8 @@
 #include "common/parallel.hpp"
 #include "core/scenario_runner.hpp"
 #include "obs/obs.hpp"
+#include "obs/perfetto.hpp"
+#include "obs/profiler.hpp"
 #include "obs/sink.hpp"
 
 namespace xbarlife::core {
@@ -62,9 +65,29 @@ std::string strip_wall_clock(const std::string& line) {
   return out;
 }
 
+/// Removes every `"key":<value>` occurrence from a serialized JSON
+/// string — used to drop the nondeterministic Perfetto ts/dur fields
+/// before comparing whole trace documents.
+std::string strip_all(std::string out,
+                      std::initializer_list<const char*> keys) {
+  for (const char* key : keys) {
+    std::size_t at = 0;
+    while ((at = out.find(key, at)) != std::string::npos) {
+      std::size_t end = out.find_first_of(",}", at + std::strlen(key));
+      if (end != std::string::npos && out[end] == ',') {
+        ++end;  // also eat the separating comma
+      }
+      out.erase(at, end - at);
+    }
+  }
+  return out;
+}
+
 struct SweepCapture {
   std::vector<std::string> events;
   std::string metrics_json;
+  std::string profile_skeleton;   ///< report_json(false), no wall clock
+  std::string perfetto_stripped;  ///< full trace minus ts/dur
   std::vector<ScenarioSweepEntry> entries;
 };
 
@@ -74,11 +97,18 @@ SweepCapture run_sweep(const std::vector<ScenarioJob>& jobs,
   obs::Registry registry;
   obs::MemorySink sink;
   obs::EventTrace trace(&sink);
+  obs::Profiler profiler;
+  const std::size_t root = profiler.begin_span("sweep");
   const ScenarioRunner runner;
   SweepCapture cap;
-  cap.entries = runner.run(jobs, obs::Obs{&registry, &trace});
+  cap.entries = runner.run(jobs, obs::Obs{&registry, &trace, &profiler});
+  profiler.end_span(root);
   cap.events = sink.lines();
   cap.metrics_json = registry.to_json("_ms").dump();
+  cap.profile_skeleton = profiler.report_json(false).dump();
+  cap.perfetto_stripped =
+      strip_all(obs::perfetto_trace_json(profiler, "test").dump(),
+                {"\"ts\":", "\"dur\":"});
   return cap;
 }
 
@@ -107,6 +137,38 @@ TEST(ObsDeterminism, ThreadedSweepMatchesSerialByteForByte) {
               strip_wall_clock(threaded.events[i]))
         << "event " << i;
   }
+}
+
+TEST(ObsDeterminism, ProfilerAggregatesIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  const auto jobs = ScenarioRunner::cross(
+      tiny_config(), {Scenario::kTT, Scenario::kSTAT}, 2);
+
+  const SweepCapture serial = run_sweep(jobs, 1);
+  const SweepCapture threaded = run_sweep(jobs, 4);
+
+  // Span-aggregate skeleton (names, counts, counters — no wall clock):
+  // byte-identical, because job profilers are adopted in job-index order.
+  EXPECT_EQ(serial.profile_skeleton, threaded.profile_skeleton);
+  EXPECT_NE(serial.profile_skeleton.find("\"sweep.job\""),
+            std::string::npos);
+  EXPECT_NE(serial.profile_skeleton.find("\"experiment.scenario\""),
+            std::string::npos);
+  EXPECT_NE(serial.profile_skeleton.find("\"lifetime.session\""),
+            std::string::npos);
+  EXPECT_NE(serial.profile_skeleton.find("\"tuning.session\""),
+            std::string::npos);
+  EXPECT_NE(serial.profile_skeleton.find("\"train.fit\""),
+            std::string::npos);
+  // Domain counters attribute into the span tree.
+  EXPECT_NE(serial.profile_skeleton.find("\"tuning.pulses\""),
+            std::string::npos);
+
+  // The full Perfetto export — paths, content-addressed ids, tracks,
+  // counters — is byte-identical once ts/dur are stripped.
+  EXPECT_EQ(serial.perfetto_stripped, threaded.perfetto_stripped);
+  EXPECT_NE(serial.perfetto_stripped.find("\"traceEvents\""),
+            std::string::npos);
 }
 
 TEST(ObsDeterminism, OneSweepJobDoneEventPerJob) {

@@ -140,6 +140,62 @@ TEST(ResultDocumentTest, SessionTableSubsamplesButKeepsLastRow) {
   EXPECT_LT(rows, 50u);
 }
 
+// --- profile key -------------------------------------------------------
+
+obs::Profiler sample_profiler_storage;
+
+/// Builds the profiler behind the golden profile report: a command root
+/// with two tuning sessions and attributed domain counters.
+const obs::Profiler& sample_profiler() {
+  static const bool built = [] {
+    obs::Profiler& prof = sample_profiler_storage;
+    const std::size_t root = prof.begin_span("cmd.demo");
+    const std::size_t s1 = prof.begin_span("tuning.session");
+    prof.add_counter("tuning.pulses", 12);
+    prof.end_span(s1);
+    const std::size_t s2 = prof.begin_span("tuning.session");
+    prof.add_counter("tuning.pulses", 8);
+    prof.add_counter("tuning.iterations", 3);
+    prof.end_span(s2);
+    prof.end_span(root);
+    return true;
+  }();
+  (void)built;
+  return sample_profiler_storage;
+}
+
+TEST(ResultDocumentTest, ProfileReportSkeletonMatchesGolden) {
+  // Wall-clock fields are nondeterministic, so the golden pins the
+  // skeleton (include_times = false): names, counts, merged counters.
+  EXPECT_EQ(sample_profiler().report_json(false).dump(),
+            read_golden("profile_report.json"));
+}
+
+TEST(ResultDocumentTest, ProfilerAppendsTrailingProfileKey) {
+  const obs::JsonValue doc =
+      result_document("demo", obs::JsonValue::object(), nullptr,
+                      &sample_profiler());
+  ASSERT_TRUE(doc.is_object());
+  const auto* obj = doc.as_object();
+  ASSERT_EQ(obj->size(), 5u);
+  EXPECT_EQ(obj->back().first, "profile");
+  const obs::JsonValue* profile = doc.find("profile");
+  ASSERT_NE(profile, nullptr);
+  EXPECT_EQ(profile->find("span_count")->dump(), "3");
+  // The embedded rollup carries the wall-clock aggregates.
+  const std::string text = profile->dump();
+  EXPECT_NE(text.find("\"total_ms\":"), std::string::npos);
+  EXPECT_NE(text.find("\"self_ms\":"), std::string::npos);
+  EXPECT_NE(text.find("\"tuning.pulses\":20"), std::string::npos);
+}
+
+TEST(ResultDocumentTest, ProfileTableRendersSpansAndCounters) {
+  const std::string table = profile_table(sample_profiler());
+  EXPECT_NE(table.find("cmd.demo"), std::string::npos);
+  EXPECT_NE(table.find("tuning.session"), std::string::npos);
+  EXPECT_NE(table.find("tuning.pulses=20"), std::string::npos);
+}
+
 // --- model registry ----------------------------------------------------
 
 TEST(ModelRegistryTest, BuiltinsAreRegistered) {
