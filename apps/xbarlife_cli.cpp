@@ -6,9 +6,11 @@
 //                      [--stuck-on F] [--write-noise S] [--read-noise S]
 //                      [--line-resistance R] [--spare-rows N] [--no-ladder]
 //   xbarlife sweep     --model <name> [--replicates N] [--strict]
+//                      [--checkpoint PATH] [--job-timeout MS]
 //   xbarlife faults    --model <name> [--stuck-off LIST] [--stuck-on LIST]
 //                      [--write-noise LIST] [--read-noise LIST]
-//                      [--compare-ladder] [--checkpoint PATH] [--strict]
+//                      [--compare-ladder] [--checkpoint PATH]
+//                      [--job-timeout MS] [--strict]
 //   xbarlife device    [--pulses N] [--target-r OHMS]
 //   xbarlife bench     [--reps N] [--dim N]
 //   xbarlife models
@@ -30,9 +32,22 @@
 //                    ui.perfetto.dev), embeds the span-aggregate rollup
 //                    into the result document under "profile", and prints
 //                    the per-phase table; defaults to $XBARLIFE_PROFILE
+//   --checkpoint PATH (train/lifetime/sweep/faults) write crash-safe
+//                    "xbarlife.ckpt.v1" snapshots at every checkpoint
+//                    boundary and resume from the newest valid generation;
+//                    also arms SIGINT/SIGTERM for a cooperative shutdown
+//   --chunk N        (sweep/faults) jobs per checkpoint snapshot
+//                    (default 16); a killed run loses at most one chunk
+//   --job-timeout MS (lifetime/sweep/faults) per-job cooperative watchdog;
+//                    a sweep/campaign job over budget is recorded as
+//                    failed+timed_out, isolated like any other job error;
+//                    on lifetime (no fan-out) expiry exits 8
 //
 // Exit codes: 0 ok, 2 invalid argument/usage, 3 I/O failure,
-// 4 failed convergence (--strict), 5 internal error, 1 anything else.
+// 4 failed convergence (--strict), 5 internal error, 6 interrupted by a
+// cooperative shutdown (snapshot written, resumable), 7 checkpoint
+// corrupt with no valid fallback generation, 8 job/watchdog timeout,
+// 1 anything else. The full table lives in docs/output_schema.md.
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
@@ -40,12 +55,14 @@
 #include <iostream>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "common/shutdown.hpp"
 #include "common/table.hpp"
 #include "core/bench_report.hpp"
 #include "core/experiment.hpp"
@@ -53,11 +70,13 @@
 #include "core/model_registry.hpp"
 #include "core/report.hpp"
 #include "core/scenario_runner.hpp"
+#include "core/sweep_checkpoint.hpp"
 #include "device/memristor.hpp"
 #include "nn/serialize.hpp"
 #include "obs/obs.hpp"
 #include "obs/perfetto.hpp"
 #include "obs/sink.hpp"
+#include "persist/checkpoint.hpp"
 #include "tensor/matmul.hpp"
 
 using namespace xbarlife;
@@ -336,13 +355,85 @@ std::vector<std::string> split_list(const std::string& value,
   return out;
 }
 
+/// Validated --checkpoint path ("" when the flag is absent).
+std::string checkpoint_path_for(const Args& args) {
+  if (!args.flag("checkpoint")) {
+    return "";
+  }
+  const std::string path = args.get("checkpoint", "");
+  if (path.empty()) {
+    throw xbarlife::InvalidArgument("--checkpoint needs a file path");
+  }
+  return path;
+}
+
+/// Validated --job-timeout value in milliseconds (0 = no watchdog).
+double job_timeout_for(const Args& args) {
+  if (!args.flag("job-timeout")) {
+    return 0.0;
+  }
+  const double ms = std::stod(args.get("job-timeout", "0"));
+  if (ms <= 0.0) {
+    throw xbarlife::InvalidArgument("--job-timeout must be positive");
+  }
+  return ms;
+}
+
+/// Validated --chunk value (jobs per snapshot; 16 when absent).
+std::size_t checkpoint_chunk_for(const Args& args) {
+  if (!args.flag("chunk")) {
+    return 16;
+  }
+  const auto chunk =
+      static_cast<std::size_t>(std::stoul(args.get("chunk", "16")));
+  if (chunk == 0) {
+    throw xbarlife::InvalidArgument("--chunk must be positive");
+  }
+  return chunk;
+}
+
+/// Deterministic "resume" rollup for checkpoint-mode result documents.
+/// Only fields identical between a fresh and a killed-and-resumed run
+/// belong here (the generation and resumed-job counts differ by kill
+/// point, so they go to the human report and the meta trace lines).
+obs::JsonValue resume_json(std::string_view kind) {
+  obs::JsonValue out = obs::JsonValue::object();
+  out.set("checkpoint", persist::kCheckpointSchema);
+  out.set("kind", kind);
+  return out;
+}
+
 int cmd_train(const Args& args, CliOutput& out) {
   core::ExperimentConfig cfg = config_for(args);
   const bool skewed = args.flag("skewed");
+  const std::string ckpt = checkpoint_path_for(args);
   out.human() << "Training " << cfg.name
               << (skewed ? " with the skewed regularizer" : " with L2")
               << "...\n";
-  core::TrainedModel tm = core::train_model(cfg, skewed, out.obs());
+
+  core::TrainedModel tm{nn::Network{}, {}};
+  if (!ckpt.empty()) {
+    // Checkpoint mode mirrors train_model() step for step (same seeds,
+    // same construction order) but drives the resumable Trainer so the
+    // run snapshots after every epoch.
+    persist::CheckpointStore store(ckpt);
+    Rng rng(cfg.seed);
+    const data::TrainTest data = data::make_synthetic(cfg.dataset);
+    tm.network = core::build_model(cfg, rng);
+    std::shared_ptr<nn::SkewedL2Regularizer> skew_reg;
+    nn::L2Regularizer l2_reg(cfg.l2_lambda);
+    nn::Regularizer* reg = &l2_reg;
+    if (skewed) {
+      skew_reg = core::make_skewed_regularizer(cfg.skew);
+      reg = skew_reg.get();
+    }
+    core::Trainer trainer(tm.network, data, cfg.train_config, reg);
+    tm.history = trainer.run(out.obs(), &store);
+    out.human() << "checkpoint: " << store.path() << " (generation "
+                << store.generation() << ")\n";
+  } else {
+    tm = core::train_model(cfg, skewed, out.obs());
+  }
   out.human() << tm.network.summary()
               << core::train_history_table(tm.history);
 
@@ -356,7 +447,12 @@ int cmd_train(const Args& args, CliOutput& out) {
     out.human() << "Parameters written to " << path << "\n";
     data.set("weights_out", path);
   }
-  out.finish("train", std::move(data));
+  if (!ckpt.empty()) {
+    data.set("resume", resume_json("train"));
+    out.finish_deterministic("train", std::move(data));
+  } else {
+    out.finish("train", std::move(data));
+  }
   return 0;
 }
 
@@ -377,8 +473,21 @@ int cmd_lifetime(const Args& args, CliOutput& out) {
                 << format_double(cfg.faults.nonideal.read_noise_sigma, 3)
                 << ", spare rows " << cfg.faults.spare_rows << "\n";
   }
+  const std::string ckpt = checkpoint_path_for(args);
+  std::unique_ptr<persist::CheckpointStore> store;
+  if (!ckpt.empty()) {
+    store = std::make_unique<persist::CheckpointStore>(ckpt);
+  }
+  // Outside a sweep fan-out there is no per-job isolation: an expired
+  // deadline propagates as TimeoutError (exit 8).
+  std::optional<xbarlife::JobDeadline> deadline;
+  const double timeout_ms = job_timeout_for(args);
+  if (timeout_ms > 0.0) {
+    deadline.emplace(timeout_ms,
+                     std::string("lifetime ") + core::to_string(scenario));
+  }
   const core::ScenarioOutcome o =
-      core::run_scenario(cfg, scenario, out.obs());
+      core::run_scenario(cfg, scenario, out.obs(), store.get());
   out.human() << "software accuracy: "
               << format_double(o.software_accuracy, 3)
               << ", tuning target: " << format_double(o.tuning_target, 3)
@@ -388,11 +497,20 @@ int cmd_lifetime(const Args& args, CliOutput& out) {
               << " applications over " << o.lifetime.sessions.size()
               << " sessions ("
               << (o.lifetime.died ? "died" : "survived the cap") << ")\n";
+  if (store != nullptr) {
+    out.human() << "checkpoint: " << store->path() << " (generation "
+                << store->generation() << ")\n";
+  }
 
   obs::JsonValue data = obs::JsonValue::object();
   data.set("config", core::experiment_config_json(cfg));
   data.set("outcome", core::scenario_outcome_json(o));
-  out.finish("lifetime", std::move(data));
+  if (store != nullptr) {
+    data.set("resume", resume_json("lifetime"));
+    out.finish_deterministic("lifetime", std::move(data));
+  } else {
+    out.finish("lifetime", std::move(data));
+  }
   if (args.flag("strict") && o.lifetime.died) {
     throw xbarlife::ConvergenceError(
         "lifetime run died after " +
@@ -403,11 +521,33 @@ int cmd_lifetime(const Args& args, CliOutput& out) {
   return 0;
 }
 
+/// Shared --strict gate for sweep-shaped commands: any failed job (a
+/// timed-out job is failed with timed_out set) turns into a
+/// ConvergenceError naming the timeout count when one contributed.
+void enforce_strict(const Args& args, std::ostream& human,
+                    std::string_view what, std::size_t failed,
+                    std::size_t timed_out, std::size_t total) {
+  if (failed == 0) {
+    return;
+  }
+  std::string detail = std::to_string(failed) + " of " +
+                       std::to_string(total) + " " + std::string(what) +
+                       " jobs failed";
+  if (timed_out > 0) {
+    detail += " (" + std::to_string(timed_out) + " timed out)";
+  }
+  human << detail << "\n";
+  if (args.flag("strict")) {
+    throw xbarlife::ConvergenceError(detail + " with --strict");
+  }
+}
+
 int cmd_sweep(const Args& args, CliOutput& out) {
   core::ExperimentConfig cfg = config_for(args);
   const auto replicates = static_cast<std::size_t>(
       std::stoul(args.get("replicates", "2")));
-  const core::ScenarioRunner runner(std::stoull(args.get("seed", "7")));
+  core::ScenarioRunner runner(std::stoull(args.get("seed", "7")));
+  runner.set_job_timeout_ms(job_timeout_for(args));
   const auto jobs = core::ScenarioRunner::cross(
       cfg,
       {core::Scenario::kTT, core::Scenario::kSTT, core::Scenario::kSTAT},
@@ -415,6 +555,52 @@ int cmd_sweep(const Args& args, CliOutput& out) {
   out.human() << "Sweeping " << jobs.size() << " scenario runs on "
               << cfg.name << " across " << parallel_threads()
               << " thread(s)...\n";
+
+  const std::string ckpt = checkpoint_path_for(args);
+  if (!ckpt.empty()) {
+    core::CheckpointedSweepConfig sweep_config;
+    sweep_config.checkpoint_path = ckpt;
+    sweep_config.kind = "sweep";
+    sweep_config.chunk = checkpoint_chunk_for(args);
+    const core::CheckpointedSweepOutcome outcome =
+        core::run_checkpointed_sweep(
+            runner, jobs, sweep_config,
+            [](std::size_t, const core::ScenarioSweepEntry& entry) {
+              return core::sweep_entry_json_deterministic(entry).dump();
+            },
+            out.obs());
+    out.human() << core::checkpointed_sweep_table(outcome);
+    out.human() << "checkpoint: " << ckpt << " (generation "
+                << outcome.checkpoint_generation << ")";
+    if (outcome.resumed) {
+      out.human() << ", " << outcome.resumed_jobs
+                  << " job(s) restored, " << outcome.executed_jobs
+                  << " executed"
+                  << (outcome.fallback_used ? " (fallback generation)"
+                                            : "");
+    }
+    out.human() << "\n";
+
+    obs::JsonValue sweep = obs::JsonValue::object();
+    sweep.set("job_count", outcome.jobs.size());
+    obs::JsonValue entries_json = obs::JsonValue::array();
+    for (const core::SweepJobResult& job : outcome.jobs) {
+      entries_json.push_back(obs::JsonValue::raw(job.entry_json));
+    }
+    sweep.set("jobs", std::move(entries_json));
+
+    obs::JsonValue data = obs::JsonValue::object();
+    data.set("config", core::experiment_config_json(cfg));
+    data.set("sweep_seed", runner.sweep_seed());
+    data.set("replicates", replicates);
+    data.set("sweep", std::move(sweep));
+    data.set("resume", resume_json("sweep"));
+    out.finish_deterministic("sweep", std::move(data));
+    enforce_strict(args, out.human(), "sweep", outcome.failed_jobs,
+                   outcome.timed_out_jobs, outcome.jobs.size());
+    return 0;
+  }
+
   const auto entries = runner.run(jobs, out.obs());
   out.human() << core::sweep_table(entries);
 
@@ -425,19 +611,13 @@ int cmd_sweep(const Args& args, CliOutput& out) {
   data.set("sweep", core::sweep_entries_json(entries));
   out.finish("sweep", std::move(data));
   std::size_t failed = 0;
+  std::size_t timed_out = 0;
   for (const core::ScenarioSweepEntry& e : entries) {
     failed += e.failed;
+    timed_out += e.timed_out;
   }
-  if (failed > 0) {
-    out.human() << failed << " of " << entries.size()
-                << " sweep jobs failed (see the error column)\n";
-    if (args.flag("strict")) {
-      throw xbarlife::ConvergenceError(
-          std::to_string(failed) + " of " +
-          std::to_string(entries.size()) +
-          " sweep jobs failed with --strict");
-    }
-  }
+  enforce_strict(args, out.human(), "sweep", failed, timed_out,
+                 entries.size());
   return 0;
 }
 
@@ -448,7 +628,9 @@ int cmd_faults(const Args& args, CliOutput& out) {
   campaign.replicates = static_cast<std::size_t>(
       std::stoul(args.get("replicates", "1")));
   campaign.campaign_seed = std::stoull(args.get("seed", "7"));
-  campaign.checkpoint_path = args.get("checkpoint", "");
+  campaign.checkpoint_path = checkpoint_path_for(args);
+  campaign.checkpoint_chunk = checkpoint_chunk_for(args);
+  campaign.job_timeout_ms = job_timeout_for(args);
 
   // The grid is the cross product of the comma-separated fault lists;
   // scalar flags (line resistance, spare rows, ladder knobs) apply to
@@ -507,26 +689,28 @@ int cmd_faults(const Args& args, CliOutput& out) {
   const core::FaultCampaignResult result =
       core::run_fault_campaign(campaign, out.obs());
   out.human() << core::fault_campaign_table(result);
-  if (result.resumed_jobs > 0) {
-    out.human() << result.resumed_jobs
-                << " job(s) restored from the checkpoint, "
-                << result.executed_jobs << " executed\n";
+  if (!campaign.checkpoint_path.empty()) {
+    out.human() << "checkpoint: " << campaign.checkpoint_path
+                << " (generation " << result.checkpoint_generation << ")";
+    if (result.resumed_jobs > 0) {
+      out.human() << ", " << result.resumed_jobs
+                  << " job(s) restored, " << result.executed_jobs
+                  << " executed"
+                  << (result.fallback_used ? " (fallback generation)"
+                                           : "");
+    }
+    out.human() << "\n";
   }
 
   obs::JsonValue data = obs::JsonValue::object();
   data.set("config", core::experiment_config_json(campaign.base));
   data.set("campaign", core::fault_campaign_json(result));
-  out.finish_deterministic("faults", std::move(data));
-  if (result.failed_jobs > 0) {
-    out.human() << result.failed_jobs << " of " << result.jobs.size()
-                << " campaign jobs failed\n";
-    if (args.flag("strict")) {
-      throw xbarlife::ConvergenceError(
-          std::to_string(result.failed_jobs) + " of " +
-          std::to_string(result.jobs.size()) +
-          " campaign jobs failed with --strict");
-    }
+  if (!campaign.checkpoint_path.empty()) {
+    data.set("resume", resume_json("faults"));
   }
+  out.finish_deterministic("faults", std::move(data));
+  enforce_strict(args, out.human(), "campaign", result.failed_jobs,
+                 result.timed_out_jobs, result.jobs.size());
   return 0;
 }
 
@@ -686,12 +870,11 @@ int cmd_info() {
              "  sweep     --model ... [--replicates N] [--sessions N]\n"
              "            [--strict]     run all scenarios x replicates\n"
              "            (parallel fan-out; per-job errors are isolated,\n"
-             "            --strict exits 4 if any job failed)\n"
+             "            --strict exits 4 if any job failed or timed out)\n"
              "  faults    --model ... [--scenario S] [--replicates N]\n"
-             "            [--compare-ladder] [--checkpoint PATH] [--strict]\n"
+             "            [--compare-ladder] [--strict]\n"
              "            deterministic fault-injection campaign over the\n"
-             "            cross product of the fault lists; --checkpoint\n"
-             "            makes a killed campaign resumable\n"
+             "            cross product of the fault lists\n"
              "  device    [--pulses N] [--target-r OHMS]\n"
              "            age a single device and report its window\n"
              "  bench     [--reps N] [--dim N]\n"
@@ -723,9 +906,20 @@ int cmd_info() {
              "                  $XBARLIFE_PROFILE): writes a Perfetto/Chrome\n"
              "                  trace_event JSON (open in ui.perfetto.dev),\n"
              "                  adds the 'profile' key to the result document\n"
-             "                  and prints the per-phase rollup table\n\n"
+             "                  and prints the per-phase rollup table\n"
+             "  --checkpoint PATH  (train/lifetime/sweep/faults) crash-safe\n"
+             "                  xbarlife.ckpt.v1 snapshots with automatic\n"
+             "                  resume; arms SIGINT/SIGTERM for a graceful\n"
+             "                  shutdown (final snapshot, exit 6)\n"
+             "  --chunk N       (sweep/faults) jobs per snapshot (default\n"
+             "                  16); a killed run loses at most one chunk\n"
+             "  --job-timeout MS (lifetime/sweep/faults) per-job watchdog;\n"
+             "                  sweep/campaign jobs over budget fail with\n"
+             "                  timed_out:true; lifetime expiry exits 8\n\n"
              "exit codes: 0 ok, 2 bad arguments, 3 I/O failure,\n"
-             "4 failed convergence (--strict), 5 internal error\n";
+             "4 failed convergence (--strict), 5 internal error,\n"
+             "6 interrupted (snapshot written, resumable), 7 checkpoint\n"
+             "corrupt with no valid fallback, 8 watchdog timeout\n";
   return 0;
 }
 
@@ -737,6 +931,12 @@ int main(int argc, char** argv) {
     if (args.flag("threads")) {
       set_parallel_threads(
           static_cast<std::size_t>(std::stoul(args.get("threads", "1"))));
+    }
+    if (args.flag("checkpoint")) {
+      // Checkpointed runs die gracefully: the first SIGINT/SIGTERM
+      // requests a cooperative shutdown honored at the next snapshot
+      // boundary (exit 6); a second signal kills the process as usual.
+      install_signal_handlers();
     }
     if (args.command.empty() || args.command == "info" ||
         args.command == "--help" || args.command == "-h") {
@@ -770,12 +970,23 @@ int main(int argc, char** argv) {
   } catch (const xbarlife::InvalidArgument& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
+  } catch (const xbarlife::InterruptedError& e) {
+    std::cerr << "interrupted: " << e.what() << "\n";
+    return 6;
+  } catch (const xbarlife::CheckpointError& e) {
+    // Must precede IoError: CheckpointError refines it with "corrupt and
+    // no valid fallback generation", which gets its own exit code.
+    std::cerr << "checkpoint error: " << e.what() << "\n";
+    return 7;
   } catch (const xbarlife::IoError& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 3;
   } catch (const xbarlife::ConvergenceError& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 4;
+  } catch (const xbarlife::TimeoutError& e) {
+    std::cerr << "timeout: " << e.what() << "\n";
+    return 8;
   } catch (const xbarlife::Error& e) {
     std::cerr << "internal error: " << e.what() << "\n";
     return 5;

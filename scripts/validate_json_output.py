@@ -13,11 +13,16 @@ way. The final document's type is auto-detected:
   * profile documents  — Chrome trace_event/Perfetto JSON as written by
                          --profile (otherData.schema "xbarlife.profile.v1").
 
+With --ckpt the argument is instead a binary checkpoint snapshot
+("xbarlife.ckpt.v1": one JSON header line + raw payload); the header
+fields, payload length, and CRC-32 are verified.
+
 Usage:
   xbarlife lifetime --model lenet5 --sessions 2 --json - \
       | python3 scripts/validate_json_output.py
   python3 scripts/validate_json_output.py trace.jsonl
   python3 scripts/validate_json_output.py profile.json
+  python3 scripts/validate_json_output.py --ckpt sweep.ckpt
   python3 scripts/validate_json_output.py --exe build/apps/xbarlife -- \
       lifetime --model mlp --sessions 2
   python3 scripts/validate_json_output.py --expect-events sweep_job_done=6
@@ -30,10 +35,13 @@ import collections
 import json
 import subprocess
 import sys
+import zlib
 
 RESULT_SCHEMA = "xbarlife.result.v1"
 BENCH_SCHEMA = "xbarlife.bench.v1"
 PROFILE_SCHEMA = "xbarlife.profile.v1"
+CKPT_SCHEMA = "xbarlife.ckpt.v1"
+CKPT_KINDS = ("train", "lifetime", "sweep", "faults")
 RESULT_KEYS = ["schema", "command", "data", "metrics"]
 METRIC_KEYS = ["counters", "gauges", "histograms"]
 BENCH_KEYS = ["schema", "tool", "threads", "git_rev", "results"]
@@ -84,6 +92,8 @@ def validate_faults_data(data):
                 fail(f"failed campaign entry {index} has no 'error'")
         elif "lifetime_applications" not in entry or "died" not in entry:
             fail(f"campaign entry {index} lacks lifetime fields")
+        if entry.get("timed_out") and not entry.get("failed"):
+            fail(f"campaign entry {index} is timed_out but not failed")
         if "wall_ms" in entry:
             fail(f"campaign entry {index} carries nondeterministic wall_ms")
 
@@ -124,6 +134,18 @@ def validate_result(result):
         validate_profile_rollup(result["profile"])
     if result["command"] == "faults":
         validate_faults_data(result["data"])
+    resume = result["data"].get("resume")
+    if resume is not None:
+        # Checkpointed runs pin only deterministic fields here; the
+        # generation count varies with the kill pattern and is banned.
+        if list(resume.keys()) != ["checkpoint", "kind"]:
+            fail(f"'resume' keys {list(resume.keys())} != "
+                 f"['checkpoint', 'kind']")
+        if resume["checkpoint"] != CKPT_SCHEMA:
+            fail(f"resume checkpoint {resume['checkpoint']!r} != "
+                 f"{CKPT_SCHEMA!r}")
+        if resume["kind"] not in CKPT_KINDS:
+            fail(f"resume kind {resume['kind']!r} not in {CKPT_KINDS}")
     return f"command={result['command']!r}"
 
 
@@ -188,10 +210,49 @@ def validate_profile(doc):
     return f"tool={other.get('tool')!r}, {span_events} spans"
 
 
+def validate_ckpt(path):
+    """Checks an xbarlife.ckpt.v1 snapshot: JSON header line + binary
+    payload whose length and CRC-32 must match the header."""
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    newline = blob.find(b"\n")
+    if newline < 0:
+        fail("checkpoint has no header line")
+    try:
+        header = json.loads(blob[:newline].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as err:
+        fail(f"checkpoint header is not valid JSON ({err})")
+    if header.get("checkpoint") != CKPT_SCHEMA:
+        fail(f"checkpoint schema {header.get('checkpoint')!r} != "
+             f"{CKPT_SCHEMA!r}")
+    if header.get("kind") not in CKPT_KINDS:
+        fail(f"checkpoint kind {header.get('kind')!r} not in {CKPT_KINDS}")
+    fingerprint = header.get("fingerprint")
+    if (not isinstance(fingerprint, str) or len(fingerprint) != 16
+            or any(c not in "0123456789abcdef" for c in fingerprint)):
+        fail(f"checkpoint fingerprint {fingerprint!r} is not 16 hex digits")
+    generation = header.get("generation")
+    if not isinstance(generation, int) or generation < 1:
+        fail(f"checkpoint generation {generation!r} must be >= 1")
+    payload = blob[newline + 1:]
+    if header.get("payload_bytes") != len(payload):
+        fail(f"payload_bytes {header.get('payload_bytes')} != "
+             f"{len(payload)} actual payload bytes")
+    crc = zlib.crc32(payload) & 0xFFFFFFFF
+    if header.get("payload_crc32") != crc:
+        fail(f"payload_crc32 {header.get('payload_crc32')} != {crc} "
+             f"computed")
+    print(f"validate_json_output: OK: checkpoint kind={header['kind']!r}, "
+          f"generation {generation}, {len(payload)} payload bytes, CRC ok")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("path", nargs="?", default="-",
                         help="JSONL file to validate (default: stdin)")
+    parser.add_argument("--ckpt", action="store_true",
+                        help="validate PATH as a binary checkpoint snapshot")
     parser.add_argument("--exe", help="xbarlife binary to run with --json -")
     parser.add_argument("cmd", nargs="*",
                         help="command line for --exe (after '--')")
@@ -199,6 +260,12 @@ def main():
                         metavar="TYPE=N",
                         help="require exactly N events of TYPE")
     args = parser.parse_args()
+
+    if args.ckpt:
+        if args.path == "-":
+            fail("--ckpt needs a file path (binary snapshots have no stdin "
+                 "mode)")
+        return validate_ckpt(args.path)
 
     lines = [line for line in read_lines(args) if line.strip()]
     if not lines:

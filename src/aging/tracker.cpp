@@ -99,4 +99,26 @@ void RepresentativeTracker::reset() {
   ambient_ = 0.0;
 }
 
+void RepresentativeTracker::save_state(persist::StateWriter& w) const {
+  w.u64(stress_.size());
+  for (std::size_t b = 0; b < stress_.size(); ++b) {
+    w.f64(stress_[b]);
+    w.f64(self_ambient_[b]);
+    w.u64(pulses_[b]);
+  }
+  w.f64(ambient_);
+}
+
+void RepresentativeTracker::load_state(persist::StateReader& r) {
+  const std::uint64_t blocks = r.u64();
+  XB_CHECK(blocks == stress_.size(),
+           "tracker snapshot block count does not match array geometry");
+  for (std::size_t b = 0; b < stress_.size(); ++b) {
+    stress_[b] = r.f64();
+    self_ambient_[b] = r.f64();
+    pulses_[b] = r.u64();
+  }
+  ambient_ = r.f64();
+}
+
 }  // namespace xbarlife::aging

@@ -14,6 +14,7 @@
 
 #include "aging/aging_model.hpp"
 #include "obs/metrics.hpp"
+#include "persist/state_io.hpp"
 
 namespace xbarlife::aging {
 
@@ -73,6 +74,12 @@ class RepresentativeTracker {
   /// representative. Counters must outlive the tracker; pass nullptrs to
   /// detach. With no counters attached recording costs one branch.
   void attach_counters(obs::Counter* pulses, obs::Counter* traced_pulses);
+
+  /// Serializes the traced history (per-block stress/ambient/pulses plus
+  /// the array-wide ambient pool). Geometry and attached counters are not
+  /// part of the snapshot; load_state checks the block count matches.
+  void save_state(persist::StateWriter& w) const;
+  void load_state(persist::StateReader& r);
 
  private:
   std::size_t block_index(std::size_t r, std::size_t c) const;

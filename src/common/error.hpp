@@ -34,6 +34,31 @@ class IoError : public Error {
   explicit IoError(const std::string& what) : Error(what) {}
 };
 
+/// Thrown when a checkpoint snapshot is corrupted (truncated, checksum
+/// mismatch, empty) and no valid fallback generation exists. Derives from
+/// IoError so callers that only distinguish I/O failures keep working,
+/// while the CLI maps it to its own exit code (7).
+class CheckpointError : public IoError {
+ public:
+  explicit CheckpointError(const std::string& what) : IoError(what) {}
+};
+
+/// Thrown when a cooperative shutdown request (SIGINT/SIGTERM) stops a run
+/// at a checkpoint boundary; the final snapshot has already been written
+/// when this escapes. CLI exit code 6.
+class InterruptedError : public Error {
+ public:
+  explicit InterruptedError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a watchdog deadline (--job-timeout) expires. Inside a sweep
+/// the runner isolates it into a timed-out entry; escaping to the CLI it
+/// maps to exit code 8.
+class TimeoutError : public Error {
+ public:
+  explicit TimeoutError(const std::string& what) : Error(what) {}
+};
+
 /// Thrown when an iterative procedure fails to reach its target — e.g. a
 /// strict lifetime run whose tuning stopped converging before the session
 /// cap.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <exception>
@@ -227,6 +228,60 @@ void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
                       [&fn](std::size_t, std::size_t b, std::size_t e) {
                         fn(b, e);
                       });
+}
+
+namespace {
+
+// Innermost armed deadline for the calling thread. Nested JobDeadline
+// instances save/restore this, so a deadline armed around an outer job
+// is reinstated when an inner scope ends.
+struct DeadlineState {
+  bool active = false;
+  long long deadline_ns = 0;  // steady_clock epoch, nanoseconds
+  std::string what;
+};
+
+thread_local DeadlineState t_deadline;
+
+long long steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+JobDeadline::JobDeadline(double timeout_ms, std::string what) {
+  if (timeout_ms <= 0.0) {
+    return;
+  }
+  armed_ = true;
+  prev_active_ = t_deadline.active;
+  prev_deadline_ns_ = t_deadline.deadline_ns;
+  prev_what_ = std::move(t_deadline.what);
+  t_deadline.active = true;
+  t_deadline.deadline_ns =
+      steady_now_ns() + static_cast<long long>(timeout_ms * 1e6);
+  t_deadline.what = std::move(what);
+}
+
+JobDeadline::~JobDeadline() {
+  if (!armed_) {
+    return;
+  }
+  t_deadline.active = prev_active_;
+  t_deadline.deadline_ns = prev_deadline_ns_;
+  t_deadline.what = std::move(prev_what_);
+}
+
+void check_job_deadline() {
+  if (!t_deadline.active) {
+    return;
+  }
+  if (steady_now_ns() >= t_deadline.deadline_ns) {
+    throw TimeoutError("job '" + t_deadline.what +
+                       "' exceeded its --job-timeout deadline");
+  }
 }
 
 }  // namespace xbarlife

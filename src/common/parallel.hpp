@@ -24,6 +24,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -58,6 +59,41 @@ void parallel_for_chunks(
 /// Runs fn(chunk_begin, chunk_end) over every chunk of [begin, end).
 void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
                   const std::function<void(std::size_t, std::size_t)>& fn);
+
+/// Per-job cooperative watchdog (the --job-timeout machinery).
+///
+/// A JobDeadline arms a deadline on the *calling thread* for its scope;
+/// instrumented loops (trainer epochs, tuning iterations, lifetime
+/// sessions, escalation-ladder rungs) call check_job_deadline() at their
+/// boundaries, which throws TimeoutError once the innermost armed
+/// deadline has passed. Because a job's nested parallel_for bodies run
+/// inline on the job's thread, a deadline armed around a sweep job covers
+/// all of that job's numerics. The watchdog is cooperative: it marks
+/// overrunning jobs as timed-out errors at the next checked boundary —
+/// it cannot preempt a loop that never reaches one.
+class JobDeadline {
+ public:
+  /// Arms a deadline `timeout_ms` from now; <= 0 arms nothing. `what`
+  /// names the job in the TimeoutError message. Nested deadlines stack:
+  /// the destructor restores the enclosing one.
+  JobDeadline(double timeout_ms, std::string what);
+  ~JobDeadline();
+
+  JobDeadline(const JobDeadline&) = delete;
+  JobDeadline& operator=(const JobDeadline&) = delete;
+
+ private:
+  bool armed_ = false;
+  // Saved enclosing deadline state (type-erased to keep <chrono> out of
+  // this header's hot-path includes).
+  bool prev_active_ = false;
+  long long prev_deadline_ns_ = 0;
+  std::string prev_what_;
+};
+
+/// Throws TimeoutError when the calling thread's innermost armed deadline
+/// has passed; a no-op (one thread-local load) when none is armed.
+void check_job_deadline();
 
 /// Deterministic map-reduce: `chunk_fn(chunk_begin, chunk_end) -> T` runs
 /// per chunk (possibly concurrently); partial results are then merged with

@@ -99,4 +99,22 @@ Rng Rng::fork(std::uint64_t index) const {
   return Rng(splitmix64(s));
 }
 
+Rng::State Rng::state() const {
+  State st;
+  for (int i = 0; i < 4; ++i) {
+    st.s[i] = state_[i];
+  }
+  st.cached_gaussian = cached_gaussian_;
+  st.has_cached_gaussian = has_cached_gaussian_;
+  return st;
+}
+
+void Rng::set_state(const State& state) {
+  for (int i = 0; i < 4; ++i) {
+    state_[i] = state.s[i];
+  }
+  cached_gaussian_ = state.cached_gaussian;
+  has_cached_gaussian_ = state.has_cached_gaussian;
+}
+
 }  // namespace xbarlife

@@ -63,6 +63,17 @@ class Rng {
   /// the seed so children with different indices are decorrelated.
   Rng fork(std::uint64_t index) const;
 
+  /// Complete generator state, so a checkpoint can resume a stream at the
+  /// exact draw it was interrupted at (including the Box-Muller cache).
+  struct State {
+    std::uint64_t s[4] = {0, 0, 0, 0};
+    double cached_gaussian = 0.0;
+    bool has_cached_gaussian = false;
+  };
+
+  State state() const;
+  void set_state(const State& state);
+
  private:
   std::uint64_t state_[4];
   double cached_gaussian_ = 0.0;

@@ -1,0 +1,44 @@
+#include "common/shutdown.hpp"
+
+#include <atomic>
+#include <csignal>
+
+namespace xbarlife {
+
+namespace {
+
+std::atomic<bool> g_shutdown{false};
+std::atomic<bool> g_installed{false};
+
+extern "C" void handle_shutdown_signal(int signum) {
+  if (g_shutdown.exchange(true, std::memory_order_relaxed)) {
+    // Second signal: the run is not reaching a checkpoint boundary —
+    // restore the default disposition and let the signal kill us.
+    std::signal(signum, SIG_DFL);
+    std::raise(signum);
+  }
+}
+
+}  // namespace
+
+void install_signal_handlers() {
+  if (g_installed.exchange(true, std::memory_order_relaxed)) {
+    return;
+  }
+  std::signal(SIGINT, handle_shutdown_signal);
+  std::signal(SIGTERM, handle_shutdown_signal);
+}
+
+bool shutdown_requested() {
+  return g_shutdown.load(std::memory_order_relaxed);
+}
+
+void request_shutdown() {
+  g_shutdown.store(true, std::memory_order_relaxed);
+}
+
+void reset_shutdown() {
+  g_shutdown.store(false, std::memory_order_relaxed);
+}
+
+}  // namespace xbarlife

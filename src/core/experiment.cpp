@@ -54,9 +54,21 @@ TrainedModel train_model(const ExperimentConfig& config, bool skewed,
 }
 
 ScenarioOutcome run_scenario(const ExperimentConfig& config, Scenario s,
-                             const obs::Obs& obs) {
-  const obs::Span scenario_span(obs, "experiment.scenario");
-  TrainedModel tm = train_model(config, uses_skewed_training(s), obs);
+                             const obs::Obs& obs,
+                             persist::CheckpointStore* store) {
+  // The scenario span cannot survive a process restart (a resumed run
+  // would re-open it on every attempt), so in checkpoint mode it feeds
+  // the profiler only.
+  obs::Obs span_obs = obs;
+  if (store != nullptr) {
+    span_obs.trace = nullptr;
+  }
+  const obs::Span scenario_span(span_obs, "experiment.scenario");
+  // Checkpoint mode re-runs the (deterministic) training phase on every
+  // resume, so it runs unobserved: a resumed run's trace would otherwise
+  // repeat the training events an uninterrupted run emits exactly once.
+  TrainedModel tm = train_model(config, uses_skewed_training(s),
+                                store == nullptr ? obs : obs::Obs{});
   const data::TrainTest data = data::make_synthetic(config.dataset);
 
   ScenarioOutcome outcome;
@@ -74,7 +86,7 @@ ScenarioOutcome run_scenario(const ExperimentConfig& config, Scenario s,
                              config.faults);
   LifetimeSimulator sim(lc);
   outcome.lifetime =
-      sim.run(hw, data.train, data.test, mapping_policy(s), obs);
+      sim.run(hw, data.train, data.test, mapping_policy(s), obs, store);
   return outcome;
 }
 

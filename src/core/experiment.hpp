@@ -85,8 +85,13 @@ TrainedModel train_model(const ExperimentConfig& config, bool skewed,
 /// threaded through training, deployment aging counters, tuning, and the
 /// lifetime protocol (see obs/obs.hpp); the default handle disables all
 /// instrumentation.
+///
+/// With a `store`, the lifetime phase snapshots after every session and
+/// resumes from the newest valid generation; the training phase is
+/// deterministic from the config seeds and simply re-runs on resume.
 ScenarioOutcome run_scenario(const ExperimentConfig& config, Scenario s,
-                             const obs::Obs& obs = {});
+                             const obs::Obs& obs = {},
+                             persist::CheckpointStore* store = nullptr);
 
 /// Runs all three scenarios (T+T, ST+T, ST+AT).
 ExperimentResult run_experiment(const ExperimentConfig& config,

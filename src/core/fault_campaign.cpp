@@ -1,45 +1,14 @@
 #include "core/fault_campaign.hpp"
 
 #include <algorithm>
-#include <cstdio>
-#include <fstream>
 #include <unordered_set>
 
 #include "common/error.hpp"
 #include "common/table.hpp"
 #include "core/report.hpp"
+#include "core/sweep_checkpoint.hpp"
 
 namespace xbarlife::core {
-
-namespace {
-
-constexpr std::string_view kCheckpointSchema = "xbarlife.faults.v1";
-
-/// Extracts the unsigned integer following `"key":` in `line`; campaign
-/// files are written by this module, so a full JSON parser is not needed.
-std::uint64_t scan_u64(const std::string& line, const std::string& key,
-                       const std::string& what) {
-  const std::string needle = "\"" + key + "\":";
-  const std::size_t pos = line.find(needle);
-  if (pos == std::string::npos) {
-    throw IoError("checkpoint " + what + ": missing field '" + key + "'");
-  }
-  std::size_t i = pos + needle.size();
-  std::uint64_t value = 0;
-  bool any = false;
-  while (i < line.size() && line[i] >= '0' && line[i] <= '9') {
-    value = value * 10 + static_cast<std::uint64_t>(line[i] - '0');
-    ++i;
-    any = true;
-  }
-  if (!any) {
-    throw IoError("checkpoint " + what + ": field '" + key +
-                  "' is not a number");
-  }
-  return value;
-}
-
-}  // namespace
 
 void FaultCampaignConfig::validate() const {
   XB_CHECK(!points.empty(), "fault campaign needs at least one point");
@@ -69,6 +38,9 @@ obs::JsonValue campaign_entry_json(const ScenarioSweepEntry& entry,
   out.set("fault_seed", entry.fault_seed);
   if (entry.failed) {
     out.set("failed", true);
+    if (entry.timed_out) {
+      out.set("timed_out", true);
+    }
     out.set("error", entry.error);
     return out;
   }
@@ -121,87 +93,6 @@ std::vector<JobSpec> build_jobs(const FaultCampaignConfig& config) {
   return specs;
 }
 
-/// Restores completed entries from the checkpoint file into `result`.
-/// A missing file is a fresh start; a malformed or mismatched file is an
-/// IoError (resuming it would corrupt the campaign).
-std::size_t load_checkpoint(const std::string& path,
-                            std::uint64_t campaign_seed,
-                            FaultCampaignResult& result) {
-  std::ifstream in(path);
-  if (!in.is_open()) {
-    return 0;
-  }
-  std::string line;
-  if (!std::getline(in, line)) {
-    throw IoError("checkpoint file is empty: " + path);
-  }
-  if (line.find("\"checkpoint\":\"") == std::string::npos ||
-      line.find(kCheckpointSchema) == std::string::npos) {
-    throw IoError("not a fault-campaign checkpoint: " + path);
-  }
-  if (scan_u64(line, "campaign_seed", "header") != campaign_seed) {
-    throw IoError("checkpoint belongs to a different campaign seed: " +
-                  path);
-  }
-  if (scan_u64(line, "jobs", "header") != result.jobs.size()) {
-    throw IoError("checkpoint job count does not match this campaign: " +
-                  path);
-  }
-  std::size_t restored = 0;
-  while (std::getline(in, line)) {
-    if (line.empty()) {
-      continue;
-    }
-    const std::uint64_t index = scan_u64(line, "index", "entry");
-    if (index >= result.jobs.size()) {
-      throw IoError("checkpoint entry index out of range: " + path);
-    }
-    const std::string needle = "\"entry\":";
-    const std::size_t pos = line.find(needle);
-    if (pos == std::string::npos || line.back() != '}') {
-      throw IoError("malformed checkpoint entry: " + path);
-    }
-    // The stored entry is the serialized campaign_entry_json document;
-    // keep the exact bytes so the resumed result document is identical.
-    FaultCampaignJob& job = result.jobs[index];
-    job.entry_json =
-        line.substr(pos + needle.size(),
-                    line.size() - pos - needle.size() - 1);
-    job.resumed = true;
-    ++restored;
-  }
-  return restored;
-}
-
-/// Atomically rewrites the checkpoint with every completed entry.
-void write_checkpoint(const std::string& path, std::uint64_t campaign_seed,
-                      const FaultCampaignResult& result) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    if (!out.is_open()) {
-      throw IoError("cannot write checkpoint: " + tmp);
-    }
-    out << "{\"checkpoint\":\"" << kCheckpointSchema
-        << "\",\"campaign_seed\":" << campaign_seed
-        << ",\"jobs\":" << result.jobs.size() << "}\n";
-    for (std::size_t i = 0; i < result.jobs.size(); ++i) {
-      const FaultCampaignJob& job = result.jobs[i];
-      if (job.entry_json.empty()) {
-        continue;
-      }
-      out << "{\"index\":" << i << ",\"entry\":" << job.entry_json
-          << "}\n";
-    }
-    if (!out.good()) {
-      throw IoError("checkpoint write failed: " + tmp);
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    throw IoError("cannot move checkpoint into place: " + path);
-  }
-}
-
 }  // namespace
 
 FaultCampaignResult run_fault_campaign(const FaultCampaignConfig& config,
@@ -217,58 +108,81 @@ FaultCampaignResult run_fault_campaign(const FaultCampaignConfig& config,
     result.jobs[i].label = specs[i].job.label;
   }
 
+  ScenarioRunner runner(config.campaign_seed);
+  runner.set_job_timeout_ms(config.job_timeout_ms);
+
   if (!config.checkpoint_path.empty()) {
-    result.resumed_jobs =
-        load_checkpoint(config.checkpoint_path, config.campaign_seed,
-                        result);
-    obs.count("faults.jobs_resumed", result.resumed_jobs);
-  }
-
-  std::vector<std::size_t> pending;
-  for (std::size_t i = 0; i < result.jobs.size(); ++i) {
-    if (result.jobs[i].entry_json.empty()) {
-      pending.push_back(i);
+    // Crash-safe path: the shared sweep engine owns chunking, snapshots,
+    // resume, and the deterministic fan-in.
+    std::vector<ScenarioJob> jobs;
+    jobs.reserve(specs.size());
+    for (const JobSpec& spec : specs) {
+      jobs.push_back(spec.job);
     }
+    CheckpointedSweepConfig sweep_config;
+    sweep_config.checkpoint_path = config.checkpoint_path;
+    sweep_config.kind = "faults";
+    sweep_config.chunk = config.checkpoint_chunk;
+    const CheckpointedSweepOutcome outcome = run_checkpointed_sweep(
+        runner, jobs, sweep_config,
+        [&specs](std::size_t idx, const ScenarioSweepEntry& entry) {
+          return campaign_entry_json(entry, specs[idx].point,
+                                     specs[idx].job.label)
+              .dump();
+        },
+        obs);
+    for (std::size_t i = 0; i < result.jobs.size(); ++i) {
+      result.jobs[i].entry_json = outcome.jobs[i].entry_json;
+      result.jobs[i].resumed = outcome.jobs[i].resumed;
+    }
+    result.resumed_jobs = outcome.resumed_jobs;
+    result.executed_jobs = outcome.executed_jobs;
+    result.failed_jobs = outcome.failed_jobs;
+    result.timed_out_jobs = outcome.timed_out_jobs;
+    result.checkpoint_generation = outcome.checkpoint_generation;
+    result.fallback_used = outcome.fallback_used;
+    obs.count("faults.jobs_resumed", result.resumed_jobs);
+    obs.count("faults.jobs_executed", result.executed_jobs);
+    if (obs.trace_enabled()) {
+      // Deterministic fields only: executed/resumed depend on where the
+      // previous run was killed, which would break the resume contract's
+      // trace byte-identity.
+      obs.event("campaign_done",
+                {{"campaign_seed", result.campaign_seed},
+                 {"jobs", result.jobs.size()},
+                 {"failed", result.failed_jobs}});
+    }
+    return result;
   }
 
-  // Chunked fan-out: the checkpoint is rewritten after every chunk so a
-  // killed campaign loses at most one chunk of work. The chunk size is a
-  // constant — NOT the pool size — so batch composition (and with it the
+  // Non-checkpoint path: chunked fan-out through ScenarioRunner::run,
+  // byte-identical to pre-engine builds. The chunk size is a constant —
+  // NOT the pool size — so batch composition (and with it the
   // batch-relative fields of sweep_job_done trace events) is identical
   // at any thread count.
   constexpr std::size_t kChunk = 16;
-  const ScenarioRunner runner(config.campaign_seed);
-  const std::size_t chunk = kChunk;
-  for (std::size_t start = 0; start < pending.size(); start += chunk) {
-    const std::size_t end = std::min(pending.size(), start + chunk);
+  for (std::size_t start = 0; start < specs.size(); start += kChunk) {
+    const std::size_t end = std::min(specs.size(), start + kChunk);
     std::vector<ScenarioJob> batch;
     batch.reserve(end - start);
     for (std::size_t k = start; k < end; ++k) {
-      batch.push_back(specs[pending[k]].job);
+      batch.push_back(specs[k].job);
     }
     const std::vector<ScenarioSweepEntry> entries = runner.run(batch, obs);
     for (std::size_t k = start; k < end; ++k) {
-      const std::size_t idx = pending[k];
-      FaultCampaignJob& job = result.jobs[idx];
+      FaultCampaignJob& job = result.jobs[k];
       job.entry = entries[k - start];
       job.entry_json =
-          campaign_entry_json(*job.entry, specs[idx].point, job.label)
+          campaign_entry_json(*job.entry, specs[k].point, job.label)
               .dump();
       ++result.executed_jobs;
-    }
-    if (!config.checkpoint_path.empty()) {
-      write_checkpoint(config.checkpoint_path, config.campaign_seed,
-                       result);
     }
   }
   obs.count("faults.jobs_executed", result.executed_jobs);
 
   for (const FaultCampaignJob& job : result.jobs) {
-    const bool failed =
-        job.entry.has_value()
-            ? job.entry->failed
-            : job.entry_json.find("\"failed\":true") != std::string::npos;
-    result.failed_jobs += failed;
+    result.failed_jobs += job.entry->failed;
+    result.timed_out_jobs += job.entry->timed_out;
   }
   if (obs.trace_enabled()) {
     obs.event("campaign_done",

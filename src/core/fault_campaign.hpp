@@ -6,9 +6,11 @@
 // grid is pinned by one campaign seed — byte-identical at any thread
 // count. Per-job failures are isolated (a throwing scenario becomes a
 // failed entry, not a fatal error), and an optional checkpoint file makes
-// the campaign resumable: completed entries are persisted as serialized
-// JSON and spliced back verbatim on resume, so a killed-and-resumed
-// campaign emits the same result document as an uninterrupted one.
+// the campaign resumable through the shared crash-safe sweep engine
+// (core/sweep_checkpoint.hpp): completed entries are persisted as
+// serialized JSON inside an "xbarlife.ckpt.v1" snapshot and spliced back
+// verbatim on resume, so a killed-and-resumed campaign emits the same
+// result document as an uninterrupted one.
 #pragma once
 
 #include <optional>
@@ -38,6 +40,11 @@ struct FaultCampaignConfig {
   std::uint64_t campaign_seed = 0x5eedULL;
   /// Checkpoint file path; empty disables checkpointing.
   std::string checkpoint_path;
+  /// Jobs per snapshot chunk when checkpointing (the save cadence; a
+  /// killed campaign loses at most one chunk of work).
+  std::size_t checkpoint_chunk = 16;
+  /// Per-job watchdog budget in wall-clock ms; <= 0 disables it.
+  double job_timeout_ms = 0.0;
 
   void validate() const;
 };
@@ -57,7 +64,10 @@ struct FaultCampaignResult {
   std::vector<FaultCampaignJob> jobs;
   std::size_t resumed_jobs = 0;
   std::size_t executed_jobs = 0;
-  std::size_t failed_jobs = 0;
+  std::size_t failed_jobs = 0;     ///< includes timed-out jobs
+  std::size_t timed_out_jobs = 0;  ///< killed by the --job-timeout watchdog
+  std::uint64_t checkpoint_generation = 0;
+  bool fallback_used = false;  ///< restored from the .bak generation
 };
 
 /// Deterministic entry document for one campaign job (excludes wall_ms —
@@ -68,8 +78,10 @@ obs::JsonValue campaign_entry_json(const ScenarioSweepEntry& entry,
                                    const std::string& job_label);
 
 /// Runs (or resumes) the campaign. Throws InvalidArgument on an empty or
-/// inconsistent grid and IoError when the checkpoint file is unreadable
-/// or belongs to a different campaign.
+/// inconsistent grid, IoError when the checkpoint file belongs to a
+/// different campaign, CheckpointError when every snapshot generation is
+/// corrupt, and InterruptedError when a cooperative shutdown left jobs
+/// pending (completed work is already snapshotted).
 FaultCampaignResult run_fault_campaign(const FaultCampaignConfig& config,
                                        const obs::Obs& obs = {});
 

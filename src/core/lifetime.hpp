@@ -22,6 +22,7 @@
 #include "core/scenario.hpp"
 #include "data/dataset.hpp"
 #include "obs/obs.hpp"
+#include "persist/checkpoint.hpp"
 #include "resilience/escalation.hpp"
 #include "tuning/online_tuner.hpp"
 
@@ -84,7 +85,7 @@ struct LifetimeResult {
   bool died = false;  ///< true if a session failed before max_sessions
 };
 
-class LifetimeSimulator {
+class LifetimeSimulator : public persist::Checkpointable {
  public:
   explicit LifetimeSimulator(LifetimeConfig config);
 
@@ -99,17 +100,46 @@ class LifetimeSimulator {
   /// `rescue`, `session_end` (the SessionRecord), and `eol` on death —
   /// and maintains the `lifetime.*` metrics. The default handle disables
   /// all instrumentation.
+  ///
+  /// With a `store`, the simulator restores the newest valid snapshot
+  /// (skipping the initial deployment — the restored crossbars already
+  /// hold the deployed state), saves after every completed session, and
+  /// raises InterruptedError when a cooperative shutdown was requested
+  /// with sessions still pending. The snapshot captures the full aged
+  /// hardware state, drift stream position, tuner cursor, session log,
+  /// and buffered trace events; the fingerprint excludes `max_sessions`
+  /// so a finished run can resume toward a longer horizon.
   LifetimeResult run(tuning::HardwareNetwork& hw,
                      const data::Dataset& tune_data,
                      const data::Dataset& eval_data,
                      tuning::MappingPolicy policy,
-                     const obs::Obs& obs = {});
+                     const obs::Obs& obs = {},
+                     persist::CheckpointStore* store = nullptr);
+
+  std::string kind() const override;
+  std::uint64_t fingerprint() const override;
+  std::string serialize() const override;
+  void restore(std::string_view payload) override;
 
  private:
   /// Applies one session's recoverable drift to every crossbar cell.
   void apply_drift(tuning::HardwareNetwork& hw, Rng& rng);
 
   LifetimeConfig config_;
+
+  // --- run state, owned by run() and referenced by serialize()/restore();
+  // valid only while a run is in flight.
+  tuning::HardwareNetwork* hw_ = nullptr;
+  tuning::OnlineTuner* tuner_ = nullptr;
+  tuning::MappingPolicy policy_ = tuning::MappingPolicy::kFresh;
+  Rng drift_rng_{0};
+  LifetimeResult result_;
+  std::size_t next_session_ = 0;
+  bool restored_ = false;
+  /// Checkpoint-mode event buffer: events already emitted by completed
+  /// sessions, persisted so a resumed run replays the full stream.
+  std::vector<std::string> trace_lines_;
+  std::uint64_t trace_seq_ = 0;
 };
 
 }  // namespace xbarlife::core

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/table.hpp"
+#include "persist/checkpoint.hpp"
 
 namespace xbarlife::core {
 
@@ -211,7 +212,10 @@ std::string lifetime_session_table(const LifetimeResult& result,
   return table.render();
 }
 
-obs::JsonValue sweep_entry_json(const ScenarioSweepEntry& entry) {
+namespace {
+
+obs::JsonValue sweep_entry_json_impl(const ScenarioSweepEntry& entry,
+                                     bool with_wall_ms) {
   obs::JsonValue out = obs::JsonValue::object();
   out.set("label", entry.label);
   out.set("scenario", to_string(entry.scenario));
@@ -221,8 +225,12 @@ obs::JsonValue sweep_entry_json(const ScenarioSweepEntry& entry) {
   out.set("drift_seed", entry.drift_seed);
   if (entry.failed) {
     // Failed jobs keep their identity fields and gain an error record;
-    // the outcome fields would be meaningless defaults.
+    // the outcome fields would be meaningless defaults. timed_out marks
+    // jobs killed by the --job-timeout watchdog (a failure subtype).
     out.set("failed", true);
+    if (entry.timed_out) {
+      out.set("timed_out", true);
+    }
     out.set("error", entry.error);
     return out;
   }
@@ -232,8 +240,21 @@ obs::JsonValue sweep_entry_json(const ScenarioSweepEntry& entry) {
           entry.outcome.lifetime.lifetime_applications);
   out.set("sessions", entry.outcome.lifetime.sessions.size());
   out.set("died", entry.outcome.lifetime.died);
-  out.set("wall_ms", entry.wall_ms);
+  if (with_wall_ms) {
+    out.set("wall_ms", entry.wall_ms);
+  }
   return out;
+}
+
+}  // namespace
+
+obs::JsonValue sweep_entry_json(const ScenarioSweepEntry& entry) {
+  return sweep_entry_json_impl(entry, /*with_wall_ms=*/true);
+}
+
+obs::JsonValue sweep_entry_json_deterministic(
+    const ScenarioSweepEntry& entry) {
+  return sweep_entry_json_impl(entry, /*with_wall_ms=*/false);
 }
 
 obs::JsonValue sweep_entries_json(
@@ -263,6 +284,32 @@ std::string sweep_table(const std::vector<ScenarioSweepEntry>& entries) {
                    e.outcome.lifetime.died ? "died" : "survived cap"});
   }
   return table.render();
+}
+
+void emit_checkpoint_saved(const obs::Obs& obs, std::string_view kind,
+                           std::uint64_t generation) {
+  if (!obs.trace_enabled()) {
+    return;
+  }
+  obs::JsonValue line = obs::JsonValue::object();
+  line.set("event", "checkpoint_saved");
+  line.set("kind", kind);
+  line.set("generation", generation);
+  obs.trace->emit_line(line.dump());
+}
+
+void emit_resume_event(const obs::Obs& obs, std::string_view kind,
+                       std::uint64_t generation, bool fallback_used) {
+  if (!obs.trace_enabled()) {
+    return;
+  }
+  obs::JsonValue line = obs::JsonValue::object();
+  line.set("event", "resume");
+  line.set("checkpoint", persist::kCheckpointSchema);
+  line.set("kind", kind);
+  line.set("generation", generation);
+  line.set("fallback_used", fallback_used);
+  obs.trace->emit_line(line.dump());
 }
 
 }  // namespace xbarlife::core

@@ -15,6 +15,7 @@
 #include "core/scenario_runner.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "obs/profiler.hpp"
 
 namespace xbarlife::core {
@@ -52,8 +53,23 @@ std::string lifetime_session_table(const LifetimeResult& result,
                                    std::size_t max_rows = 0);
 
 obs::JsonValue sweep_entry_json(const ScenarioSweepEntry& entry);
+/// Checkpoint-mode variant: identical to sweep_entry_json but omits the
+/// nondeterministic wall_ms field, so a killed-and-resumed run's result
+/// document is byte-identical to an uninterrupted one.
+obs::JsonValue sweep_entry_json_deterministic(
+    const ScenarioSweepEntry& entry);
 obs::JsonValue sweep_entries_json(
     const std::vector<ScenarioSweepEntry>& entries);
 std::string sweep_table(const std::vector<ScenarioSweepEntry>& entries);
+
+/// Persist meta trace lines. These are spliced into the trace verbatim
+/// (no seq, no t_ms) so checkpoint I/O never shifts the deterministic
+/// seq numbering of real events; consumers comparing resumed against
+/// uninterrupted traces must strip them along with t_ms (see
+/// docs/output_schema.md). No-ops when the trace sink is absent.
+void emit_checkpoint_saved(const obs::Obs& obs, std::string_view kind,
+                           std::uint64_t generation);
+void emit_resume_event(const obs::Obs& obs, std::string_view kind,
+                       std::uint64_t generation, bool fallback_used);
 
 }  // namespace xbarlife::core

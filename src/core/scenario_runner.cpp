@@ -12,6 +12,59 @@ namespace xbarlife::core {
 ScenarioRunner::ScenarioRunner(std::uint64_t sweep_seed)
     : sweep_seed_(sweep_seed) {}
 
+ScenarioSweepEntry ScenarioRunner::run_single(
+    const ScenarioJob& job, const obs::Obs& job_obs) const {
+  ScenarioSweepEntry entry;
+  entry.label = job.label;
+  entry.scenario = job.scenario;
+  entry.stream = job.stream;
+
+  // The stream index — not the array index — selects the fork, so
+  // reordering or filtering a job list never changes surviving jobs.
+  Rng stream_rng = Rng(sweep_seed_).fork(job.stream);
+  ExperimentConfig cfg = job.config;
+  cfg.seed = stream_rng();
+  cfg.dataset.seed = stream_rng();
+  cfg.lifetime.drift_seed = stream_rng();
+  // Drawn unconditionally (fourth in the stream) so fault-enabled and
+  // fault-free sweeps share the first three seeds.
+  cfg.faults.fault_seed = stream_rng();
+  entry.seed = cfg.seed;
+  entry.data_seed = cfg.dataset.seed;
+  entry.drift_seed = cfg.lifetime.drift_seed;
+  entry.fault_seed = cfg.faults.fault_seed;
+
+  // Job root span for trace/profile only: the fan-in already records
+  // the canonical sweep.job_ms histogram sample from entry.wall_ms.
+  obs::Obs span_handle = job_obs;
+  span_handle.metrics = nullptr;
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    const JobDeadline deadline(job_timeout_ms_, job.label);
+    const obs::Span job_span(span_handle, "sweep.job");
+    entry.outcome = run_scenario(cfg, job.scenario, job_obs);
+  } catch (const TimeoutError& e) {
+    // The watchdog fired: record the job as timed out (a failure
+    // subtype) so --strict and the rollups can single it out.
+    entry.failed = true;
+    entry.timed_out = true;
+    entry.error = e.what();
+    entry.outcome = ScenarioOutcome{};
+    entry.outcome.scenario = job.scenario;
+  } catch (const std::exception& e) {
+    // Error isolation: a throwing scenario becomes a failed entry —
+    // the fan-out keeps going and the other jobs' results survive.
+    entry.failed = true;
+    entry.error = e.what();
+    entry.outcome = ScenarioOutcome{};
+    entry.outcome.scenario = job.scenario;
+  }
+  entry.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  return entry;
+}
+
 std::vector<ScenarioSweepEntry> ScenarioRunner::run(
     const std::vector<ScenarioJob>& jobs, const obs::Obs& obs) const {
   std::vector<ScenarioSweepEntry> entries(jobs.size());
@@ -32,47 +85,7 @@ std::vector<ScenarioSweepEntry> ScenarioRunner::run(
   // parallel_for nests and therefore runs in the fixed serial order.
   parallel_for(0, jobs.size(), 1, [&](std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) {
-      const ScenarioJob& job = jobs[i];
-      ScenarioSweepEntry& entry = entries[i];
-      entry.label = job.label;
-      entry.scenario = job.scenario;
-      entry.stream = job.stream;
-
-      // The stream index — not the array index — selects the fork, so
-      // reordering or filtering a job list never changes surviving jobs.
-      Rng stream_rng = Rng(sweep_seed_).fork(job.stream);
-      ExperimentConfig cfg = job.config;
-      cfg.seed = stream_rng();
-      cfg.dataset.seed = stream_rng();
-      cfg.lifetime.drift_seed = stream_rng();
-      // Drawn unconditionally (fourth in the stream) so fault-enabled and
-      // fault-free sweeps share the first three seeds.
-      cfg.faults.fault_seed = stream_rng();
-      entry.seed = cfg.seed;
-      entry.data_seed = cfg.dataset.seed;
-      entry.drift_seed = cfg.lifetime.drift_seed;
-      entry.fault_seed = cfg.faults.fault_seed;
-
-      const obs::Obs job_handle = fork.job(i);
-      // Job root span for trace/profile only: the fan-in already records
-      // the canonical sweep.job_ms histogram sample from entry.wall_ms.
-      obs::Obs span_handle = job_handle;
-      span_handle.metrics = nullptr;
-      const auto start = std::chrono::steady_clock::now();
-      try {
-        const obs::Span job_span(span_handle, "sweep.job");
-        entry.outcome = run_scenario(cfg, job.scenario, job_handle);
-      } catch (const std::exception& e) {
-        // Error isolation: a throwing scenario becomes a failed entry —
-        // the fan-out keeps going and the other jobs' results survive.
-        entry.failed = true;
-        entry.error = e.what();
-        entry.outcome = ScenarioOutcome{};
-        entry.outcome.scenario = job.scenario;
-      }
-      entry.wall_ms = std::chrono::duration<double, std::milli>(
-                          std::chrono::steady_clock::now() - start)
-                          .count();
+      entries[i] = run_single(jobs[i], fork.job(i));
     }
   });
 
@@ -102,6 +115,9 @@ std::vector<ScenarioSweepEntry> ScenarioRunner::run(
           {"sessions", e.outcome.lifetime.sessions.size()},
           {"died", e.outcome.lifetime.died},
           {"wall_ms", e.wall_ms}};
+      if (e.timed_out) {
+        fields.emplace_back("timed_out", true);
+      }
       if (e.failed) {
         fields.emplace_back("error", e.error);
       }

@@ -43,6 +43,9 @@ struct ScenarioSweepEntry {
   /// `failed` is set, `error` holds the exception message, and `outcome`
   /// stays default-constructed. The other jobs' results are unaffected.
   bool failed = false;
+  /// Failure subtype: the job was killed by the --job-timeout watchdog
+  /// (TimeoutError). Always implies `failed`.
+  bool timed_out = false;
   std::string error;
   ScenarioOutcome outcome;
 };
@@ -54,6 +57,15 @@ class ScenarioRunner {
   explicit ScenarioRunner(std::uint64_t sweep_seed = 0x5eedULL);
 
   std::uint64_t sweep_seed() const { return sweep_seed_; }
+
+  /// Per-job watchdog budget in wall-clock ms; <= 0 disables it. A job
+  /// that exceeds the budget is killed cooperatively (TimeoutError at the
+  /// next epoch/session/iteration boundary) and isolated as a failed
+  /// entry with `timed_out` set — the other jobs are unaffected.
+  void set_job_timeout_ms(double timeout_ms) {
+    job_timeout_ms_ = timeout_ms;
+  }
+  double job_timeout_ms() const { return job_timeout_ms_; }
 
   /// Runs every job (across the shared thread pool when it has more than
   /// one thread) and returns entries in job order. Each job's config gets
@@ -70,6 +82,13 @@ class ScenarioRunner {
   std::vector<ScenarioSweepEntry> run(const std::vector<ScenarioJob>& jobs,
                                       const obs::Obs& obs = {}) const;
 
+  /// Runs one job in the calling thread: derives the forked seeds, arms
+  /// the per-job watchdog, isolates exceptions into a failed entry, and
+  /// measures wall_ms. run() and the checkpointed sweep engine both fan
+  /// out over this, so a resumed sweep replays jobs bit-identically.
+  ScenarioSweepEntry run_single(const ScenarioJob& job,
+                                const obs::Obs& job_obs = {}) const;
+
   /// Convenience fan-out: `replicates` copies of `base` per scenario.
   /// Replicate r of every scenario shares stream r.
   static std::vector<ScenarioJob> cross(
@@ -78,6 +97,7 @@ class ScenarioRunner {
 
  private:
   std::uint64_t sweep_seed_;
+  double job_timeout_ms_ = 0.0;
 };
 
 }  // namespace xbarlife::core

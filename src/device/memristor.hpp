@@ -94,6 +94,22 @@ class Memristor {
   /// drift, which is recoverable and out of scope here).
   double read_conductance() const { return conductance(); }
 
+  /// Own contribution exported to the shared ambient pool so far (the
+  /// running total stress() subtracts). Exposed for checkpointing.
+  double ambient_self_share() const { return ambient_self_share_; }
+
+  /// Checkpoint restore: pins the complete mutable device state. The
+  /// params/model/ambient wiring is reconstructed by the owning crossbar,
+  /// not serialized.
+  void restore_state(double resistance, double stress, double last_increment,
+                     double ambient_self_share, std::uint64_t pulses) {
+    resistance_ = resistance;
+    stress_ = stress;
+    last_increment_ = last_increment;
+    ambient_self_share_ = ambient_self_share;
+    pulses_ = pulses;
+  }
+
  private:
   const DeviceParams* params_;
   const aging::AgingModel* model_;

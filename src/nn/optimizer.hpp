@@ -24,6 +24,19 @@ class SgdOptimizer {
   void set_learning_rate(double lr);
   double learning_rate() const { return config_.learning_rate; }
 
+  /// Velocity buffer for `param`, or null before its first step().
+  /// Exposed for checkpointing (serialized in parameter order, never by
+  /// address — tensor addresses are not stable across processes).
+  const Tensor* velocity_for(const Tensor* param) const {
+    const auto it = velocity_.find(param);
+    return it == velocity_.end() ? nullptr : &it->second;
+  }
+
+  /// Installs a restored velocity buffer for `param`.
+  void set_velocity(const Tensor* param, Tensor velocity) {
+    velocity_.insert_or_assign(param, std::move(velocity));
+  }
+
  private:
   SgdConfig config_;
   // Velocity buffers keyed by the parameter tensor's address; stable for

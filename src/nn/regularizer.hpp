@@ -75,6 +75,12 @@ class SkewedL2Regularizer final : public Regularizer {
   double lambda2() const { return lambda2_; }
   double omega_factor() const { return omega_factor_; }
 
+  /// Frozen reference weights per layer index (unset entries still track
+  /// the live distribution). Exposed for checkpointing.
+  const std::vector<std::optional<double>>& frozen_omegas() const {
+    return frozen_omegas_;
+  }
+
  private:
   double lambda1_;
   double lambda2_;

@@ -36,6 +36,11 @@ std::uint64_t EventTrace::events_emitted() const {
   return seq_;
 }
 
+void EventTrace::set_next_seq(std::uint64_t seq) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  seq_ = seq;
+}
+
 void EventTrace::write(std::string_view type, const Field* fields,
                        std::size_t n) {
   const double t_ms =

@@ -51,6 +51,11 @@ class EventTrace {
 
   std::uint64_t events_emitted() const;
 
+  /// Pins the next event's seq value. Checkpoint resume: a trace restored
+  /// mid-run continues the stored numbering instead of restarting at 0,
+  /// so a resumed stream is indistinguishable from an uninterrupted one.
+  void set_next_seq(std::uint64_t seq);
+
  private:
   void write(std::string_view type, const Field* fields, std::size_t n);
 

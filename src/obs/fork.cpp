@@ -36,6 +36,16 @@ Obs ObsFork::job(std::size_t i) {
   return handle;
 }
 
+std::vector<std::string> ObsFork::take_job_lines(std::size_t i) {
+  if (children_.empty()) {
+    return {};
+  }
+  Child& child = *children_[i];
+  std::vector<std::string> lines = child.sink.lines();
+  child.sink.clear();
+  return lines;
+}
+
 void ObsFork::merge_into(
     const std::function<void(std::size_t)>& after_job) {
   for (std::size_t i = 0; i < labels_.size(); ++i) {

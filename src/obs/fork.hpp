@@ -49,6 +49,12 @@ class ObsFork {
   /// (sweep_job_done) that must land between jobs i and i+1.
   void merge_into(const std::function<void(std::size_t)>& after_job = {});
 
+  /// Moves job `i`'s buffered trace lines out of its child sink (the sink
+  /// is left empty). Used by checkpointing fan-outs that persist the lines
+  /// and splice them back themselves instead of calling merge_into().
+  /// Returns an empty vector when children were never allocated.
+  std::vector<std::string> take_job_lines(std::size_t i);
+
  private:
   struct Child {
     Registry registry;

@@ -1,0 +1,99 @@
+// Crash-safe checkpoint snapshots (schema "xbarlife.ckpt.v1").
+//
+// A snapshot file is a one-line JSON header followed by a raw binary
+// payload (see state_io.hpp):
+//
+//   {"checkpoint":"xbarlife.ckpt.v1","kind":"lifetime",
+//    "fingerprint":"91c6f2a0b3d4e5f6","generation":3,
+//    "payload_bytes":1184,"payload_crc32":3421780262}\n
+//   <payload_bytes raw bytes>
+//
+// Writes are atomic: the snapshot is written to <path>.tmp, flushed, the
+// previous snapshot is rotated to <path>.bak, and the temp file renamed
+// into place — a crash mid-write can never destroy the last good
+// generation. Loads verify the CRC32 of the payload and fall back to the
+// .bak generation when the newest snapshot is truncated or corrupt; when
+// no valid generation exists at all, CheckpointError (CLI exit 7) is
+// raised instead of silently restoring wrong state. A parseable snapshot
+// belonging to a *different* run (schema/kind/fingerprint mismatch) is a
+// plain IoError — resuming it would corrupt the run, and its fallback
+// would be just as foreign.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace xbarlife::persist {
+
+/// Version tag stamped into every snapshot header.
+inline constexpr std::string_view kCheckpointSchema = "xbarlife.ckpt.v1";
+
+/// IEEE CRC32 (reflected, poly 0xEDB88320) of `data`;
+/// crc32("123456789") == 0xCBF43926.
+std::uint32_t crc32(std::string_view data);
+
+/// FNV-1a 64-bit accumulator for state fingerprints: a cheap content hash
+/// of the configuration that must match for a snapshot to be resumable.
+class Fingerprint {
+ public:
+  Fingerprint& add(std::string_view bytes);
+  Fingerprint& add(std::uint64_t v);
+  Fingerprint& add(double v);
+  std::uint64_t value() const { return hash_; }
+  /// 16-char lowercase hex rendering (the header's "fingerprint" field).
+  std::string hex() const;
+
+ private:
+  std::uint64_t hash_ = 14695981039346656037ULL;
+};
+
+/// 16-char lowercase hex rendering of a fingerprint value.
+std::string fingerprint_hex(std::uint64_t value);
+
+/// Anything that can be snapshotted into a checkpoint and restored from
+/// one. serialize()/restore() must round-trip bit-identically; the
+/// fingerprint pins the configuration a snapshot belongs to (exclude
+/// horizon knobs — epochs, max_sessions — so a run can resume toward a
+/// longer horizon).
+class Checkpointable {
+ public:
+  virtual ~Checkpointable() = default;
+  /// Short snapshot kind tag ("train", "lifetime", "sweep", "faults").
+  virtual std::string kind() const = 0;
+  virtual std::uint64_t fingerprint() const = 0;
+  virtual std::string serialize() const = 0;
+  virtual void restore(std::string_view payload) = 0;
+};
+
+class CheckpointStore {
+ public:
+  explicit CheckpointStore(std::string path);
+
+  const std::string& path() const { return path_; }
+  std::string fallback_path() const { return path_ + ".bak"; }
+
+  /// Generation of the most recent save (or the loaded snapshot).
+  std::uint64_t generation() const { return generation_; }
+
+  struct SnapshotInfo {
+    std::uint64_t generation = 0;
+    bool fallback_used = false;  ///< restored from the .bak generation
+  };
+
+  /// Atomically writes a new snapshot generation of `target`.
+  void save(const Checkpointable& target);
+
+  /// Restores `target` from the newest valid snapshot generation.
+  /// Returns nullopt when no snapshot exists (fresh start). Throws
+  /// IoError when the snapshot belongs to a different run and
+  /// CheckpointError when every present generation is corrupt.
+  std::optional<SnapshotInfo> load(Checkpointable& target);
+
+ private:
+  std::string path_;
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace xbarlife::persist

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace xbarlife::resilience {
 
@@ -61,6 +62,7 @@ RescueOutcome EscalationLadder::rescue(const RescueContext& ctx,
   // when the rung restored the tuning target. `prepare` returning false
   // means the rung has nothing to do and is skipped without a tune.
   const auto attempt = [&](Rung rung, const auto& prepare) {
+    check_job_deadline();
     if (!prepare()) {
       return false;
     }

@@ -303,4 +303,125 @@ std::uint64_t HardwareNetwork::total_pulses() const {
   return total;
 }
 
+namespace {
+
+void write_tensor_values(persist::StateWriter& w, const Tensor& t) {
+  w.u64(t.numel());
+  for (const float v : t.flat()) {
+    w.f32(v);
+  }
+}
+
+void read_tensor_values(persist::StateReader& r, Tensor& t) {
+  const std::uint64_t n = r.u64();
+  XB_CHECK(n == t.numel(),
+           "tensor snapshot size does not match the network topology");
+  for (float& v : t.flat()) {
+    v = r.f32();
+  }
+}
+
+}  // namespace
+
+void HardwareNetwork::save_state(persist::StateWriter& w) const {
+  w.u64(layers_.size());
+  for (const DeployedLayer& l : layers_) {
+    w.boolean(l.plan != nullptr);
+    if (l.plan != nullptr) {
+      // A plan is fully determined by (weight range, fresh grid, upper
+      // cut); serializing those four numbers reconstructs it exactly.
+      const mapping::WeightRange& wr = l.plan->map().weight_range();
+      const mapping::ResistanceRange& fresh = l.plan->quantizer().fresh_range();
+      w.f64(wr.w_min);
+      w.f64(wr.w_max);
+      w.f64(fresh.r_lo);
+      w.f64(fresh.r_hi);
+      w.u64(l.plan->quantizer().fresh_levels());
+      w.f64(l.plan->resistance_range().r_hi);
+    }
+    w.u64(l.last_report.total_cells);
+    w.u64(l.last_report.programmed_cells);
+    w.u64(l.last_report.clamped_cells);
+    w.f64(l.last_report.quantization_rmse);
+    w.f64(l.last_report.mean_target_conductance);
+    w.u64(l.stuck.size());
+    for (const std::uint8_t s : l.stuck) {
+      w.u8(s);
+    }
+    w.u64(l.pinned_g.size());
+    for (const float g : l.pinned_g) {
+      w.f32(g);
+    }
+    w.u64(l.row_perm.size());
+    for (const std::size_t p : l.row_perm) {
+      w.u64(p);
+    }
+    l.xbar->save_state(w);
+  }
+  w.u64(targets_.size());
+  for (const Tensor& t : targets_) {
+    write_tensor_values(w, t);
+  }
+  std::vector<nn::ParamRef> params = net_->params();
+  w.u64(params.size());
+  for (const nn::ParamRef& p : params) {
+    write_tensor_values(w, *p.value);
+  }
+}
+
+void HardwareNetwork::load_state(persist::StateReader& r) {
+  XB_CHECK(r.u64() == layers_.size(),
+           "hardware snapshot layer count does not match this network");
+  for (DeployedLayer& l : layers_) {
+    if (r.boolean()) {
+      const double w_min = r.f64();
+      const double w_max = r.f64();
+      const double r_lo = r.f64();
+      const double r_hi = r.f64();
+      const std::uint64_t fresh_levels = r.u64();
+      const double upper_cut = r.f64();
+      l.plan = std::make_unique<mapping::MappingPlan>(
+          mapping::WeightRange{w_min, w_max},
+          mapping::ResistanceRange{r_lo, r_hi},
+          static_cast<std::size_t>(fresh_levels), upper_cut);
+    } else {
+      l.plan.reset();
+    }
+    l.last_report.total_cells = r.u64();
+    l.last_report.programmed_cells = r.u64();
+    l.last_report.clamped_cells = r.u64();
+    l.last_report.quantization_rmse = r.f64();
+    l.last_report.mean_target_conductance = r.f64();
+    const std::uint64_t n_stuck = r.u64();
+    XB_CHECK(n_stuck == l.stuck.size(),
+             "bad-cell snapshot size does not match the crossbar");
+    for (std::uint8_t& s : l.stuck) {
+      s = r.u8();
+    }
+    const std::uint64_t n_pinned = r.u64();
+    XB_CHECK(n_pinned == l.pinned_g.size(),
+             "pinned-cell snapshot size does not match the crossbar");
+    for (float& g : l.pinned_g) {
+      g = r.f32();
+    }
+    l.row_perm.resize(r.u64());
+    for (std::size_t& p : l.row_perm) {
+      p = r.u64();
+    }
+    l.xbar->load_state(r);
+  }
+  const std::uint64_t n_targets = r.u64();
+  XB_CHECK(n_targets == targets_.size(),
+           "target snapshot count does not match this network");
+  for (Tensor& t : targets_) {
+    read_tensor_values(r, t);
+  }
+  std::vector<nn::ParamRef> params = net_->params();
+  XB_CHECK(r.u64() == params.size(),
+           "parameter snapshot count does not match this network");
+  for (nn::ParamRef& p : params) {
+    read_tensor_values(r, *p.value);
+  }
+}
+
 }  // namespace xbarlife::tuning

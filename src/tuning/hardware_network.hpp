@@ -173,6 +173,16 @@ class HardwareNetwork {
   /// Total programming pulses across all crossbars.
   std::uint64_t total_pulses() const;
 
+  /// Serializes the complete deployment state: per-layer mapping plan,
+  /// write-verify bad-cell lists, row permutations, crossbar array state,
+  /// the captured target weights, and every network parameter (so the
+  /// evaluation engine's effective weights and digital biases survive the
+  /// round trip bit-identically). The network topology and fault config
+  /// are reconstructed, not serialized — restore onto a HardwareNetwork
+  /// built from the same config.
+  void save_state(persist::StateWriter& w) const;
+  void load_state(persist::StateReader& r);
+
  private:
   /// Physical (rows + spares) target tensor for layer `i` under its
   /// current row permutation; spare/unmapped rows hold zeros.

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace xbarlife::tuning {
 
@@ -90,6 +91,7 @@ TuningResult OnlineTuner::tune(HardwareNetwork& hw,
   std::size_t since_improvement = 0;
 
   while (result.iterations < config_.max_iterations) {
+    check_job_deadline();
     if (acc >= config_.target_accuracy) {
       result.converged = true;
       break;

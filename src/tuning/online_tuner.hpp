@@ -67,6 +67,12 @@ class OnlineTuner {
                     const data::Dataset& eval_data,
                     const obs::Obs& obs = {});
 
+  /// Rolling tuning-batch cursor — the only cross-session tuner state.
+  /// Exposed for checkpointing so a resumed lifetime run draws the same
+  /// minibatches an uninterrupted one would.
+  std::size_t cursor() const { return cursor_; }
+  void set_cursor(std::size_t cursor) { cursor_ = cursor; }
+
  private:
   /// One sign-update pass over every deployed layer; returns pulses spent.
   std::uint64_t apply_sign_updates(HardwareNetwork& hw);

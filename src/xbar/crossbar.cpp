@@ -227,4 +227,42 @@ CrossbarAgingStats Crossbar::aging_stats() const {
   return s;
 }
 
+void Crossbar::save_state(persist::StateWriter& w) const {
+  w.u64(rows_);
+  w.u64(cols_);
+  for (const device::Memristor& cell : cells_) {
+    w.f64(cell.resistance());
+    w.f64(cell.own_stress());
+    w.f64(cell.last_stress_increment());
+    w.f64(cell.ambient_self_share());
+    w.u64(cell.pulse_count());
+  }
+  tracker_.save_state(w);
+  w.u64(total_pulses_);
+  w.f64(ambient_stress_);
+  persist::write_rng_state(w, write_rng_);
+  persist::write_rng_state(w, read_rng_);
+}
+
+void Crossbar::load_state(persist::StateReader& r) {
+  const std::uint64_t rows = r.u64();
+  const std::uint64_t cols = r.u64();
+  XB_CHECK(rows == rows_ && cols == cols_,
+           "crossbar snapshot geometry does not match this array");
+  for (device::Memristor& cell : cells_) {
+    const double resistance = r.f64();
+    const double stress = r.f64();
+    const double last_increment = r.f64();
+    const double self_share = r.f64();
+    const std::uint64_t pulses = r.u64();
+    cell.restore_state(resistance, stress, last_increment, self_share,
+                       pulses);
+  }
+  tracker_.load_state(r);
+  total_pulses_ = r.u64();
+  ambient_stress_ = r.f64();
+  persist::read_rng_state(r, write_rng_);
+  persist::read_rng_state(r, read_rng_);
+}
+
 }  // namespace xbarlife::xbar

@@ -114,6 +114,19 @@ class Crossbar {
   /// Array-wide thermal-crosstalk stress pool shared by every cell.
   double ambient_stress() const { return ambient_stress_; }
 
+  /// Serializes the complete mutable array state: every cell's resistance
+  /// and aging history, the tracker, the ambient pool, and the write/read
+  /// noise stream positions. The nonideality config and FaultMap are NOT
+  /// serialized — both are deterministic functions of the config/seed the
+  /// owner re-applies on reconstruction (stuck pins are then overwritten
+  /// by the restored cell resistances, which already include them).
+  void save_state(persist::StateWriter& w) const;
+
+  /// Restores a save_state snapshot onto an identically-shaped array that
+  /// has already been configured the same way (same nonideality config and
+  /// seed). Throws on geometry mismatch.
+  void load_state(persist::StateReader& r);
+
  private:
   device::Memristor& mutable_cell(std::size_t r, std::size_t c);
 

@@ -101,6 +101,23 @@ TEST(CliOutput, BenchRejectsZeroReps) {
   EXPECT_EQ(run_cli("bench --reps 0"), 2);
 }
 
+// An impossibly small --job-timeout expires every job instantly: the
+// sweep still completes with isolated timed-out failures (exit 0), but
+// --strict must trip on them like any other failure (exit 4).
+TEST(CliOutput, StrictTripsOnTimedOutSweepJobs) {
+  const std::string cmd =
+      "sweep --model mlp --sessions 1 --replicates 1 --job-timeout 0.001";
+  EXPECT_EQ(run_cli(cmd), 0);
+  EXPECT_EQ(run_cli(cmd + " --strict"), 4);
+}
+
+// Outside a fan-out there is no entry to isolate the failure into: an
+// expired lifetime deadline propagates as TimeoutError (exit 8).
+TEST(CliOutput, LifetimeWatchdogExpiryExitsTimeout) {
+  EXPECT_EQ(
+      run_cli("lifetime --model mlp --sessions 1 --job-timeout 0.001"), 8);
+}
+
 TEST(CliOutput, DeviceProfileWritesPerfettoDocument) {
   const std::string path =
       ::testing::TempDir() + "/xbarlife_device_profile.json";

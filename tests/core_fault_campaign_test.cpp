@@ -130,32 +130,38 @@ TEST(FaultCampaign, CheckpointResumeIsByteIdentical) {
   const std::string reference =
       fault_campaign_json(run_fault_campaign(cc)).dump();
 
-  // Full checkpointed run to produce the on-disk entry records.
-  const std::string path = ::testing::TempDir() + "xbarlife_ck.jsonl";
+  // Full checkpointed run: 4 jobs in chunks of 3 -> generation 1 (3 jobs
+  // done) rotates into the .bak slot when generation 2 (all done) lands.
+  const std::string path = ::testing::TempDir() + "xbarlife_ck.ckpt";
   std::remove(path.c_str());
+  std::remove((path + ".bak").c_str());
   cc.checkpoint_path = path;
+  cc.checkpoint_chunk = 3;
   const FaultCampaignResult full = run_fault_campaign(cc);
   EXPECT_EQ(full.resumed_jobs, 0u);
   EXPECT_EQ(full.executed_jobs, full.jobs.size());
+  EXPECT_EQ(full.checkpoint_generation, 2u);
+  EXPECT_FALSE(full.fallback_used);
   EXPECT_EQ(fault_campaign_json(full).dump(), reference);
 
-  // Simulate a campaign killed mid-flight: truncate the checkpoint to
-  // the header plus the first entry, then resume.
-  std::istringstream lines(read_file(path));
-  std::string header;
-  std::string first;
-  ASSERT_TRUE(std::getline(lines, header));
-  ASSERT_TRUE(std::getline(lines, first));
+  // Simulate a crash mid-write: flip the newest snapshot's last payload
+  // byte. The resume must reject it (checksum) and fall back to the .bak
+  // generation, replaying its 3 completed jobs and running only the rest.
   {
-    std::ofstream out(path, std::ios::trunc);
-    out << header << "\n" << first << "\n";
+    std::string bytes = read_file(path);
+    ASSERT_FALSE(bytes.empty());
+    bytes.back() = static_cast<char>(bytes.back() ^ 0x5a);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes;
   }
 
   const FaultCampaignResult resumed = run_fault_campaign(cc);
-  EXPECT_EQ(resumed.resumed_jobs, 1u);
-  EXPECT_EQ(resumed.executed_jobs, resumed.jobs.size() - 1);
+  EXPECT_EQ(resumed.resumed_jobs, 3u);
+  EXPECT_EQ(resumed.executed_jobs, resumed.jobs.size() - 3);
+  EXPECT_TRUE(resumed.fallback_used);
   EXPECT_EQ(fault_campaign_json(resumed).dump(), reference);
   std::remove(path.c_str());
+  std::remove((path + ".bak").c_str());
 }
 
 TEST(FaultCampaign, RejectsForeignCheckpoints) {
