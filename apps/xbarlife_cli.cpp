@@ -2,11 +2,12 @@
 //
 //   xbarlife train     --model <name> [--skewed] [--out w.bin]
 //   xbarlife lifetime  --model <name> --scenario tt|stt|stat
-//                      [--sessions N] [--strict] [--stuck-off F]
-//                      [--stuck-on F] [--write-noise S] [--read-noise S]
-//                      [--line-resistance R] [--spare-rows N] [--no-ladder]
-//   xbarlife sweep     --model <name> [--replicates N] [--strict]
-//                      [--checkpoint PATH] [--job-timeout MS]
+//                      [--sessions N] [--quantized] [--strict]
+//                      [--stuck-off F] [--stuck-on F] [--write-noise S]
+//                      [--read-noise S] [--line-resistance R]
+//                      [--spare-rows N] [--no-ladder]
+//   xbarlife sweep     --model <name> [--replicates N] [--quantized]
+//                      [--strict] [--checkpoint PATH] [--job-timeout MS]
 //   xbarlife faults    --model <name> [--stuck-off LIST] [--stuck-on LIST]
 //                      [--write-noise LIST] [--read-noise LIST]
 //                      [--compare-ladder] [--checkpoint PATH]
@@ -19,6 +20,9 @@
 // Global options (every command):
 //   --threads N      worker-pool size (0 = all cores); results are
 //                    bit-identical at any thread count
+//   --kernel V       compute-kernel dispatch variant (auto|scalar|avx2|
+//                    neon, default auto or $XBARLIFE_KERNEL); each variant
+//                    is deterministic on its own, goldens pin scalar
 //   --json <path|->  write the versioned machine-readable result document
 //                    (schema xbarlife.result.v1, see docs/output_schema.md)
 //                    as the final JSONL line; "-" streams to stdout and
@@ -76,7 +80,9 @@
 #include "obs/obs.hpp"
 #include "obs/perfetto.hpp"
 #include "obs/sink.hpp"
+#include "nn/quantized.hpp"
 #include "persist/checkpoint.hpp"
+#include "tensor/kernels/kernels.hpp"
 #include "tensor/matmul.hpp"
 
 using namespace xbarlife;
@@ -274,6 +280,9 @@ core::ExperimentConfig config_for(const Args& args) {
   }
   if (args.flag("seed")) {
     cfg.seed = std::stoull(args.get("seed", "7"));
+  }
+  if (args.flag("quantized")) {
+    cfg.lifetime.tuning.quantized_eval = true;
   }
   return cfg;
 }
@@ -504,6 +513,7 @@ int cmd_lifetime(const Args& args, CliOutput& out) {
 
   obs::JsonValue data = obs::JsonValue::object();
   data.set("config", core::experiment_config_json(cfg));
+  data.set("quantized", cfg.lifetime.tuning.quantized_eval);
   data.set("outcome", core::scenario_outcome_json(o));
   if (store != nullptr) {
     data.set("resume", resume_json("lifetime"));
@@ -591,6 +601,7 @@ int cmd_sweep(const Args& args, CliOutput& out) {
 
     obs::JsonValue data = obs::JsonValue::object();
     data.set("config", core::experiment_config_json(cfg));
+    data.set("quantized", cfg.lifetime.tuning.quantized_eval);
     data.set("sweep_seed", runner.sweep_seed());
     data.set("replicates", replicates);
     data.set("sweep", std::move(sweep));
@@ -606,6 +617,7 @@ int cmd_sweep(const Args& args, CliOutput& out) {
 
   obs::JsonValue data = obs::JsonValue::object();
   data.set("config", core::experiment_config_json(cfg));
+  data.set("quantized", cfg.lifetime.tuning.quantized_eval);
   data.set("sweep_seed", runner.sweep_seed());
   data.set("replicates", replicates);
   data.set("sweep", core::sweep_entries_json(entries));
@@ -793,6 +805,13 @@ int cmd_bench(const Args& args, CliOutput& out) {
   samples.push_back(measure("gemm_" + std::to_string(dim),
                             [&] { c = matmul(a, b); }));
 
+  // Int8 path: code once (amortized in real inference), time the
+  // quantized GEMM + dequantize itself.
+  const nn::QuantizedTensor qa = nn::quantize_activations(a);
+  const nn::QuantizedTensor qw = nn::quantize_weights(b, nn::QuantSpec{});
+  samples.push_back(measure("gemm_s8_" + std::to_string(dim),
+                            [&] { c = nn::quantized_linear(qa, qw, nullptr); }));
+
   core::ExperimentConfig cfg;
   cfg.name = "bench-mlp";
   cfg.model = core::ExperimentConfig::Model::kMlp;
@@ -865,10 +884,12 @@ int cmd_info() {
              " [--skewed] [--seed N]\n"
              "            [--out FILE]   train and optionally save weights\n"
              "  lifetime  --model ... --scenario tt|stt|stat [--sessions N]\n"
-             "            [--strict]     run one lifetime scenario (--strict\n"
-             "            exits 4 if the array dies before the session cap)\n"
+             "            [--quantized] [--strict]  run one lifetime scenario\n"
+             "            (--quantized evaluates accuracy on the int8\n"
+             "            inference path; --strict exits 4 if the array dies\n"
+             "            before the session cap)\n"
              "  sweep     --model ... [--replicates N] [--sessions N]\n"
-             "            [--strict]     run all scenarios x replicates\n"
+             "            [--quantized] [--strict] run all scenarios x replicates\n"
              "            (parallel fan-out; per-job errors are isolated,\n"
              "            --strict exits 4 if any job failed or timed out)\n"
              "  faults    --model ... [--scenario S] [--replicates N]\n"
@@ -878,8 +899,9 @@ int cmd_info() {
              "  device    [--pulses N] [--target-r OHMS]\n"
              "            age a single device and report its window\n"
              "  bench     [--reps N] [--dim N]\n"
-             "            in-process perf smoke (GEMM, lifetime scenario,\n"
-             "            sweep fan-out); --json emits xbarlife.bench.v1\n"
+             "            in-process perf smoke (GEMM, int8 GEMM, lifetime\n"
+             "            scenario, sweep fan-out); --json emits\n"
+             "            xbarlife.bench.v1\n"
              "  models    list registered models\n"
              "  info      this text\n\n"
              "fault options (lifetime: scalars; faults: comma lists for\n"
@@ -897,6 +919,10 @@ int cmd_info() {
              "  --threads N     worker threads (0 = all cores; default 1 or\n"
              "                  $XBARLIFE_THREADS); results are identical at\n"
              "                  any thread count\n"
+             "  --kernel V      compute-kernel variant: auto|scalar|avx2|neon\n"
+             "                  (default auto or $XBARLIFE_KERNEL); results\n"
+             "                  are bit-identical per variant at any thread\n"
+             "                  count, goldens pin scalar\n"
              "  --json PATH|-   write the machine-readable result document\n"
              "                  (JSONL, schema xbarlife.result.v1); '-' is\n"
              "                  stdout and silences the human report\n"
@@ -931,6 +957,13 @@ int main(int argc, char** argv) {
     if (args.flag("threads")) {
       set_parallel_threads(
           static_cast<std::size_t>(std::stoul(args.get("threads", "1"))));
+    }
+    if (args.flag("kernel")) {
+      kernels::set_kernel(args.get("kernel", "auto"));
+    } else {
+      // Resolve $XBARLIFE_KERNEL up front so a bad value fails every
+      // command with exit 2 instead of surfacing mid-computation.
+      kernels::select();
     }
     if (args.flag("checkpoint")) {
       // Checkpointed runs die gracefully: the first SIGINT/SIGTERM

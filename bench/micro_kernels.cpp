@@ -3,10 +3,14 @@
 // the aging-model hot path.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <vector>
+
 #include "common/rng.hpp"
 #include "device/memristor.hpp"
 #include "mapping/mapper.hpp"
 #include "tensor/im2col.hpp"
+#include "tensor/kernels/kernels.hpp"
 #include "tensor/matmul.hpp"
 #include "xbar/crossbar.hpp"
 
@@ -34,6 +38,29 @@ void BM_Matmul(benchmark::State& state) {
                           static_cast<std::int64_t>(2 * n * n * n));
 }
 BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatmulS8(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  std::vector<std::int8_t> a(n * n);
+  std::vector<std::int8_t> b(n * n);
+  for (auto& v : a) {
+    v = static_cast<std::int8_t>(rng.uniform_int(-127, 127));
+  }
+  for (auto& v : b) {
+    v = static_cast<std::int8_t>(rng.uniform_int(-127, 127));
+  }
+  std::vector<std::int32_t> c(n * n);
+  const kernels::KernelSet& ks = kernels::select();
+  for (auto _ : state) {
+    std::memset(c.data(), 0, c.size() * sizeof(std::int32_t));
+    ks.gemm_s8(a.data(), b.data(), c.data(), n, n, n, 0, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_MatmulS8)->Arg(64)->Arg(256);
 
 void BM_Im2col(benchmark::State& state) {
   const auto side = static_cast<std::size_t>(state.range(0));

@@ -98,7 +98,7 @@ def from_bench_v1(path):
         doc = json.load(handle)
     if doc.get("schema") != BENCH_SCHEMA:
         fail(f"{path}: schema {doc.get('schema')!r} != {BENCH_SCHEMA!r}")
-    return doc["results"]
+    return doc["results"], doc.get("kernel")
 
 
 def main():
@@ -114,17 +114,32 @@ def main():
     parser.add_argument("--threads", type=int, default=1,
                         help="'threads' field of the output document")
     parser.add_argument("--git-rev", help="override the stamped git rev")
+    parser.add_argument("--kernel",
+                        help="override the 'kernel' field (default: the "
+                             "variant the merged documents agree on, "
+                             "'mixed' when they disagree, 'unknown' when "
+                             "no input carries one)")
     parser.add_argument("-o", "--output", default="-",
                         help="output path (default: stdout)")
     args = parser.parse_args()
 
     results = []
+    kernels = set()
     for path in args.from_gbench:
         results.extend(from_gbench(path))
     for path in args.merge:
-        results.extend(from_bench_v1(path))
+        merged, kernel = from_bench_v1(path)
+        results.extend(merged)
+        if kernel:
+            kernels.add(kernel)
     if not results:
         fail("no inputs (--from-gbench / --merge)")
+    if args.kernel:
+        kernel = args.kernel
+    elif len(kernels) == 1:
+        kernel = kernels.pop()
+    else:
+        kernel = "mixed" if kernels else "unknown"
     names = [r["name"] for r in results]
     duplicates = {n for n in names if names.count(n) > 1}
     if duplicates:
@@ -133,6 +148,7 @@ def main():
     doc = {
         "schema": BENCH_SCHEMA,
         "tool": args.tool,
+        "kernel": kernel,
         "threads": args.threads,
         "git_rev": git_rev(args),
         "results": results,

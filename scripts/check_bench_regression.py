@@ -14,8 +14,16 @@ Usage:
   # PRs warn instead of failing:
   python3 scripts/check_bench_regression.py ... --warn-only
 
-Exit status: 0 when no regression (or --warn-only), 1 on regression,
-2 on unusable inputs.
+Additionally asserts the threaded-vs-serial invariant on the *current*
+document: whenever a (name_threaded, name_serial) pair is present —
+gemm_threaded/gemm_serial, sweep_threaded/sweep_serial — the threaded
+median must not exceed the serial median by more than --threaded-slack
+(default 0.10 = 10%). Threading that loses to serial execution is a
+bug (grain tuning / serial-fallback threshold), not a machine artifact,
+so this check ignores --warn-only.
+
+Exit status: 0 when no regression (or --warn-only), 1 on regression or
+a violated threaded-vs-serial invariant, 2 on unusable inputs.
 """
 
 import argparse
@@ -48,6 +56,9 @@ def main():
                         help="allowed relative median increase (0.25 = 25%%)")
     parser.add_argument("--warn-only", action="store_true",
                         help="report regressions but exit 0 (PR mode)")
+    parser.add_argument("--threaded-slack", type=float, default=0.10,
+                        help="allowed threaded-over-serial median excess "
+                             "(0.10 = 10%%)")
     args = parser.parse_args()
 
     baseline = load(args.baseline)
@@ -74,14 +85,38 @@ def main():
         print(f"  (skipped, present in only one document: "
               f"{', '.join(skipped)})")
 
+    # Threaded must never lose to serial (beyond measurement slack) in
+    # the freshly measured document.
+    violations = []
+    for threaded, serial in (("gemm_threaded", "gemm_serial"),
+                             ("sweep_threaded", "sweep_serial")):
+        if threaded not in current or serial not in current:
+            continue
+        t = current[threaded]["median"]
+        s = current[serial]["median"]
+        ok = t <= s * (1.0 + args.threaded_slack)
+        print(f"  invariant {threaded} <= {serial} * "
+              f"{1.0 + args.threaded_slack:.2f}: {t:.3f} ms vs "
+              f"{s:.3f} ms {'OK' if ok else '<-- VIOLATED'}")
+        if not ok:
+            violations.append(threaded)
+
+    failed = False
     if regressions:
         level = "WARN" if args.warn_only else "FAIL"
         print(f"check_bench_regression: {level}: {len(regressions)} of "
               f"{len(shared)} benches regressed beyond "
               f"{args.threshold:.0%}: {', '.join(regressions)}")
-        return 0 if args.warn_only else 1
-    print(f"check_bench_regression: OK: {len(shared)} benches within "
-          f"{args.threshold:.0%} of baseline")
+        failed = failed or not args.warn_only
+    if violations:
+        print(f"check_bench_regression: FAIL: threaded slower than "
+              f"serial: {', '.join(violations)}")
+        failed = True
+    if failed:
+        return 1
+    if not regressions:
+        print(f"check_bench_regression: OK: {len(shared)} benches within "
+              f"{args.threshold:.0%} of baseline")
     return 0
 
 

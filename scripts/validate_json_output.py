@@ -6,8 +6,8 @@ validates the final document, and reports the event counts seen along the
 way. The final document's type is auto-detected:
 
   * result documents   — schema "xbarlife.result.v1" with keys
-                         schema/command/data/metrics (+ optional trailing
-                         "profile" span-aggregate rollup),
+                         schema/command/kernel/data/metrics (+ optional
+                         trailing "profile" span-aggregate rollup),
   * bench documents    — schema "xbarlife.bench.v1" (median/p10/p90 per
                          result, pinned thread count, git rev),
   * profile documents  — Chrome trace_event/Perfetto JSON as written by
@@ -42,9 +42,9 @@ BENCH_SCHEMA = "xbarlife.bench.v1"
 PROFILE_SCHEMA = "xbarlife.profile.v1"
 CKPT_SCHEMA = "xbarlife.ckpt.v1"
 CKPT_KINDS = ("train", "lifetime", "sweep", "faults")
-RESULT_KEYS = ["schema", "command", "data", "metrics"]
+RESULT_KEYS = ["schema", "command", "kernel", "data", "metrics"]
 METRIC_KEYS = ["counters", "gauges", "histograms"]
-BENCH_KEYS = ["schema", "tool", "threads", "git_rev", "results"]
+BENCH_KEYS = ["schema", "tool", "kernel", "threads", "git_rev", "results"]
 BENCH_RESULT_KEYS = ["name", "unit", "reps", "median", "p10", "p90"]
 
 
@@ -125,6 +125,8 @@ def validate_result(result):
         fail(f"schema {result['schema']!r} != {RESULT_SCHEMA!r}")
     if not isinstance(result["command"], str) or not result["command"]:
         fail("result 'command' must be a non-empty string")
+    if not isinstance(result["kernel"], str) or not result["kernel"]:
+        fail("result 'kernel' must be a non-empty string")
     if not isinstance(result["data"], dict):
         fail("result 'data' must be an object")
     metrics = result["metrics"]
@@ -152,6 +154,8 @@ def validate_result(result):
 def validate_bench(doc):
     if list(doc.keys()) != BENCH_KEYS:
         fail(f"bench document keys {list(doc.keys())} != {BENCH_KEYS}")
+    if not isinstance(doc["kernel"], str) or not doc["kernel"]:
+        fail("bench 'kernel' must be a non-empty string")
     if not isinstance(doc["threads"], int) or doc["threads"] < 1:
         fail("bench 'threads' must be a positive integer")
     if not isinstance(doc["git_rev"], str) or not doc["git_rev"]:

@@ -35,9 +35,16 @@ class ThreadPool {
 
   void resize(std::size_t n) {
     std::lock_guard<std::mutex> lk(dispatch_mutex_);
+    const std::size_t cores =
+        std::max<std::size_t>(1, std::thread::hardware_concurrency());
     if (n == 0) {
-      n = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+      n = cores;
     }
+    // Oversubscription only adds context-switch overhead to a
+    // compute-bound fork-join pool (part of the threaded-slower-than-
+    // serial regression); the partition is grain-based, so capping the
+    // worker count never changes results.
+    n = std::min(n, cores);
     if (n == size_unlocked()) {
       return;
     }
@@ -75,6 +82,9 @@ class ThreadPool {
                 : static_cast<std::size_t>(parsed);
       }
     }
+    // Same hardware-concurrency cap as resize().
+    n = std::min(n, std::max<std::size_t>(
+                        1, std::thread::hardware_concurrency()));
     start_workers(n - 1);
   }
 

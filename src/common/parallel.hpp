@@ -35,7 +35,10 @@ namespace xbarlife {
 /// per hardware core, N -> N threads.
 std::size_t parallel_threads();
 
-/// Resizes the shared pool. n == 0 means one thread per hardware core.
+/// Resizes the shared pool. n == 0 means one thread per hardware core;
+/// any n is capped at the hardware core count (oversubscribing a
+/// compute-bound fork-join pool only adds context-switch overhead, and
+/// the grain-based partition keeps results identical either way).
 /// Must not be called from inside a parallel_for body.
 void set_parallel_threads(std::size_t n);
 

@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/table.hpp"
+#include "tensor/kernels/kernels.hpp"
 
 namespace xbarlife::core {
 
@@ -43,6 +44,7 @@ obs::JsonValue bench_document(std::string_view tool,
   obs::JsonValue out = obs::JsonValue::object();
   out.set("schema", kBenchSchema);
   out.set("tool", tool);
+  out.set("kernel", kernels::kernel_name());
   out.set("threads", threads);
   out.set("git_rev", bench_git_rev());
   out.set("results", std::move(results));

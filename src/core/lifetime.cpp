@@ -55,6 +55,7 @@ std::uint64_t LifetimeSimulator::fingerprint() const {
   fp.add(config_.tuning.step_fraction);
   fp.add(static_cast<std::uint64_t>(config_.tuning.eval_samples));
   fp.add(static_cast<std::uint64_t>(config_.tuning.plateau_iterations));
+  fp.add(static_cast<std::uint64_t>(config_.tuning.quantized_eval));
   fp.add(config_.drift.sigma);
   fp.add(config_.drift_seed);
   fp.add(static_cast<std::uint64_t>(config_.selection_eval_samples));
@@ -218,6 +219,13 @@ LifetimeResult LifetimeSimulator::run(tuning::HardwareNetwork& hw,
       eval_data.head(config_.selection_eval_samples);
   nn::Network& net = hw.network();
   const tuning::NetworkEvaluator evaluator = [&]() {
+    if (config_.tuning.quantized_eval) {
+      // Specs are derived inside the lambda: candidate-range scoring
+      // mutates the layer plans between calls.
+      return net.evaluate_quantized(selection_slice.images,
+                                    selection_slice.labels,
+                                    hw.quant_specs());
+    }
     return net.evaluate(selection_slice.images, selection_slice.labels);
   };
 

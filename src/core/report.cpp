@@ -5,6 +5,7 @@
 
 #include "common/table.hpp"
 #include "persist/checkpoint.hpp"
+#include "tensor/kernels/kernels.hpp"
 
 namespace xbarlife::core {
 
@@ -15,6 +16,7 @@ obs::JsonValue result_document(std::string_view command,
   obs::JsonValue doc = obs::JsonValue::object();
   doc.set("schema", kResultSchema);
   doc.set("command", command);
+  doc.set("kernel", kernels::kernel_name());
   doc.set("data", std::move(data));
   doc.set("metrics", metrics != nullptr ? metrics->to_json()
                                         : obs::Registry().to_json());

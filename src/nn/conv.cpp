@@ -57,6 +57,39 @@ Tensor Conv2D::forward(const Tensor& input, bool /*training*/) {
   return out;
 }
 
+Tensor Conv2D::forward_quantized(const Tensor& input, const QuantSpec& spec) {
+  const std::size_t per_sample =
+      geometry_.in_channels * geometry_.in_h * geometry_.in_w;
+  XB_CHECK(input.shape().rank() == 2 && input.shape()[1] == per_sample,
+           "Conv2D " + name() + " expected (batch, " +
+               std::to_string(per_sample) + "), got " +
+               input.shape().to_string());
+  const std::size_t batch = input.shape()[0];
+  const std::size_t pixels = geometry_.out_h() * geometry_.out_w();
+  // One weight coding shared by the whole batch; activations are coded
+  // per sample (each sample's im2col patches get their own range). The
+  // training-path patches_ cache is left untouched — this is an
+  // inference-only path.
+  const QuantizedTensor qw = quantize_weights(weight_, spec);
+  Tensor out(Shape{batch, out_channels_ * pixels});
+  parallel_for(0, batch, 1, [&](std::size_t b_begin, std::size_t b_end) {
+    for (std::size_t b = b_begin; b < b_end; ++b) {
+      Tensor image(Shape{per_sample},
+                   std::vector<float>(input.data() + b * per_sample,
+                                      input.data() + (b + 1) * per_sample));
+      const Tensor patches = im2col(image, geometry_);
+      const QuantizedTensor qa = quantize_activations(patches);
+      Tensor y = quantized_linear(qa, qw, nullptr);
+      for (std::size_t p = 0; p < pixels; ++p) {
+        for (std::size_t c = 0; c < out_channels_; ++c) {
+          out.at(b, c * pixels + p) = y.at(p, c) + bias_[c];
+        }
+      }
+    }
+  });
+  return out;
+}
+
 Tensor Conv2D::backward(const Tensor& grad_output) {
   const std::size_t batch = patches_.size();
   const std::size_t pixels = geometry_.out_h() * geometry_.out_w();

@@ -17,6 +17,8 @@ class Conv2D final : public Layer {
          std::string name);
 
   Tensor forward(const Tensor& input, bool training) override;
+  Tensor forward_quantized(const Tensor& input,
+                           const QuantSpec& spec) override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<ParamRef> params() override;
   std::size_t output_features(std::size_t input_features) const override;

@@ -38,6 +38,18 @@ Tensor Dense::forward(const Tensor& input, bool /*training*/) {
   return out;
 }
 
+Tensor Dense::forward_quantized(const Tensor& input, const QuantSpec& spec) {
+  XB_CHECK(input.shape().rank() == 2 && input.shape()[1] == in_features_,
+           "Dense " + name() + " expected (batch, " +
+               std::to_string(in_features_) + "), got " +
+               input.shape().to_string());
+  // Weights are re-coded per call: the online tuner mutates them between
+  // inference epochs, and coding is O(in*out) — noise next to the GEMM.
+  const QuantizedTensor qw = quantize_weights(weight_, spec);
+  const QuantizedTensor qa = quantize_activations(input);
+  return quantized_linear(qa, qw, &bias_);
+}
+
 Tensor Dense::backward(const Tensor& grad_output) {
   XB_CHECK(grad_output.shape().rank() == 2 &&
                grad_output.shape()[0] == input_.shape()[0] &&

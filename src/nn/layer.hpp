@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "nn/quantized.hpp"
 #include "tensor/tensor.hpp"
 
 namespace xbarlife::nn {
@@ -49,6 +50,17 @@ class Layer {
   /// Computes outputs for a batch. Input is rank-2: (batch, features).
   /// `training` enables stochastic behaviour (dropout).
   virtual Tensor forward(const Tensor& input, bool training) = 0;
+
+  /// Int8 inference forward on `spec`'s quantization grid. Layers that
+  /// own a mappable weight matrix (dense, conv) override this to run the
+  /// quantized GEMM path; everything else ignores the spec and runs the
+  /// exact float forward, which is what the mathematically equivalent
+  /// dequantize-between-layers composition requires.
+  virtual Tensor forward_quantized(const Tensor& input,
+                                   const QuantSpec& spec) {
+    (void)spec;
+    return forward(input, /*training=*/false);
+  }
 
   /// Propagates `grad_output` (same shape as the last forward output) back,
   /// accumulating parameter gradients and returning the input gradient.

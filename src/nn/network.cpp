@@ -34,6 +34,58 @@ Tensor Network::forward(const Tensor& input, bool training) {
   return x;
 }
 
+Tensor Network::forward_quantized(const Tensor& input,
+                                  std::span<const QuantSpec> specs) {
+  XB_CHECK(!layers_.empty(), "network has no layers");
+  Tensor x = input;
+  std::size_t spec_index = 0;
+  for (auto& l : layers_) {
+    bool mappable = false;
+    for (const ParamRef& p : l->params()) {
+      mappable = mappable || p.mappable;
+    }
+    if (mappable) {
+      XB_CHECK(spec_index < specs.size(),
+               "forward_quantized needs one QuantSpec per mappable weight");
+      x = l->forward_quantized(x, specs[spec_index]);
+      ++spec_index;
+    } else {
+      x = l->forward(x, /*training=*/false);
+    }
+  }
+  XB_CHECK(spec_index == specs.size(),
+           "forward_quantized spec count mismatch");
+  return x;
+}
+
+double Network::evaluate_quantized(const Tensor& inputs,
+                                   std::span<const std::int32_t> labels,
+                                   std::span<const QuantSpec> specs,
+                                   std::size_t batch) {
+  XB_CHECK(inputs.shape().rank() == 2, "evaluate expects (n, features)");
+  XB_CHECK(batch > 0, "batch must be positive");
+  const std::size_t n = inputs.shape()[0];
+  XB_CHECK(labels.size() == n, "labels/inputs size mismatch");
+  if (n == 0) {
+    return 0.0;
+  }
+  const std::size_t features = inputs.shape()[1];
+  std::size_t hits = 0;
+  for (std::size_t start = 0; start < n; start += batch) {
+    const std::size_t count = std::min(batch, n - start);
+    Tensor chunk(Shape{count, features},
+                 std::vector<float>(
+                     inputs.data() + start * features,
+                     inputs.data() + (start + count) * features));
+    Tensor logits = forward_quantized(chunk, specs);
+    const double acc =
+        accuracy(logits, labels.subspan(start, count));
+    hits += static_cast<std::size_t>(
+        acc * static_cast<double>(count) + 0.5);
+  }
+  return static_cast<double>(hits) / static_cast<double>(n);
+}
+
 Tensor Network::backward(const Tensor& grad_output) {
   Tensor g = grad_output;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {

@@ -47,6 +47,20 @@ class Network {
   /// Forward pass over a batch (inference mode unless `training`).
   Tensor forward(const Tensor& input, bool training = false);
 
+  /// Int8 inference forward: every layer with a mappable weight matrix
+  /// runs the quantized GEMM path on its spec (one per mappable weight,
+  /// in mappable_weights() order — see HardwareNetwork::quant_specs());
+  /// all other layers run their exact float forward. Byte-identical at
+  /// any thread count.
+  Tensor forward_quantized(const Tensor& input,
+                           std::span<const QuantSpec> specs);
+
+  /// evaluate() on the quantized forward pass.
+  double evaluate_quantized(const Tensor& inputs,
+                            std::span<const std::int32_t> labels,
+                            std::span<const QuantSpec> specs,
+                            std::size_t batch = 64);
+
   /// Backward pass from a loss gradient; fills parameter gradients.
   Tensor backward(const Tensor& grad_output);
 

@@ -1,7 +1,10 @@
 #include "tensor/im2col.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "tensor/kernels/kernels.hpp"
 
 namespace xbarlife {
 
@@ -22,31 +25,49 @@ Tensor im2col(const Tensor& image, const ConvGeometry& g) {
   Tensor patches(Shape{oh * ow, g.patch_size()});
   const float* src = image.data();
   float* dst = patches.data();
+  const kernels::KernelSet& ks = kernels::select();
   // Each output row owns a disjoint slice of `patches`, so the gather can
-  // fan out over rows without changing any result bit.
+  // fan out over rows without changing any result bit (the kernel row
+  // copy is pure data movement, identical across dispatch variants).
   parallel_for(0, oh, 8, [&](std::size_t oy_begin, std::size_t oy_end) {
     for (std::size_t oy = oy_begin; oy < oy_end; ++oy) {
       for (std::size_t ox = 0; ox < ow; ++ox) {
         float* row = dst + (oy * ow + ox) * g.patch_size();
+        // For fixed (ox, ky) the source column ix = ox*stride + kx - pad
+        // advances by exactly 1 per kx, so each kernel row splits into
+        // left zero-pad, one contiguous copy, and right zero-pad.
+        const auto base = static_cast<long long>(ox * g.stride) -
+                          static_cast<long long>(g.pad);
+        const auto kernel_ll = static_cast<long long>(g.kernel);
+        const long long lo = std::clamp(-base, 0LL, kernel_ll);
+        const long long hi =
+            std::clamp(static_cast<long long>(g.in_w) - base, lo, kernel_ll);
         std::size_t idx = 0;
         for (std::size_t c = 0; c < g.in_channels; ++c) {
-          for (std::size_t ky = 0; ky < g.kernel; ++ky) {
+          for (std::size_t ky = 0; ky < g.kernel; ++ky, idx += g.kernel) {
             // Signed arithmetic for the padded coordinate.
             const auto iy = static_cast<long long>(oy * g.stride + ky) -
                             static_cast<long long>(g.pad);
-            for (std::size_t kx = 0; kx < g.kernel; ++kx, ++idx) {
-              const auto ix = static_cast<long long>(ox * g.stride + kx) -
-                              static_cast<long long>(g.pad);
-              if (iy < 0 || ix < 0 ||
-                  iy >= static_cast<long long>(g.in_h) ||
-                  ix >= static_cast<long long>(g.in_w)) {
-                row[idx] = 0.0f;
-              } else {
-                row[idx] = src[(c * g.in_h + static_cast<std::size_t>(iy)) *
-                                   g.in_w +
-                               static_cast<std::size_t>(ix)];
-              }
+            if (iy < 0 || iy >= static_cast<long long>(g.in_h) || hi == lo) {
+              std::fill(row + idx, row + idx + g.kernel, 0.0f);
+              continue;
             }
+            const float* src_row =
+                src + (c * g.in_h + static_cast<std::size_t>(iy)) * g.in_w;
+            std::fill(row + idx, row + idx + static_cast<std::size_t>(lo),
+                      0.0f);
+            const auto run = static_cast<std::size_t>(hi - lo);
+            // An indirect kernel call costs more than it saves on the
+            // few-float runs of small convolutions; copy those inline.
+            if (run < 16) {
+              std::copy_n(src_row + base + lo, run,
+                          row + idx + static_cast<std::size_t>(lo));
+            } else {
+              ks.copy_row(src_row + base + lo,
+                          row + idx + static_cast<std::size_t>(lo), run);
+            }
+            std::fill(row + idx + static_cast<std::size_t>(hi),
+                      row + idx + g.kernel, 0.0f);
           }
         }
       }

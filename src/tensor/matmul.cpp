@@ -1,10 +1,10 @@
 #include "tensor/matmul.hpp"
 
 #include <algorithm>
-#include <cmath>
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "tensor/kernels/kernels.hpp"
 
 namespace xbarlife {
 
@@ -17,49 +17,35 @@ void check_rank2(const Tensor& t, const char* name) {
   }
 }
 
-bool all_finite(const float* p, std::size_t n) {
-  for (std::size_t i = 0; i < n; ++i) {
-    if (!std::isfinite(p[i])) {
-      return false;
-    }
+// Below this many flops (2*m*k*n) the pool's dispatch overhead exceeds
+// the multiply itself — measured on the bench shapes, a 128^3 GEMM (~4M
+// flops) is where threading starts to pay. Smaller products run serial.
+constexpr std::size_t kSerialFlopThreshold = 8u << 20;
+
+/// Row grain for the threaded GEMM paths. Small products collapse to a
+/// single chunk (serial); large ones split into ~4 chunks per thread for
+/// load balance. A thread-count-dependent grain is safe here because the
+/// kernels compute each output element in a partition-independent order
+/// (see kernels.hpp), so the partition never shows up in the bits.
+std::size_t gemm_grain(std::size_t m, std::size_t k, std::size_t n) {
+  const std::size_t flops = 2 * m * k * n;
+  if (flops < kSerialFlopThreshold) {
+    return m;  // single chunk -> parallel_for runs it inline
   }
-  return true;
+  const std::size_t threads = parallel_threads();
+  return std::max<std::size_t>(1, (m + 4 * threads - 1) / (4 * threads));
 }
 
-// Cache-blocked i-k-j kernel. The innermost loop is a contiguous
-// axpy over C's row, which the compiler auto-vectorizes. Parallelized
-// over row blocks: threads write disjoint rows of C and each row's
-// accumulation order is the serial one, so results are bit-identical at
-// any thread count.
-void gemm(const float* a, const float* b, float* c, std::size_t m,
-          std::size_t k, std::size_t n) {
-  constexpr std::size_t kBlockI = 32;
-  constexpr std::size_t kBlockK = 64;
-  // Skipping zero A entries is only sound when B is finite: 0 * inf and
-  // 0 * nan must still poison C (matching matmul_naive).
-  const bool skip_zeros = all_finite(b, k * n);
-  parallel_for(0, m, kBlockI, [&](std::size_t row_begin,
-                                  std::size_t row_end) {
-    for (std::size_t i0 = row_begin; i0 < row_end; i0 += kBlockI) {
-      const std::size_t i1 = std::min(i0 + kBlockI, row_end);
-      for (std::size_t k0 = 0; k0 < k; k0 += kBlockK) {
-        const std::size_t k1 = std::min(k0 + kBlockK, k);
-        for (std::size_t i = i0; i < i1; ++i) {
-          float* crow = c + i * n;
-          for (std::size_t kk = k0; kk < k1; ++kk) {
-            const float aik = a[i * k + kk];
-            if (aik == 0.0f && skip_zeros) {
-              continue;
-            }
-            const float* brow = b + kk * n;
-            for (std::size_t j = 0; j < n; ++j) {
-              crow[j] += aik * brow[j];
-            }
-          }
-        }
-      }
-    }
-  });
+/// C += A * B via the active kernel, threaded over row chunks. Threads
+/// write disjoint rows of C, so results are bit-identical at any thread
+/// count.
+void gemm_dispatch(const float* a, const float* b, float* c, std::size_t m,
+                   std::size_t k, std::size_t n) {
+  const kernels::KernelSet& ks = kernels::select();
+  parallel_for(0, m, gemm_grain(m, k, n),
+               [&](std::size_t row_begin, std::size_t row_end) {
+                 ks.gemm(a, b, c, m, k, n, row_begin, row_end);
+               });
 }
 
 }  // namespace
@@ -75,7 +61,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   }
   const std::size_t n = b.shape()[1];
   Tensor c(Shape{m, n});
-  gemm(a.data(), b.data(), c.data(), m, k, n);
+  gemm_dispatch(a.data(), b.data(), c.data(), m, k, n);
   return c;
 }
 
@@ -88,7 +74,7 @@ void matmul_accumulate(const Tensor& a, const Tensor& b, Tensor& c) {
   if (b.shape()[0] != k || c.shape()[0] != m || c.shape()[1] != b.shape()[1]) {
     throw ShapeError("matmul_accumulate shape mismatch");
   }
-  gemm(a.data(), b.data(), c.data(), m, k, b.shape()[1]);
+  gemm_dispatch(a.data(), b.data(), c.data(), m, k, b.shape()[1]);
 }
 
 Tensor matmul_tn(const Tensor& a, const Tensor& b) {
@@ -100,27 +86,13 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
     throw ShapeError("matmul_tn inner dimension mismatch");
   }
   const std::size_t n = b.shape()[1];
+  // Materialize A^T (an O(k*m) copy, negligible next to the O(m*k*n)
+  // multiply) and reuse the row-parallel GEMM. The previous in-place
+  // formulation chunked C's columns at a fixed 128, which serialized
+  // every backward pass with n <= 128.
+  const Tensor at = a.transposed();
   Tensor c(Shape{m, n});
-  const bool skip_zeros = all_finite(b.data(), k * n);
-  // c[i][j] = sum_kk a[kk][i] * b[kk][j]; iterate kk outermost so both
-  // operands stream contiguously. Parallelized over column chunks of C:
-  // writes are disjoint and each element keeps the serial kk order.
-  parallel_for(0, n, 128, [&](std::size_t col_begin, std::size_t col_end) {
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const float* arow = a.data() + kk * m;
-      const float* brow = b.data() + kk * n;
-      for (std::size_t i = 0; i < m; ++i) {
-        const float aki = arow[i];
-        if (aki == 0.0f && skip_zeros) {
-          continue;
-        }
-        float* crow = c.data() + i * n;
-        for (std::size_t j = col_begin; j < col_end; ++j) {
-          crow[j] += aki * brow[j];
-        }
-      }
-    }
-  });
+  gemm_dispatch(at.data(), b.data(), c.data(), m, k, n);
   return c;
 }
 
@@ -134,21 +106,12 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   }
   const std::size_t n = b.shape()[0];
   Tensor c(Shape{m, n});
-  // Independent dot products per output element; rows of C are disjoint.
-  parallel_for(0, m, 16, [&](std::size_t row_begin, std::size_t row_end) {
-    for (std::size_t i = row_begin; i < row_end; ++i) {
-      const float* arow = a.data() + i * k;
-      float* crow = c.data() + i * n;
-      for (std::size_t j = 0; j < n; ++j) {
-        const float* brow = b.data() + j * k;
-        double acc = 0.0;
-        for (std::size_t kk = 0; kk < k; ++kk) {
-          acc += static_cast<double>(arow[kk]) * static_cast<double>(brow[kk]);
-        }
-        crow[j] = static_cast<float>(acc);
-      }
-    }
-  });
+  const kernels::KernelSet& ks = kernels::select();
+  parallel_for(0, m, gemm_grain(m, k, n),
+               [&](std::size_t row_begin, std::size_t row_end) {
+                 ks.gemm_nt(a.data(), b.data(), c.data(), m, k, n, row_begin,
+                            row_end);
+               });
   return c;
 }
 
@@ -162,14 +125,16 @@ Tensor matmul_naive(const Tensor& a, const Tensor& b) {
   }
   const std::size_t n = b.shape()[1];
   Tensor c(Shape{m, n});
+  // Same float accumulation policy as the dispatched kernels (see
+  // matmul.hpp); ascending-k order makes this the order-exact reference
+  // for the scalar variant.
   for (std::size_t i = 0; i < m; ++i) {
     for (std::size_t j = 0; j < n; ++j) {
-      double acc = 0.0;
+      float acc = 0.0f;
       for (std::size_t kk = 0; kk < k; ++kk) {
-        acc += static_cast<double>(a.at(i, kk)) *
-               static_cast<double>(b.at(kk, j));
+        acc += a.at(i, kk) * b.at(kk, j);
       }
-      c.at(i, j) = static_cast<float>(acc);
+      c.at(i, j) = acc;
     }
   }
   return c;

@@ -286,6 +286,24 @@ LayerFaultCounts HardwareNetwork::fault_counts(std::size_t i) const {
   return counts;
 }
 
+std::vector<nn::QuantSpec> HardwareNetwork::quant_specs() const {
+  std::vector<nn::QuantSpec> specs;
+  specs.reserve(layers_.size());
+  for (const DeployedLayer& layer : layers_) {
+    nn::QuantSpec spec;
+    if (layer.plan != nullptr) {
+      // A fully-aged array can report < 2 usable levels; the digital
+      // grid needs at least a sign bit to stay well-formed.
+      spec.levels = std::max<std::size_t>(2, layer.plan->quantizer().levels());
+      const mapping::WeightRange& wr = layer.plan->map().weight_range();
+      spec.clamp_lo = static_cast<float>(wr.w_min);
+      spec.clamp_hi = static_cast<float>(wr.w_max);
+    }
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
 std::vector<xbar::CrossbarAgingStats> HardwareNetwork::aging_stats() const {
   std::vector<xbar::CrossbarAgingStats> stats;
   stats.reserve(layers_.size());

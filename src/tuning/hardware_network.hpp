@@ -170,6 +170,13 @@ class HardwareNetwork {
   /// Ground-truth aging statistics per deployed layer.
   std::vector<xbar::CrossbarAgingStats> aging_stats() const;
 
+  /// Quantization grids for nn::Network::forward_quantized, one per
+  /// mappable weight in layer order: level count and weight clamp window
+  /// from each layer's current mapping plan (aged arrays report fewer
+  /// levels, coarsening the int8 grid exactly as the analog array
+  /// coarsens). Layers not yet deployed get the default 256-level spec.
+  std::vector<nn::QuantSpec> quant_specs() const;
+
   /// Total programming pulses across all crossbars.
   std::uint64_t total_pulses() const;
 

@@ -82,10 +82,19 @@ TuningResult OnlineTuner::tune(HardwareNetwork& hw,
   const data::Dataset eval_slice =
       eval_data.head(config_.eval_samples);
 
+  // Accuracy evaluations optionally run on the int8 path, with specs
+  // re-derived per call: deploys/remaps between calls change the plans.
+  const auto evaluate = [&]() {
+    if (config_.quantized_eval) {
+      return net.evaluate_quantized(eval_slice.images, eval_slice.labels,
+                                    hw.quant_specs());
+    }
+    return net.evaluate(eval_slice.images, eval_slice.labels);
+  };
+
   TuningResult result;
   hw.sync_network_to_hardware();
-  result.start_accuracy =
-      net.evaluate(eval_slice.images, eval_slice.labels);
+  result.start_accuracy = evaluate();
   double acc = result.start_accuracy;
   double best_acc = acc;
   std::size_t since_improvement = 0;
@@ -113,7 +122,7 @@ TuningResult OnlineTuner::tune(HardwareNetwork& hw,
     const std::uint64_t iter_pulses = apply_sign_updates(hw);
     result.pulses += iter_pulses;
     hw.sync_network_to_hardware();
-    acc = net.evaluate(eval_slice.images, eval_slice.labels);
+    acc = evaluate();
     if (acc > best_acc + 1e-9) {
       best_acc = acc;
       since_improvement = 0;

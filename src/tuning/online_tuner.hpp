@@ -38,6 +38,11 @@ struct TuningConfig {
   /// this many consecutive iterations: pulsing a saturated array only
   /// ages it. 0 disables the plateau abort.
   std::size_t plateau_iterations = 20;
+  /// Run the accuracy evaluations on the int8 quantized inference path
+  /// (nn::Network::evaluate_quantized with specs derived from each
+  /// layer's mapping plan). Gradient computation stays on the exact
+  /// float path.
+  bool quantized_eval = false;
 };
 
 struct TuningResult {

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "tensor/kernels/kernels.hpp"
 
 namespace xbarlife::xbar {
 
@@ -31,6 +32,7 @@ const device::Memristor& Crossbar::cell(std::size_t r, std::size_t c) const {
 
 device::Memristor& Crossbar::mutable_cell(std::size_t r, std::size_t c) {
   XB_CHECK(r < rows_ && c < cols_, "crossbar cell out of range");
+  g_cache_valid_ = false;
   return cells_[r * cols_ + c];
 }
 
@@ -127,22 +129,28 @@ void Crossbar::vmm(std::span<const float> v_in,
                    std::span<float> i_out) const {
   XB_CHECK(v_in.size() == rows_, "vmm input size must equal rows");
   XB_CHECK(i_out.size() == cols_, "vmm output size must equal cols");
+  // Lazily refresh the flat conductance matrix: read epochs (inference
+  // over a batch) reuse it across every vmm call until the next
+  // programming/drift pulse invalidates it via mutable_cell().
+  if (!g_cache_valid_) {
+    g_cache_.resize(rows_ * cols_);
+    parallel_for(0, cells_.size(), 4096,
+                 [&](std::size_t begin, std::size_t end) {
+                   for (std::size_t i = begin; i < end; ++i) {
+                     g_cache_[i] = static_cast<float>(cells_[i].conductance());
+                   }
+                 });
+    g_cache_valid_ = true;
+  }
   std::fill(i_out.begin(), i_out.end(), 0.0f);
   // Fan out over output columns: each chunk owns a disjoint slice of
-  // i_out and accumulates rows in the serial order, so the currents are
-  // bit-identical at any thread count.
+  // i_out and the kernel accumulates rows in ascending order, so the
+  // currents are bit-identical at any thread count.
+  const kernels::KernelSet& ks = kernels::select();
   parallel_for(0, cols_, 64, [&](std::size_t col_begin,
                                  std::size_t col_end) {
-    for (std::size_t r = 0; r < rows_; ++r) {
-      const float v = v_in[r];
-      if (v == 0.0f) {
-        continue;
-      }
-      const device::Memristor* row = &cells_[r * cols_];
-      for (std::size_t c = col_begin; c < col_end; ++c) {
-        i_out[c] += v * static_cast<float>(row[c].conductance());
-      }
-    }
+    ks.vmm(v_in.data(), g_cache_.data(), i_out.data(), rows_, cols_,
+           col_begin, col_end);
   });
 }
 
@@ -263,6 +271,8 @@ void Crossbar::load_state(persist::StateReader& r) {
   ambient_stress_ = r.f64();
   persist::read_rng_state(r, write_rng_);
   persist::read_rng_state(r, read_rng_);
+  // Cells were restored without passing through mutable_cell().
+  g_cache_valid_ = false;
 }
 
 }  // namespace xbarlife::xbar

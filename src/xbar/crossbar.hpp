@@ -128,6 +128,9 @@ class Crossbar {
   void load_state(persist::StateReader& r);
 
  private:
+  /// Every mutation path (program/drift/force) obtains its cell here, so
+  /// this is the single chokepoint that invalidates the VMM's cached
+  /// conductance matrix.
   device::Memristor& mutable_cell(std::size_t r, std::size_t c);
 
   std::size_t rows_;
@@ -143,6 +146,11 @@ class Crossbar {
   std::unique_ptr<FaultMap> faults_;
   Rng write_rng_{0};
   mutable Rng read_rng_{0};
+  /// Flat row-major copy of every cell's conductance, rebuilt lazily by
+  /// vmm() so the hot loop streams floats instead of chasing Memristor
+  /// getters. Invalidated by mutable_cell() and load_state().
+  mutable std::vector<float> g_cache_;
+  mutable bool g_cache_valid_ = false;
 };
 
 }  // namespace xbarlife::xbar

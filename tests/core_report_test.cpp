@@ -11,6 +11,7 @@
 
 #include "common/error.hpp"
 #include "core/model_registry.hpp"
+#include "tensor/kernels/kernels.hpp"
 
 #ifndef XBARLIFE_GOLDEN_DIR
 #error "XBARLIFE_GOLDEN_DIR must point at tests/golden"
@@ -56,12 +57,16 @@ LifetimeResult sample_lifetime() {
 // --- result document ---------------------------------------------------
 
 TEST(ResultDocumentTest, EnvelopeMatchesGolden) {
+  // The envelope embeds the active kernel variant; pin the scalar kernel
+  // so the golden is host-independent.
+  kernels::set_kernel("scalar");
   obs::JsonValue data = obs::JsonValue::object();
   data.set("answer", 42);
   obs::Registry reg;
   reg.counter("lifetime.sessions").add(3);
   reg.gauge("train.final_test_accuracy").set(0.5);
   const obs::JsonValue doc = result_document("demo", std::move(data), &reg);
+  kernels::set_kernel("auto");
   EXPECT_EQ(doc.dump(), read_golden("result_document.json"));
 }
 
@@ -70,11 +75,12 @@ TEST(ResultDocumentTest, EnvelopeKeysAndSchema) {
       result_document("lifetime", obs::JsonValue::object(), nullptr);
   ASSERT_TRUE(doc.is_object());
   const auto* obj = doc.as_object();
-  ASSERT_EQ(obj->size(), 4u);
+  ASSERT_EQ(obj->size(), 5u);
   EXPECT_EQ((*obj)[0].first, "schema");
   EXPECT_EQ((*obj)[1].first, "command");
-  EXPECT_EQ((*obj)[2].first, "data");
-  EXPECT_EQ((*obj)[3].first, "metrics");
+  EXPECT_EQ((*obj)[2].first, "kernel");
+  EXPECT_EQ((*obj)[3].first, "data");
+  EXPECT_EQ((*obj)[4].first, "metrics");
   EXPECT_EQ(doc.find("schema")->dump(), "\"xbarlife.result.v1\"");
   EXPECT_EQ(doc.find("command")->dump(), "\"lifetime\"");
   const obs::JsonValue* metrics = doc.find("metrics");
@@ -177,7 +183,7 @@ TEST(ResultDocumentTest, ProfilerAppendsTrailingProfileKey) {
                       &sample_profiler());
   ASSERT_TRUE(doc.is_object());
   const auto* obj = doc.as_object();
-  ASSERT_EQ(obj->size(), 5u);
+  ASSERT_EQ(obj->size(), 6u);
   EXPECT_EQ(obj->back().first, "profile");
   const obs::JsonValue* profile = doc.find("profile");
   ASSERT_NE(profile, nullptr);

@@ -76,7 +76,8 @@ TEST(Matmul, NtMatchesExplicitTranspose) {
 }
 
 TEST(Matmul, SparseRowsSkippedCorrectly) {
-  // The blocked kernel short-circuits zero entries; results must match.
+  // The kernels multiply straight through zeros (no zero-skip since the
+  // dispatch rewrite); sparse inputs must still match the reference.
   Rng rng(5);
   Tensor a = random_matrix(8, 8, rng);
   for (std::size_t i = 0; i < 8; ++i) {
@@ -88,8 +89,10 @@ TEST(Matmul, SparseRowsSkippedCorrectly) {
 }
 
 TEST(Matmul, NonFiniteBPropagatesDespiteZeroSkip) {
-  // Regression: the zero-skip in the blocked kernel used to swallow
-  // 0 * inf and 0 * nan, diverging from the naive reference.
+  // Regression: the old blocked kernel's zero-skip (and the all_finite(b)
+  // pre-scan that papered over it) used to swallow 0 * inf and 0 * nan.
+  // The dispatched kernels multiply through zeros, so propagation holds
+  // by construction — this pins it.
   const float nan = std::numeric_limits<float>::quiet_NaN();
   const float inf = std::numeric_limits<float>::infinity();
   Tensor a(Shape{2, 2}, std::vector<float>{0, 1, 0, 0});
