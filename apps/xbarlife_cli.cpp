@@ -23,6 +23,10 @@
 //   --kernel V       compute-kernel dispatch variant (auto|scalar|avx2|
 //                    neon, default auto or $XBARLIFE_KERNEL); each variant
 //                    is deterministic on its own, goldens pin scalar
+//   --executor V     crossbar programming backend (auto|sim|percell,
+//                    default auto/sim or $XBARLIFE_EXECUTOR); sim batches
+//                    pulse sequences per column, percell replays the
+//                    legacy one-call-per-cell path — both bit-identical
 //   --json <path|->  write the versioned machine-readable result document
 //                    (schema xbarlife.result.v1, see docs/output_schema.md)
 //                    as the final JSONL line; "-" streams to stdout and
@@ -82,8 +86,10 @@
 #include "obs/sink.hpp"
 #include "nn/quantized.hpp"
 #include "persist/checkpoint.hpp"
+#include "mapping/mapper.hpp"
 #include "tensor/kernels/kernels.hpp"
 #include "tensor/matmul.hpp"
+#include "xbar/executor.hpp"
 
 using namespace xbarlife;
 
@@ -842,6 +848,31 @@ int cmd_bench(const Args& args, CliOutput& out) {
   samples.push_back(
       measure("sweep_fanout", [&] { runner.run(jobs); }));
 
+  // Batched vs per-cell programming: a full-array write pass
+  // (skip_unchanged=false pulses every cell every rep) through each
+  // executor backend on its own persistent crossbar. The pair feeds
+  // check_bench_regression.py's batched <= percell invariant.
+  {
+    const std::size_t n = 64;
+    Rng prng(31);
+    Tensor w(Shape{n, n});
+    w.fill_gaussian(prng, 0.0f, 0.5f);
+    const mapping::WeightRange wr = mapping::weight_range_of(w);
+    const mapping::MappingPlan plan(wr, {1e4, 1e5}, 32);
+    const xbar::SimExecutor sim;
+    const xbar::PerCellExecutor percell;
+    xbar::Crossbar xb_batched(n, n, {}, {});
+    samples.push_back(measure("program_batched", [&] {
+      mapping::program_weights(xb_batched, w, plan, false, nullptr, nullptr,
+                               nullptr, &sim);
+    }));
+    xbar::Crossbar xb_percell(n, n, {}, {});
+    samples.push_back(measure("program_percell", [&] {
+      mapping::program_weights(xb_percell, w, plan, false, nullptr, nullptr,
+                               nullptr, &percell);
+    }));
+  }
+
   out.human() << core::bench_table(samples);
   out.finish_document(
       "bench",
@@ -900,8 +931,8 @@ int cmd_info() {
              "            age a single device and report its window\n"
              "  bench     [--reps N] [--dim N]\n"
              "            in-process perf smoke (GEMM, int8 GEMM, lifetime\n"
-             "            scenario, sweep fan-out); --json emits\n"
-             "            xbarlife.bench.v1\n"
+             "            scenario, sweep fan-out, batched vs per-cell\n"
+             "            programming); --json emits xbarlife.bench.v1\n"
              "  models    list registered models\n"
              "  info      this text\n\n"
              "fault options (lifetime: scalars; faults: comma lists for\n"
@@ -923,6 +954,11 @@ int cmd_info() {
              "                  (default auto or $XBARLIFE_KERNEL); results\n"
              "                  are bit-identical per variant at any thread\n"
              "                  count, goldens pin scalar\n"
+             "  --executor V    crossbar programming backend: auto|sim|\n"
+             "                  percell (default auto/sim or\n"
+             "                  $XBARLIFE_EXECUTOR); sim executes batched\n"
+             "                  ProgramSequences, percell the legacy\n"
+             "                  per-cell path — outputs are bit-identical\n"
              "  --json PATH|-   write the machine-readable result document\n"
              "                  (JSONL, schema xbarlife.result.v1); '-' is\n"
              "                  stdout and silences the human report\n"
@@ -964,6 +1000,13 @@ int main(int argc, char** argv) {
       // Resolve $XBARLIFE_KERNEL up front so a bad value fails every
       // command with exit 2 instead of surfacing mid-computation.
       kernels::select();
+    }
+    if (args.flag("executor")) {
+      xbar::set_executor(args.get("executor", "auto"));
+    } else {
+      // Same up-front resolution for $XBARLIFE_EXECUTOR (exit 2 on a
+      // bad value, with the usable backends listed).
+      xbar::select_executor();
     }
     if (args.flag("checkpoint")) {
       // Checkpointed runs die gracefully: the first SIGINT/SIGTERM

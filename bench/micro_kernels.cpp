@@ -9,10 +9,12 @@
 #include "common/rng.hpp"
 #include "device/memristor.hpp"
 #include "mapping/mapper.hpp"
+#include "obs/metrics.hpp"
 #include "tensor/im2col.hpp"
 #include "tensor/kernels/kernels.hpp"
 #include "tensor/matmul.hpp"
 #include "xbar/crossbar.hpp"
+#include "xbar/executor.hpp"
 
 using namespace xbarlife;
 
@@ -111,6 +113,62 @@ void BM_ProgramWeights(benchmark::State& state) {
                           static_cast<std::int64_t>(n * n));
 }
 BENCHMARK(BM_ProgramWeights)->Arg(64)->Arg(128);
+
+/// Pure pulse-stream execution: a pre-built full-array ProgramSequence
+/// (one pulse per cell, canonical column-batched order) executed on a
+/// persistent crossbar through a fixed backend, with the observability
+/// counters attached exactly as HardwareNetwork attaches them in every
+/// production run (the per-cell path bumps them per pulse, the batched
+/// path per batch). The array runs the zero-crosstalk configuration:
+/// there every ambient share is exactly +0.0 and the batched path's
+/// zero-share elision breaks the loop-carried dependency through the
+/// shared pool, on top of its transcendental hoists (with nonzero
+/// crosstalk the pool accumulation is order-dependent FP and serializes
+/// both backends alike — the gap shrinks to the hoists, ~1.6x).
+/// This isolates the programming hot path the executor owns —
+/// BM_ProgramWeights above covers the end-to-end write-verify pass
+/// under default params, whose target computation is
+/// backend-independent. check_bench_regression.py asserts
+/// batched <= percell on the CLI twins of this pair.
+void execute_sequence_with(benchmark::State& state,
+                           const xbar::ProgramExecutor& exec) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(6);
+  xbar::SequenceBuilder builder(n, n);
+  for (std::size_t c = 0; c < n; ++c) {
+    for (std::size_t r = 0; r < n; ++r) {
+      builder.pulse(r, c, rng.uniform(1e4, 1e5));
+    }
+  }
+  const xbar::ProgramSequence seq = builder.build();
+  aging::AgingParams ap;
+  ap.thermal_crosstalk = 0.0;
+  xbar::Crossbar xb(n, n, {}, ap);
+  obs::Counter pulses;
+  obs::Counter traced;
+  obs::Counter sequences;
+  obs::Counter batches;
+  xb.attach_pulse_counters(&pulses, &traced);
+  xb.attach_executor_counters(&sequences, &batches);
+  for (auto _ : state) {
+    const xbar::ExecReport rep = exec.execute(xb, seq);
+    benchmark::DoNotOptimize(rep.results.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n));
+}
+
+void BM_ProgramWeightsBatched(benchmark::State& state) {
+  const xbar::SimExecutor exec;
+  execute_sequence_with(state, exec);
+}
+BENCHMARK(BM_ProgramWeightsBatched)->Arg(64)->Arg(128);
+
+void BM_ProgramWeightsPerCell(benchmark::State& state) {
+  const xbar::PerCellExecutor exec;
+  execute_sequence_with(state, exec);
+}
+BENCHMARK(BM_ProgramWeightsPerCell)->Arg(64)->Arg(128);
 
 void BM_StressIncrement(benchmark::State& state) {
   aging::AgingModel model({});

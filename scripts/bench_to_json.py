@@ -98,7 +98,7 @@ def from_bench_v1(path):
         doc = json.load(handle)
     if doc.get("schema") != BENCH_SCHEMA:
         fail(f"{path}: schema {doc.get('schema')!r} != {BENCH_SCHEMA!r}")
-    return doc["results"], doc.get("kernel")
+    return doc["results"], doc.get("kernel"), doc.get("executor")
 
 
 def main():
@@ -119,19 +119,25 @@ def main():
                              "variant the merged documents agree on, "
                              "'mixed' when they disagree, 'unknown' when "
                              "no input carries one)")
+    parser.add_argument("--executor",
+                        help="override the 'executor' field (same "
+                             "agree/mixed/unknown rule as --kernel)")
     parser.add_argument("-o", "--output", default="-",
                         help="output path (default: stdout)")
     args = parser.parse_args()
 
     results = []
     kernels = set()
+    executors = set()
     for path in args.from_gbench:
         results.extend(from_gbench(path))
     for path in args.merge:
-        merged, kernel = from_bench_v1(path)
+        merged, kernel, executor = from_bench_v1(path)
         results.extend(merged)
         if kernel:
             kernels.add(kernel)
+        if executor:
+            executors.add(executor)
     if not results:
         fail("no inputs (--from-gbench / --merge)")
     if args.kernel:
@@ -140,6 +146,12 @@ def main():
         kernel = kernels.pop()
     else:
         kernel = "mixed" if kernels else "unknown"
+    if args.executor:
+        executor = args.executor
+    elif len(executors) == 1:
+        executor = executors.pop()
+    else:
+        executor = "mixed" if executors else "unknown"
     names = [r["name"] for r in results]
     duplicates = {n for n in names if names.count(n) > 1}
     if duplicates:
@@ -149,6 +161,7 @@ def main():
         "schema": BENCH_SCHEMA,
         "tool": args.tool,
         "kernel": kernel,
+        "executor": executor,
         "threads": args.threads,
         "git_rev": git_rev(args),
         "results": results,

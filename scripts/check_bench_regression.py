@@ -14,16 +14,23 @@ Usage:
   # PRs warn instead of failing:
   python3 scripts/check_bench_regression.py ... --warn-only
 
-Additionally asserts the threaded-vs-serial invariant on the *current*
-document: whenever a (name_threaded, name_serial) pair is present —
-gemm_threaded/gemm_serial, sweep_threaded/sweep_serial — the threaded
-median must not exceed the serial median by more than --threaded-slack
-(default 0.10 = 10%). Threading that loses to serial execution is a
-bug (grain tuning / serial-fallback threshold), not a machine artifact,
-so this check ignores --warn-only.
+Additionally asserts two structural invariants on the *current*
+document, both immune to --warn-only because they indicate bugs rather
+than machine artifacts:
+
+  * threaded-vs-serial: whenever a (name_threaded, name_serial) pair is
+    present — gemm_threaded/gemm_serial, sweep_threaded/sweep_serial —
+    the threaded median must not exceed the serial median by more than
+    --threaded-slack (default 0.10 = 10%). Threading that loses to
+    serial execution is a grain-tuning / serial-fallback bug.
+  * batched-vs-percell: when program_batched and program_percell are
+    both present, the batched-executor median must not exceed the
+    per-cell median by more than --batched-slack (default 0.10).
+    Batched programming exists to amortize per-pulse work; losing to
+    the per-cell path means the ProgramSequence pipeline regressed.
 
 Exit status: 0 when no regression (or --warn-only), 1 on regression or
-a violated threaded-vs-serial invariant, 2 on unusable inputs.
+a violated invariant, 2 on unusable inputs.
 """
 
 import argparse
@@ -58,6 +65,9 @@ def main():
                         help="report regressions but exit 0 (PR mode)")
     parser.add_argument("--threaded-slack", type=float, default=0.10,
                         help="allowed threaded-over-serial median excess "
+                             "(0.10 = 10%%)")
+    parser.add_argument("--batched-slack", type=float, default=0.10,
+                        help="allowed batched-over-percell median excess "
                              "(0.10 = 10%%)")
     args = parser.parse_args()
 
@@ -101,6 +111,19 @@ def main():
         if not ok:
             violations.append(threaded)
 
+    # Batched programming must never lose to the per-cell reference path
+    # (beyond measurement slack) in the freshly measured document.
+    batched_violations = []
+    if "program_batched" in current and "program_percell" in current:
+        b = current["program_batched"]["median"]
+        p = current["program_percell"]["median"]
+        ok = b <= p * (1.0 + args.batched_slack)
+        print(f"  invariant program_batched <= program_percell * "
+              f"{1.0 + args.batched_slack:.2f}: {b:.3f} ms vs "
+              f"{p:.3f} ms {'OK' if ok else '<-- VIOLATED'}")
+        if not ok:
+            batched_violations.append("program_batched")
+
     failed = False
     if regressions:
         level = "WARN" if args.warn_only else "FAIL"
@@ -111,6 +134,10 @@ def main():
     if violations:
         print(f"check_bench_regression: FAIL: threaded slower than "
               f"serial: {', '.join(violations)}")
+        failed = True
+    if batched_violations:
+        print(f"check_bench_regression: FAIL: batched programming slower "
+              f"than per-cell: {', '.join(batched_violations)}")
         failed = True
     if failed:
         return 1

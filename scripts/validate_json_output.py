@@ -6,7 +6,7 @@ validates the final document, and reports the event counts seen along the
 way. The final document's type is auto-detected:
 
   * result documents   — schema "xbarlife.result.v1" with keys
-                         schema/command/kernel/data/metrics (+ optional
+                         schema/command/kernel/executor/data/metrics (+ optional
                          trailing "profile" span-aggregate rollup),
   * bench documents    — schema "xbarlife.bench.v1" (median/p10/p90 per
                          result, pinned thread count, git rev),
@@ -42,9 +42,10 @@ BENCH_SCHEMA = "xbarlife.bench.v1"
 PROFILE_SCHEMA = "xbarlife.profile.v1"
 CKPT_SCHEMA = "xbarlife.ckpt.v1"
 CKPT_KINDS = ("train", "lifetime", "sweep", "faults")
-RESULT_KEYS = ["schema", "command", "kernel", "data", "metrics"]
+RESULT_KEYS = ["schema", "command", "kernel", "executor", "data", "metrics"]
 METRIC_KEYS = ["counters", "gauges", "histograms"]
-BENCH_KEYS = ["schema", "tool", "kernel", "threads", "git_rev", "results"]
+BENCH_KEYS = ["schema", "tool", "kernel", "executor", "threads", "git_rev",
+              "results"]
 BENCH_RESULT_KEYS = ["name", "unit", "reps", "median", "p10", "p90"]
 
 
@@ -127,6 +128,8 @@ def validate_result(result):
         fail("result 'command' must be a non-empty string")
     if not isinstance(result["kernel"], str) or not result["kernel"]:
         fail("result 'kernel' must be a non-empty string")
+    if not isinstance(result["executor"], str) or not result["executor"]:
+        fail("result 'executor' must be a non-empty string")
     if not isinstance(result["data"], dict):
         fail("result 'data' must be an object")
     metrics = result["metrics"]
@@ -156,6 +159,8 @@ def validate_bench(doc):
         fail(f"bench document keys {list(doc.keys())} != {BENCH_KEYS}")
     if not isinstance(doc["kernel"], str) or not doc["kernel"]:
         fail("bench 'kernel' must be a non-empty string")
+    if not isinstance(doc["executor"], str) or not doc["executor"]:
+        fail("bench 'executor' must be a non-empty string")
     if not isinstance(doc["threads"], int) or doc["threads"] < 1:
         fail("bench 'threads' must be a positive integer")
     if not isinstance(doc["git_rev"], str) or not doc["git_rev"]:

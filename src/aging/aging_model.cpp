@@ -39,6 +39,13 @@ double AgingModel::stress_increment(double t_pulse_s, double temp_k,
   return t_pulse_s * arrhenius * current_factor;
 }
 
+double AgingModel::arrhenius_factor(double temp_k) const {
+  XB_CHECK(temp_k > 0.0, "temperature must be positive");
+  return std::exp(-params_.activation_energy_ev /
+                  (kBoltzmannEvPerK * temp_k)) /
+         arrhenius_ref_;
+}
+
 double AgingModel::aged_r_max(double r_fresh_max, double s) const {
   XB_CHECK(s >= 0.0, "stress must be non-negative");
   const double delta = params_.a_f * std::pow(s, params_.m_f);

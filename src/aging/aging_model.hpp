@@ -73,6 +73,12 @@ class AgingModel {
   double stress_increment(double t_pulse_s, double temp_k,
                           double current_a) const;
 
+  /// Temperature acceleration exp(-Ea/kT) / exp(-Ea/kT_ref) — the
+  /// current-independent factor of stress_increment. Batched programming
+  /// hoists this once per batch; `stress_increment` computes the exact
+  /// same expression per pulse, so the two paths stay bit-identical.
+  double arrhenius_factor(double temp_k) const;
+
   /// Aged upper resistance bound after accumulated stress `s` (Eq. 6).
   double aged_r_max(double r_fresh_max, double s) const;
 

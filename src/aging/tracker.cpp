@@ -42,17 +42,19 @@ std::pair<std::size_t, std::size_t> RepresentativeTracker::representative_for(
 void RepresentativeTracker::record_pulse(std::size_t r, std::size_t c,
                                          double stress_increment,
                                          double ambient_increment) {
+  const std::uint64_t traced =
+      record_pulse_untallied(r, c, stress_increment, ambient_increment);
+  tally_pulses(1, traced);
+}
+
+std::uint64_t RepresentativeTracker::record_pulse_untallied(
+    std::size_t r, std::size_t c, double stress_increment,
+    double ambient_increment) {
   XB_CHECK(stress_increment >= 0.0, "stress increment must be >= 0");
   XB_CHECK(ambient_increment >= 0.0, "ambient increment must be >= 0");
   ambient_ += ambient_increment;
-  if (pulse_counter_ != nullptr) {
-    pulse_counter_->add();
-  }
   if (!is_representative(r, c)) {
-    return;  // untraced cell: the hardware has no per-cell counter here
-  }
-  if (traced_pulse_counter_ != nullptr) {
-    traced_pulse_counter_->add();
+    return 0;  // untraced cell: the hardware has no per-cell counter here
   }
   const std::size_t b = block_index(r, c);
   stress_[b] += stress_increment;
@@ -61,6 +63,17 @@ void RepresentativeTracker::record_pulse(std::size_t r, std::size_t c,
   // exported so the estimate does not charge the crosstalk twice.
   self_ambient_[b] += ambient_increment;
   ++pulses_[b];
+  return 1;
+}
+
+void RepresentativeTracker::tally_pulses(std::uint64_t pulses,
+                                         std::uint64_t traced) {
+  if (pulse_counter_ != nullptr && pulses > 0) {
+    pulse_counter_->add(pulses);
+  }
+  if (traced_pulse_counter_ != nullptr && traced > 0) {
+    traced_pulse_counter_->add(traced);
+  }
 }
 
 double RepresentativeTracker::stress_estimate(std::size_t r,

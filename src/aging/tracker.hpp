@@ -43,6 +43,20 @@ class RepresentativeTracker {
   void record_pulse(std::size_t r, std::size_t c, double stress_increment,
                     double ambient_increment = 0.0);
 
+  /// record_pulse without touching the attached obs counters: identical
+  /// floating-point updates, returns 1 when the pulse landed on a traced
+  /// representative and 0 otherwise. Batched executors call this per pulse
+  /// and flush the counters once per batch via tally_pulses, keeping the
+  /// totals identical to the per-pulse path while amortizing the (atomic)
+  /// counter traffic.
+  std::uint64_t record_pulse_untallied(std::size_t r, std::size_t c,
+                                       double stress_increment,
+                                       double ambient_increment = 0.0);
+
+  /// Flushes batched counter credit: `pulses` recorded pulses of which
+  /// `traced` hit representatives.
+  void tally_pulses(std::uint64_t pulses, std::uint64_t traced);
+
   /// Traced array-wide ambient (thermal) stress.
   double ambient_stress() const { return ambient_; }
 

@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/table.hpp"
 #include "tensor/kernels/kernels.hpp"
+#include "xbar/executor.hpp"
 
 namespace xbarlife::core {
 
@@ -45,6 +46,7 @@ obs::JsonValue bench_document(std::string_view tool,
   out.set("schema", kBenchSchema);
   out.set("tool", tool);
   out.set("kernel", kernels::kernel_name());
+  out.set("executor", xbar::executor_name());
   out.set("threads", threads);
   out.set("git_rev", bench_git_rev());
   out.set("results", std::move(results));

@@ -6,6 +6,7 @@
 #include "common/table.hpp"
 #include "persist/checkpoint.hpp"
 #include "tensor/kernels/kernels.hpp"
+#include "xbar/executor.hpp"
 
 namespace xbarlife::core {
 
@@ -17,6 +18,7 @@ obs::JsonValue result_document(std::string_view command,
   doc.set("schema", kResultSchema);
   doc.set("command", command);
   doc.set("kernel", kernels::kernel_name());
+  doc.set("executor", xbar::executor_name());
   doc.set("data", std::move(data));
   doc.set("metrics", metrics != nullptr ? metrics->to_json()
                                         : obs::Registry().to_json());

@@ -1,10 +1,34 @@
 #include "device/memristor.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.hpp"
 
 namespace xbarlife::device {
+
+PulseContext make_pulse_context(const DeviceParams& params,
+                                const aging::AgingModel& model) {
+  params.validate();
+  const aging::AgingParams& ap = model.params();
+  PulseContext ctx;
+  ctx.r_fresh_min = params.r_min_fresh;
+  ctx.r_fresh_max = params.r_max_fresh;
+  ctx.v_prog = params.v_prog;
+  ctx.compliance_current_a = params.compliance_current_a;
+  ctx.a_f = ap.a_f;
+  ctx.m_f = ap.m_f;
+  ctx.a_g = ap.a_g;
+  ctx.m_g = ap.m_g;
+  ctx.r_floor = ap.r_floor;
+  ctx.i_ref = ap.reference_current_a;
+  ctx.alpha = ap.current_exponent;
+  ctx.stress_scale =
+      params.t_pulse_s * model.arrhenius_factor(params.temperature_k);
+  ctx.unit_alpha = ap.current_exponent == 1.0;
+  ctx.shared_window_exponent = ap.m_f == ap.m_g;
+  return ctx;
+}
 
 void DeviceParams::validate() const {
   XB_CHECK(r_min_fresh > 0.0, "r_min_fresh must be positive");
@@ -50,6 +74,30 @@ double Memristor::program(double target_r) {
       std::min(params_->v_prog / achieved, params_->compliance_current_a);
   last_increment_ = model_->stress_increment(params_->t_pulse_s,
                                              params_->temperature_k, current);
+  stress_ += last_increment_;
+  ++pulses_;
+  resistance_ = achieved;
+  return achieved;
+}
+
+double Memristor::program_with(const PulseContext& ctx, double target_r) {
+  XB_CHECK(target_r > 0.0, "target resistance must be positive");
+  // Inlined aged_window(): identical expressions to AgingModel::aged_r_max/
+  // aged_r_min, with the shared-exponent pow computed once.
+  const double s = stress();
+  const double pf = std::pow(s, ctx.m_f);
+  const double r_max = std::max(ctx.r_floor, ctx.r_fresh_max - ctx.a_f * pf);
+  const double pg = ctx.shared_window_exponent ? pf : std::pow(s, ctx.m_g);
+  const double r_min = std::max(ctx.r_floor, ctx.r_fresh_min - ctx.a_g * pg);
+  const double achieved =
+      std::clamp(target_r, std::min(r_min, r_max), std::max(r_min, r_max));
+  const double current =
+      std::min(ctx.v_prog / achieved, ctx.compliance_current_a);
+  // Inlined stress_increment(): stress_scale * (I/I_ref)^alpha, matching
+  // the left-associated t_pulse * arrhenius * current_factor product.
+  const double x = current / ctx.i_ref;
+  const double current_factor = ctx.unit_alpha ? x : std::pow(x, ctx.alpha);
+  last_increment_ = ctx.stress_scale * current_factor;
   stress_ += last_increment_;
   ++pulses_;
   resistance_ = achieved;

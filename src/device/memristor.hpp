@@ -28,6 +28,41 @@ struct DeviceParams {
   void validate() const;
 };
 
+/// Pulse constants hoisted out of the per-pulse programming math for
+/// batched execution. Everything here depends only on (DeviceParams,
+/// AgingModel), both fixed per crossbar, so one context serves an entire
+/// batch. Memristor::program_with(ctx, ...) evaluates the exact same
+/// floating-point expressions as Memristor::program() — same operations,
+/// same association order — so batched and per-cell programming produce
+/// bit-identical state; the batch merely skips recomputing these
+/// invariants (and the Arrhenius exp hiding inside stress_increment) on
+/// every pulse.
+struct PulseContext {
+  double r_fresh_min = 0.0;
+  double r_fresh_max = 0.0;
+  double v_prog = 0.0;
+  double compliance_current_a = 0.0;
+  double a_f = 0.0;
+  double m_f = 0.0;
+  double a_g = 0.0;
+  double m_g = 0.0;
+  double r_floor = 0.0;
+  double i_ref = 0.0;
+  double alpha = 1.0;
+  /// t_pulse_s * arrhenius(T): the current-independent stress prefactor.
+  /// stress_increment computes t_pulse * arr * cf left-associatively, so
+  /// multiplying the hoisted product by cf reproduces it bit-exactly.
+  double stress_scale = 0.0;
+  /// alpha == 1.0: pow(x, 1.0) == x exactly (C Annex F), skip the pow.
+  bool unit_alpha = false;
+  /// m_f == m_g: one pow(s, m) serves both window bounds.
+  bool shared_window_exponent = false;
+};
+
+/// Builds the hoisted context for one (params, model) pair.
+PulseContext make_pulse_context(const DeviceParams& params,
+                                const aging::AgingModel& model);
+
 class Memristor {
  public:
   /// `params` and `model` must outlive the device; one shared instance per
@@ -67,6 +102,13 @@ class Memristor {
   /// achieved resistance, also recording the stress increment so callers
   /// (the tracker hook) can mirror it.
   double program(double target_r);
+
+  /// program() with the per-pulse invariants precomputed in `ctx` (which
+  /// must have been built from this device's params/model pair). Evaluates
+  /// the identical floating-point expressions, so the resulting device
+  /// state is bit-identical to program(); batched executors use this to
+  /// amortize the transcendental setup across a pulse run.
+  double program_with(const PulseContext& ctx, double target_r);
 
   /// Stress increment charged by the most recent program() call.
   double last_stress_increment() const { return last_increment_; }

@@ -14,6 +14,7 @@
 #include "mapping/quantizer.hpp"
 #include "tensor/tensor.hpp"
 #include "xbar/crossbar.hpp"
+#include "xbar/executor.hpp"
 
 namespace xbarlife::mapping {
 
@@ -98,11 +99,19 @@ inline constexpr std::uint8_t kCellDead = 2;
 /// `row_active`, when non-null, is a rows-sized mask; rows with a zero
 /// entry (unused spare rows of an over-provisioned array) are skipped
 /// entirely and excluded from the report's totals and RMSE.
+///
+/// Internally this is a build / execute / fold pipeline: the write-verify
+/// controller walks cells in the canonical column-major order, emits the
+/// needed pulses as one ProgramSequence (batched per column by the
+/// SequenceBuilder), executes it through `executor` (the process-wide
+/// selected backend when null), and folds the per-op results back into
+/// the verify state machine and the report.
 MappingReport program_weights(
     xbar::Crossbar& xbar, const Tensor& weights, const MappingPlan& plan,
     bool skip_unchanged = true, std::vector<std::uint8_t>* stuck = nullptr,
     std::vector<float>* pinned_g = nullptr,
-    const std::vector<std::uint8_t>* row_active = nullptr);
+    const std::vector<std::uint8_t>* row_active = nullptr,
+    const xbar::ProgramExecutor* executor = nullptr);
 
 /// Weights currently held by the crossbar under `plan`'s transfer, as
 /// seen through the read periphery (read noise / IR drop when the array

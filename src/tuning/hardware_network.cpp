@@ -67,8 +67,11 @@ const DeployedLayer& HardwareNetwork::layer(std::size_t i) const {
 void HardwareNetwork::attach_metrics(obs::Registry& registry) {
   obs::Counter& pulses = registry.counter("aging.pulses");
   obs::Counter& traced = registry.counter("aging.traced_pulses");
+  obs::Counter& sequences = registry.counter("executor.sequences");
+  obs::Counter& batches = registry.counter("executor.column_batches");
   for (DeployedLayer& layer : layers_) {
     layer.xbar->attach_pulse_counters(&pulses, &traced);
+    layer.xbar->attach_executor_counters(&sequences, &batches);
   }
 }
 

@@ -162,9 +162,12 @@ class HardwareNetwork {
   /// Bad-cell census of layer `i`, restricted to its active cells.
   LayerFaultCounts fault_counts(std::size_t i) const;
 
-  /// Attaches observability pulse counters ("aging.pulses",
-  /// "aging.traced_pulses") from `registry` to every crossbar's
-  /// RepresentativeTracker. The registry must outlive this object.
+  /// Attaches observability counters from `registry` to every crossbar:
+  /// pulse counters ("aging.pulses", "aging.traced_pulses") on the
+  /// RepresentativeTracker, plus executor counters ("executor.sequences",
+  /// "executor.column_batches") counting executed ProgramSequences and
+  /// their per-column pulse batches. The registry must outlive this
+  /// object.
   void attach_metrics(obs::Registry& registry);
 
   /// Ground-truth aging statistics per deployed layer.

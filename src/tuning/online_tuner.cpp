@@ -5,6 +5,8 @@
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "xbar/executor.hpp"
+#include "xbar/program_sequence.hpp"
 
 namespace xbarlife::tuning {
 
@@ -42,11 +44,16 @@ std::uint64_t OnlineTuner::apply_sign_updates(HardwareNetwork& hw) {
     const double threshold = config_.min_grad_fraction * mean_abs;
 
     xbar::Crossbar& xb = *layer.xbar;
+    // Emit this layer's update pulses as one column-batched command
+    // stream: cells are visited in the canonical column-major order
+    // (matching the sequence's per-column batching), each at most once,
+    // so the readbacks below are independent of the later execution.
     // Gradients are logical (weight-matrix) coordinates; the crossbar may
     // hold spare rows and a remap permutation, so go through physical_row.
-    for (std::size_t r = 0; r < layer.logical_rows; ++r) {
-      const std::size_t pr = layer.physical_row(r);
-      for (std::size_t c = 0; c < xb.cols(); ++c) {
+    xbar::SequenceBuilder builder(xb.rows(), xb.cols());
+    for (std::size_t c = 0; c < xb.cols(); ++c) {
+      for (std::size_t r = 0; r < layer.logical_rows; ++r) {
+        const std::size_t pr = layer.physical_row(r);
         if (layer.stuck[pr * xb.cols() + c] != 0) {
           continue;  // write-verify blacklisted this cell
         }
@@ -63,9 +70,13 @@ std::uint64_t OnlineTuner::apply_sign_updates(HardwareNetwork& hw) {
         if (std::fabs(target - cond) < 0.25 * dg) {
           continue;  // saturated at a range edge
         }
-        xb.program_cell(pr, c, 1.0 / target);
-        ++pulses;
+        builder.pulse(pr, c, 1.0 / target);
       }
+    }
+    if (!builder.empty()) {
+      const xbar::ExecReport exec =
+          xbar::select_executor().execute(xb, builder.build());
+      pulses += exec.stats.pulses;
     }
   }
   return pulses;

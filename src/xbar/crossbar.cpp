@@ -23,6 +23,7 @@ Crossbar::Crossbar(std::size_t rows, std::size_t cols,
   for (std::size_t i = 0; i < rows * cols; ++i) {
     cells_.emplace_back(&params_, &model_, &ambient_stress_);
   }
+  pulse_ctx_ = device::make_pulse_context(params_, model_);
 }
 
 const device::Memristor& Crossbar::cell(std::size_t r, std::size_t c) const {
@@ -68,10 +69,30 @@ void Crossbar::configure_nonideality(const NonidealityConfig& config,
   }
 }
 
-double Crossbar::program_cell(std::size_t r, std::size_t c,
-                              double target_r) {
-  device::Memristor& m = mutable_cell(r, c);
-  double achieved = m.program(target_r);
+double Crossbar::apply_post_pulse_nonideality(std::size_t r, std::size_t c,
+                                              device::Memristor& m,
+                                              double achieved) {
+  const FaultMap::Fault fault =
+      faults_ != nullptr ? faults_->at(r, c) : FaultMap::Fault::kNone;
+  if (fault != FaultMap::Fault::kNone) {
+    // The pulse still stressed the device, but a stuck cell cannot leave
+    // its defect value — snap it back to the pin.
+    achieved = fault == FaultMap::Fault::kStuckOff ? params_.r_max_fresh
+                                                   : params_.r_min_fresh;
+    m.force_resistance(achieved);
+  } else if (nonideal_->write_noise_sigma > 0.0) {
+    m.drift_to(1.0 / apply_write_noise(*nonideal_, 1.0 / achieved,
+                                       write_rng_));
+    achieved = m.resistance();
+  }
+  return achieved;
+}
+
+double Crossbar::apply_pulse_percell(const ProgramOp& op) {
+  XB_CHECK(op.kind == OpKind::kProgramPulse,
+           "per-cell programming takes pulse ops only");
+  device::Memristor& m = mutable_cell(op.row, op.col);
+  double achieved = m.program(op.value);
   const double ds = m.last_stress_increment();
   // Thermal crosstalk: a share of every pulse's stress heats the whole
   // array (the Arrhenius common-mode component of Eqs. (6)-(7)). The
@@ -80,24 +101,81 @@ double Crossbar::program_cell(std::size_t r, std::size_t c,
   const double ambient_share = model_.params().thermal_crosstalk * ds;
   ambient_stress_ += ambient_share;
   m.exclude_ambient_self_share(ambient_share);
-  tracker_.record_pulse(r, c, ds, ambient_share);
+  tracker_.record_pulse(op.row, op.col, ds, ambient_share);
   ++total_pulses_;
   if (nonideal_.has_value()) {
-    const FaultMap::Fault fault =
-        faults_ != nullptr ? faults_->at(r, c) : FaultMap::Fault::kNone;
-    if (fault != FaultMap::Fault::kNone) {
-      // The pulse still stressed the device, but a stuck cell cannot leave
-      // its defect value — snap it back to the pin.
-      achieved = fault == FaultMap::Fault::kStuckOff ? params_.r_max_fresh
-                                                     : params_.r_min_fresh;
-      m.force_resistance(achieved);
-    } else if (nonideal_->write_noise_sigma > 0.0) {
-      m.drift_to(1.0 / apply_write_noise(*nonideal_, 1.0 / achieved,
-                                         write_rng_));
-      achieved = m.resistance();
-    }
+    achieved = apply_post_pulse_nonideality(op.row, op.col, m, achieved);
   }
   return achieved;
+}
+
+double Crossbar::program_cell(std::size_t r, std::size_t c,
+                              double target_r) {
+  return apply_pulse_percell(ProgramOp::pulse(r, c, target_r));
+}
+
+void Crossbar::program_batch(std::span<const ProgramOp> ops,
+                             std::span<double> results) {
+  XB_CHECK(ops.size() == results.size(),
+           "program_batch needs one result slot per op");
+  if (ops.empty()) {
+    return;
+  }
+  // One cache invalidation and one counter flush per batch; the per-pulse
+  // loop below otherwise performs the exact floating-point updates of
+  // apply_pulse_percell — program_with inlines the identical expressions
+  // with the transcendental invariants hoisted into pulse_ctx_, and the
+  // ambient/tracker accumulations keep their per-pulse order (they are
+  // order-dependent FP sums).
+  g_cache_valid_ = false;
+  // Validation runs as a pre-pass so the hot loop carries no branches on
+  // op metadata: a malformed batch throws before any pulse lands (the
+  // per-cell path throws mid-stream instead, but no caller observes
+  // state after a programming error). SequenceBuilder already enforces
+  // both invariants at build time, so executor-issued runs never throw.
+  for (const ProgramOp& op : ops) {
+    XB_CHECK(op.kind == OpKind::kProgramPulse,
+             "program_batch takes pulse ops only");
+    XB_CHECK(op.row < rows_ && op.col < cols_, "crossbar cell out of range");
+  }
+  const double crosstalk = model_.params().thermal_crosstalk;
+  const bool nonideal = nonideal_.has_value();
+  std::uint64_t traced = 0;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const ProgramOp& op = ops[i];
+    device::Memristor& m = cells_[op.row * cols_ + op.col];
+    double achieved = m.program_with(pulse_ctx_, op.value);
+    const double ds = m.last_stress_increment();
+    const double ambient_share = crosstalk * ds;
+    // `x += 0.0` is a bit-exact identity (the accumulators start at +0.0
+    // and only ever grow), so a zero share may skip the pool update.
+    // This is a pure optimization, not a semantic branch: it breaks the
+    // loop-carried store-to-load dependency through ambient_stress_ —
+    // the next pulse's stress() reads the pool, so an unconditional
+    // store serializes the whole batch on the window-pow *latency*
+    // instead of its throughput.
+    if (ambient_share != 0.0) {
+      ambient_stress_ += ambient_share;
+      m.exclude_ambient_self_share(ambient_share);
+    }
+    traced += tracker_.record_pulse_untallied(op.row, op.col, ds,
+                                              ambient_share);
+    if (nonideal) {
+      achieved = apply_post_pulse_nonideality(op.row, op.col, m, achieved);
+    }
+    results[i] = achieved;
+  }
+  total_pulses_ += ops.size();
+  tracker_.tally_pulses(ops.size(), traced);
+}
+
+void Crossbar::note_sequence_executed(const SequenceStats& stats) {
+  if (seq_counter_ != nullptr) {
+    seq_counter_->add();
+  }
+  if (batch_counter_ != nullptr && stats.batches > 0) {
+    batch_counter_->add(stats.batches);
+  }
 }
 
 void Crossbar::drift_cell(std::size_t r, std::size_t c, double new_r) {

@@ -19,6 +19,7 @@
 #include "device/memristor.hpp"
 #include "tensor/tensor.hpp"
 #include "xbar/nonideal.hpp"
+#include "xbar/program_sequence.hpp"
 
 namespace xbarlife::xbar {
 
@@ -71,7 +72,27 @@ class Crossbar {
   /// Under nonideality the pulse still ages the cell, but a stuck cell's
   /// resistance snaps back to its defect value and a healthy cell's
   /// achieved conductance picks up write noise.
+  ///
+  /// This is a thin wrapper over a one-pulse sequence: it executes a
+  /// single ProgramOp through the legacy per-cell path. Tuning and
+  /// resilience code should emit ProgramSequences and run them through a
+  /// ProgramExecutor (xbar/executor.hpp) instead of calling this in a
+  /// loop — see docs/programming.md.
   double program_cell(std::size_t r, std::size_t c, double target_r);
+
+  /// Executes a contiguous run of kProgramPulse ops in order with the
+  /// per-pulse invariants (Arrhenius factor, window-exponent pow, bounds
+  /// setup, tracker counter flush, conductance-cache invalidation) hoisted
+  /// out of the loop. `results[i]` receives each achieved resistance.
+  /// Bit-identical to issuing the same ops through program_cell one at a
+  /// time. Called by SimExecutor; not intended as a user-facing API.
+  void program_batch(std::span<const ProgramOp> ops,
+                     std::span<double> results);
+
+  /// Executor bookkeeping: bumps the attached executor counters for one
+  /// executed sequence. Both backends call it with the same structural
+  /// stats, so the counters never depend on the backend choice.
+  void note_sequence_executed(const SequenceStats& stats);
 
   /// Recoverable drift on cell (r, c): resistance moves without a pulse.
   /// Stuck cells do not drift — the defect pins them.
@@ -109,6 +130,16 @@ class Crossbar {
     tracker_.attach_counters(pulses, traced_pulses);
   }
 
+  /// Attaches executor observability counters (either may be null to
+  /// detach): `sequences` counts executed ProgramSequences,
+  /// `column_batches` the contiguous pulse runs inside them. Counters
+  /// must outlive the crossbar.
+  void attach_executor_counters(obs::Counter* sequences,
+                                obs::Counter* column_batches) {
+    seq_counter_ = sequences;
+    batch_counter_ = column_batches;
+  }
+
   std::uint64_t total_pulses() const { return total_pulses_; }
 
   /// Array-wide thermal-crosstalk stress pool shared by every cell.
@@ -133,14 +164,31 @@ class Crossbar {
   /// conductance matrix.
   device::Memristor& mutable_cell(std::size_t r, std::size_t c);
 
+  /// Legacy per-pulse body shared by program_cell and the percell
+  /// executor: full per-pulse device math plus immediate tracker/counter
+  /// updates. The batched path reproduces these floating-point updates
+  /// exactly (see program_batch) while hoisting the invariants.
+  double apply_pulse_percell(const ProgramOp& op);
+
+  /// Stuck-cell snap-back / write-noise step shared verbatim by the
+  /// per-cell and batched paths (the write-noise RNG stream is ordered,
+  /// so both paths must consume it identically).
+  double apply_post_pulse_nonideality(std::size_t r, std::size_t c,
+                                      device::Memristor& m, double achieved);
+
   std::size_t rows_;
   std::size_t cols_;
   device::DeviceParams params_;
   aging::AgingModel model_;
   std::vector<device::Memristor> cells_;
   aging::RepresentativeTracker tracker_;
+  /// Hoisted per-pulse constants for program_batch; fixed at construction
+  /// (depends only on params_/model_).
+  device::PulseContext pulse_ctx_;
   std::uint64_t total_pulses_ = 0;
   double ambient_stress_ = 0.0;
+  obs::Counter* seq_counter_ = nullptr;
+  obs::Counter* batch_counter_ = nullptr;
   /// Engaged only by configure_nonideality with a nonzero config.
   std::optional<NonidealityConfig> nonideal_;
   std::unique_ptr<FaultMap> faults_;

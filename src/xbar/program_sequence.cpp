@@ -1,0 +1,117 @@
+#include "xbar/program_sequence.hpp"
+
+#include "common/error.hpp"
+
+namespace xbarlife::xbar {
+
+SequenceStats ProgramSequence::stats() const {
+  SequenceStats s;
+  bool in_pulse_run = false;
+  for (const ProgramOp& op : ops_) {
+    switch (op.kind) {
+      case OpKind::kProgramPulse:
+        ++s.pulses;
+        if (!in_pulse_run) {
+          ++s.batches;
+          in_pulse_run = true;
+        }
+        continue;
+      case OpKind::kVerifyRead:
+        ++s.verifies;
+        break;
+      case OpKind::kWait:
+        ++s.waits;
+        s.wait_us += op.value;
+        break;
+      case OpKind::kBarrier:
+        ++s.barriers;
+        break;
+    }
+    in_pulse_run = false;
+  }
+  return s;
+}
+
+void ProgramSequence::save_state(persist::StateWriter& w) const {
+  w.u64(ops_.size());
+  for (const ProgramOp& op : ops_) {
+    w.u8(static_cast<std::uint8_t>(op.kind));
+    w.u32(op.row);
+    w.u32(op.col);
+    w.f64(op.value);
+  }
+}
+
+ProgramSequence ProgramSequence::load_state(persist::StateReader& r) {
+  ProgramSequence seq;
+  const std::uint64_t n = r.u64();
+  seq.ops_.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ProgramOp op;
+    const std::uint8_t kind = r.u8();
+    if (kind > static_cast<std::uint8_t>(OpKind::kBarrier)) {
+      throw InvalidArgument("ProgramSequence: bad op kind " +
+                            std::to_string(kind));
+    }
+    op.kind = static_cast<OpKind>(kind);
+    op.row = r.u32();
+    op.col = r.u32();
+    op.value = r.f64();
+    seq.ops_.push_back(op);
+  }
+  return seq;
+}
+
+SequenceBuilder::SequenceBuilder(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), lanes_(cols) {}
+
+std::vector<ProgramOp>& SequenceBuilder::lane(std::size_t c) {
+  if (c >= cols_) {
+    throw InvalidArgument("SequenceBuilder: column " + std::to_string(c) +
+                          " out of range (cols=" + std::to_string(cols_) +
+                          ")");
+  }
+  return lanes_[c];
+}
+
+void SequenceBuilder::pulse(std::size_t r, std::size_t c, double target_r) {
+  if (r >= rows_) {
+    throw InvalidArgument("SequenceBuilder: row " + std::to_string(r) +
+                          " out of range (rows=" + std::to_string(rows_) +
+                          ")");
+  }
+  lane(c).push_back(ProgramOp::pulse(r, c, target_r));
+  ++staged_;
+}
+
+void SequenceBuilder::verify(std::size_t r, std::size_t c) {
+  if (r >= rows_) {
+    throw InvalidArgument("SequenceBuilder: row " + std::to_string(r) +
+                          " out of range (rows=" + std::to_string(rows_) +
+                          ")");
+  }
+  lane(c).push_back(ProgramOp::verify(r, c));
+  ++staged_;
+}
+
+void SequenceBuilder::wait(std::size_t c, double microseconds) {
+  lane(c).push_back(ProgramOp::wait(microseconds));
+  ++staged_;
+}
+
+ProgramSequence SequenceBuilder::build() {
+  ProgramSequence seq;
+  seq.reserve(staged_ + cols_);
+  bool first = true;
+  for (std::size_t c = 0; c < cols_; ++c) {
+    if (lanes_[c].empty()) continue;
+    if (!first) seq.push(ProgramOp::barrier());
+    for (const ProgramOp& op : lanes_[c]) seq.push(op);
+    lanes_[c].clear();
+    first = false;
+  }
+  staged_ = 0;
+  return seq;
+}
+
+}  // namespace xbarlife::xbar

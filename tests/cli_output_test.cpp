@@ -165,6 +165,52 @@ TEST(CliOutput, DeviceJsonWithoutProfileHasNoProfileKey) {
   std::remove(json.c_str());
 }
 
+// Unknown executor backends exit with the usage code, whether they come
+// from the flag or the environment, and the message lists the usable
+// names (not asserted here — run_cli discards output).
+TEST(CliOutput, UnknownExecutorExitsUsage) {
+  EXPECT_EQ(run_cli("device --pulses 5 --executor warpdrive"), 2);
+  const std::string cmd = "XBARLIFE_EXECUTOR=warpdrive " + cli_path() +
+                          " device --pulses 5 >/dev/null 2>&1";
+  const int status = std::system(cmd.c_str());
+#ifndef _WIN32
+  EXPECT_EQ(WIFEXITED(status) ? WEXITSTATUS(status) : -1, 2);
+#endif
+}
+
+// The executor backend is a pure implementation choice: the same run
+// under --executor sim and --executor percell must produce identical
+// result streams except for the envelope's own "executor" stamp.
+TEST(CliOutput, ExecutorBackendsProduceIdenticalResultsModuloStamp) {
+  const std::string sim_json = ::testing::TempDir() + "/xbarlife_sim.jsonl";
+  const std::string per_json =
+      ::testing::TempDir() + "/xbarlife_percell.jsonl";
+  std::remove(sim_json.c_str());
+  std::remove(per_json.c_str());
+  ASSERT_EQ(run_cli("device --pulses 50 --executor sim --json " + sim_json),
+            0);
+  ASSERT_EQ(run_cli("device --pulses 50 --executor percell --json " +
+                    per_json),
+            0);
+  std::string sim_text = slurp(sim_json);
+  std::string per_text = slurp(per_json);
+  ASSERT_FALSE(sim_text.empty());
+  ASSERT_FALSE(per_text.empty());
+  EXPECT_NE(sim_text.find("\"executor\":\"sim\""), std::string::npos);
+  EXPECT_NE(per_text.find("\"executor\":\"percell\""), std::string::npos);
+  const auto unstamp = [](std::string text, const std::string& name) {
+    const std::string needle = "\"executor\":\"" + name + "\"";
+    for (std::size_t pos = text.find(needle); pos != std::string::npos;
+         pos = text.find(needle, pos)) {
+      text.replace(pos, needle.size(), "\"executor\":\"*\"");
+    }
+    return text;
+  };
+  EXPECT_EQ(unstamp(sim_text, "sim"), unstamp(per_text, "percell"));
+  std::remove(sim_json.c_str());
+  std::remove(per_json.c_str());
+}
+
 TEST(CliOutput, ProfileEnvVarEnablesProfiling) {
   const std::string path =
       ::testing::TempDir() + "/xbarlife_env_profile.json";

@@ -23,6 +23,7 @@
 #include "obs/event_trace.hpp"
 #include "obs/sink.hpp"
 #include "persist/checkpoint.hpp"
+#include "xbar/executor.hpp"
 
 namespace xbarlife::core {
 namespace {
@@ -220,6 +221,49 @@ TEST(LifetimeCheckpoint, KillAtEverySessionBoundaryResumesBitIdentically) {
   EXPECT_EQ(canonical_trace(killed_sink.lines()),
             canonical_trace(ref_sink.lines()));
   remove_generations(ref_path);
+  remove_generations(killed_path);
+}
+
+// Mid-campaign snapshots are backend-portable: a faulted, ladder-enabled
+// campaign killed at every session boundary must resume byte-identically
+// even when the resuming process alternates between the batched (sim)
+// and per-cell executor backends — the checkpointed crossbar state and
+// the programming semantics are independent of the backend choice.
+TEST(LifetimeCheckpoint, FaultedLadderCampaignResumesAcrossBackends) {
+  EnvGuard guard;
+  ExperimentConfig cfg = tiny_config();
+  cfg.faults.nonideal.stuck_off_fraction = 0.1;
+  cfg.faults.nonideal.write_noise_sigma = 0.03;
+  cfg.faults.spare_rows = 2;
+  cfg.faults.fault_seed = 11;
+  cfg.lifetime.resilience.ladder_enabled = true;
+  const Scenario scenario = Scenario::kSTAT;
+
+  xbar::set_executor("sim");
+  const ScenarioOutcome reference = run_scenario(cfg, scenario);
+
+  const std::string killed_path = temp_path("resume_ladder_killed.ckpt");
+  remove_generations(killed_path);
+  ScenarioOutcome resumed;
+  std::size_t interrupts = 0;
+  bool completed = false;
+  for (std::size_t attempt = 0; attempt < 32 && !completed; ++attempt) {
+    xbar::set_executor(attempt % 2 == 0 ? "sim" : "percell");
+    persist::CheckpointStore store(killed_path);
+    request_shutdown();
+    try {
+      resumed = run_scenario(cfg, scenario, obs::Obs{}, &store);
+      completed = true;
+    } catch (const InterruptedError&) {
+      ++interrupts;
+    }
+    reset_shutdown();
+  }
+  xbar::set_executor("sim");
+  ASSERT_TRUE(completed);
+  EXPECT_GE(interrupts, 1U);
+  EXPECT_EQ(scenario_outcome_json(resumed).dump(),
+            scenario_outcome_json(reference).dump());
   remove_generations(killed_path);
 }
 

@@ -12,6 +12,7 @@
 #include "common/error.hpp"
 #include "core/model_registry.hpp"
 #include "tensor/kernels/kernels.hpp"
+#include "xbar/executor.hpp"
 
 #ifndef XBARLIFE_GOLDEN_DIR
 #error "XBARLIFE_GOLDEN_DIR must point at tests/golden"
@@ -57,9 +58,10 @@ LifetimeResult sample_lifetime() {
 // --- result document ---------------------------------------------------
 
 TEST(ResultDocumentTest, EnvelopeMatchesGolden) {
-  // The envelope embeds the active kernel variant; pin the scalar kernel
-  // so the golden is host-independent.
+  // The envelope embeds the active kernel variant and executor backend;
+  // pin both so the golden is host- and environment-independent.
   kernels::set_kernel("scalar");
+  xbar::set_executor("sim");
   obs::JsonValue data = obs::JsonValue::object();
   data.set("answer", 42);
   obs::Registry reg;
@@ -75,12 +77,13 @@ TEST(ResultDocumentTest, EnvelopeKeysAndSchema) {
       result_document("lifetime", obs::JsonValue::object(), nullptr);
   ASSERT_TRUE(doc.is_object());
   const auto* obj = doc.as_object();
-  ASSERT_EQ(obj->size(), 5u);
+  ASSERT_EQ(obj->size(), 6u);
   EXPECT_EQ((*obj)[0].first, "schema");
   EXPECT_EQ((*obj)[1].first, "command");
   EXPECT_EQ((*obj)[2].first, "kernel");
-  EXPECT_EQ((*obj)[3].first, "data");
-  EXPECT_EQ((*obj)[4].first, "metrics");
+  EXPECT_EQ((*obj)[3].first, "executor");
+  EXPECT_EQ((*obj)[4].first, "data");
+  EXPECT_EQ((*obj)[5].first, "metrics");
   EXPECT_EQ(doc.find("schema")->dump(), "\"xbarlife.result.v1\"");
   EXPECT_EQ(doc.find("command")->dump(), "\"lifetime\"");
   const obs::JsonValue* metrics = doc.find("metrics");
@@ -183,7 +186,7 @@ TEST(ResultDocumentTest, ProfilerAppendsTrailingProfileKey) {
                       &sample_profiler());
   ASSERT_TRUE(doc.is_object());
   const auto* obj = doc.as_object();
-  ASSERT_EQ(obj->size(), 6u);
+  ASSERT_EQ(obj->size(), 7u);
   EXPECT_EQ(obj->back().first, "profile");
   const obs::JsonValue* profile = doc.find("profile");
   ASSERT_NE(profile, nullptr);

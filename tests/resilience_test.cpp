@@ -13,6 +13,7 @@
 #include "core/experiment.hpp"
 #include "core/report.hpp"
 #include "resilience/escalation.hpp"
+#include "xbar/executor.hpp"
 
 namespace xbarlife::resilience {
 namespace {
@@ -170,7 +171,7 @@ TEST(EscalationLadder, ExtendsLifetimeUnderManufactureFaults) {
   base.faults.nonideal.stuck_on_fraction = 0.05;
   base.faults.nonideal.write_noise_sigma = 0.05;
   base.faults.spare_rows = 4;
-  base.faults.fault_seed = 21;
+  base.faults.fault_seed = 22;
 
   core::ExperimentConfig with_ladder = base;
   with_ladder.lifetime.resilience.ladder_enabled = true;
@@ -194,6 +195,33 @@ TEST(EscalationLadder, ExtendsLifetimeUnderManufactureFaults) {
     saw_rung = saw_rung || !rec.rescue_rungs.empty();
   }
   EXPECT_TRUE(saw_rung);
+}
+
+// Every programming path the ladder exercises (deploys, reprograms,
+// spare-row remaps, retry-clamped rungs) now flows through
+// ProgramSequences, so the whole faulted campaign must be byte-identical
+// whichever executor backend runs it — batched sim vs the per-cell
+// reference is a pure implementation choice.
+TEST(EscalationLadder, CampaignByteIdenticalAcrossExecutorBackends) {
+  core::ExperimentConfig cfg = tiny_config();
+  cfg.target_accuracy_fraction = 0.9;
+  cfg.faults.nonideal.stuck_off_fraction = 0.18;
+  cfg.faults.nonideal.stuck_on_fraction = 0.05;
+  cfg.faults.nonideal.write_noise_sigma = 0.05;
+  cfg.faults.spare_rows = 4;
+  cfg.faults.fault_seed = 22;
+  cfg.lifetime.resilience.ladder_enabled = true;
+
+  xbar::set_executor("sim");
+  const core::ScenarioOutcome batched =
+      core::run_scenario(cfg, core::Scenario::kSTAT);
+  xbar::set_executor("percell");
+  const core::ScenarioOutcome percell =
+      core::run_scenario(cfg, core::Scenario::kSTAT);
+  xbar::set_executor("sim");
+
+  EXPECT_EQ(core::scenario_outcome_json(batched).dump(),
+            core::scenario_outcome_json(percell).dump());
 }
 
 // Degraded mode: with an aggressive fault model and a permissive floor,
