@@ -23,10 +23,19 @@
 //   --kernel V       compute-kernel dispatch variant (auto|scalar|avx2|
 //                    neon, default auto or $XBARLIFE_KERNEL); each variant
 //                    is deterministic on its own, goldens pin scalar
-//   --executor V     crossbar programming backend (auto|sim|percell,
+//   --executor V     crossbar programming backend (auto|sim|percell|remote,
 //                    default auto/sim or $XBARLIFE_EXECUTOR); sim batches
 //                    pulse sequences per column, percell replays the
-//                    legacy one-call-per-cell path — both bit-identical
+//                    legacy one-call-per-cell path — both bit-identical;
+//                    remote ships sequences over xbarlife.wire.v1 to a
+//                    worker and falls back to sim when the link dies
+//   --remote ADDR    remote-executor endpoint: loopback (in-process worker
+//                    thread, default), unix:/path, or host:port (see
+//                    xbarlife-worker --listen); also $XBARLIFE_REMOTE
+//   --remote-faults SPEC  deterministic transport fault injection for the
+//                    remote link, e.g. "seed=7,drop=0.1,corrupt=0.05,
+//                    dup=0.02,disconnect=0.01,delay_ms=1"; also
+//                    $XBARLIFE_REMOTE_FAULTS
 //   --json <path|->  write the versioned machine-readable result document
 //                    (schema xbarlife.result.v1, see docs/output_schema.md)
 //                    as the final JSONL line; "-" streams to stdout and
@@ -90,6 +99,7 @@
 #include "tensor/kernels/kernels.hpp"
 #include "tensor/matmul.hpp"
 #include "xbar/executor.hpp"
+#include "xbar/remote.hpp"
 
 using namespace xbarlife;
 
@@ -176,7 +186,14 @@ class CliOutput {
       // domain counter) nests under it.
       root_span_ = profiler_->begin_span("cmd." + args.command);
     }
+
+    // Let the remote executor drop its link-health counters (retries/
+    // reconnects/fallbacks) into the embedded metrics registry. Counters
+    // are created lazily on the first event, so clean runs emit none.
+    xbar::set_remote_metrics(&registry_);
   }
+
+  ~CliOutput() { xbar::set_remote_metrics(nullptr); }
 
   obs::Obs obs() {
     return obs::Obs{&registry_, trace_.get(), profiler_.get()};
@@ -871,6 +888,16 @@ int cmd_bench(const Args& args, CliOutput& out) {
       mapping::program_weights(xb_percell, w, plan, false, nullptr, nullptr,
                                nullptr, &percell);
     }));
+
+    // Remote programming over the in-process loopback worker: the same
+    // full-array write pass shipped as one wire.v1 round trip per rep.
+    // check_bench_regression.py bounds its overhead against batched.
+    const xbar::RemoteExecutor remote{xbar::RemoteConfig{}};
+    xbar::Crossbar xb_remote(n, n, {}, {});
+    samples.push_back(measure("program_remote_loopback", [&] {
+      mapping::program_weights(xb_remote, w, plan, false, nullptr, nullptr,
+                               nullptr, &remote);
+    }));
   }
 
   out.human() << core::bench_table(samples);
@@ -931,8 +958,9 @@ int cmd_info() {
              "            age a single device and report its window\n"
              "  bench     [--reps N] [--dim N]\n"
              "            in-process perf smoke (GEMM, int8 GEMM, lifetime\n"
-             "            scenario, sweep fan-out, batched vs per-cell\n"
-             "            programming); --json emits xbarlife.bench.v1\n"
+             "            scenario, sweep fan-out, batched vs per-cell vs\n"
+             "            remote-loopback programming); --json emits\n"
+             "            xbarlife.bench.v1\n"
              "  models    list registered models\n"
              "  info      this text\n\n"
              "fault options (lifetime: scalars; faults: comma lists for\n"
@@ -955,10 +983,21 @@ int cmd_info() {
              "                  are bit-identical per variant at any thread\n"
              "                  count, goldens pin scalar\n"
              "  --executor V    crossbar programming backend: auto|sim|\n"
-             "                  percell (default auto/sim or\n"
+             "                  percell|remote (default auto/sim or\n"
              "                  $XBARLIFE_EXECUTOR); sim executes batched\n"
              "                  ProgramSequences, percell the legacy\n"
-             "                  per-cell path — outputs are bit-identical\n"
+             "                  per-cell path — outputs are bit-identical;\n"
+             "                  remote ships sequences to a worker over\n"
+             "                  xbarlife.wire.v1 with retry/backoff and\n"
+             "                  graceful fallback to sim\n"
+             "  --remote ADDR   remote-executor endpoint: loopback (default,\n"
+             "                  in-process worker thread), unix:/path, or\n"
+             "                  host:port (see xbarlife-worker); also\n"
+             "                  $XBARLIFE_REMOTE\n"
+             "  --remote-faults SPEC  seeded transport fault injection, e.g.\n"
+             "                  seed=7,drop=0.1,corrupt=0.05,dup=0.02,\n"
+             "                  disconnect=0.01,delay_ms=1; also\n"
+             "                  $XBARLIFE_REMOTE_FAULTS\n"
              "  --json PATH|-   write the machine-readable result document\n"
              "                  (JSONL, schema xbarlife.result.v1); '-' is\n"
              "                  stdout and silences the human report\n"
@@ -1000,6 +1039,26 @@ int main(int argc, char** argv) {
       // Resolve $XBARLIFE_KERNEL up front so a bad value fails every
       // command with exit 2 instead of surfacing mid-computation.
       kernels::select();
+    }
+    if (args.flag("remote") || args.flag("remote-faults")) {
+      // Explicit remote-link configuration replaces the default lazily
+      // built remote backend (env still seeds the fields the flags omit).
+      xbar::RemoteConfig rcfg;
+      if (const char* env = std::getenv("XBARLIFE_REMOTE")) {
+        if (env[0] != '\0') {
+          rcfg.address = env;
+        }
+      }
+      if (const char* env = std::getenv("XBARLIFE_REMOTE_FAULTS")) {
+        rcfg.fault_spec = env;
+      }
+      if (args.flag("remote")) {
+        rcfg.address = args.get("remote", "loopback");
+      }
+      if (args.flag("remote-faults")) {
+        rcfg.fault_spec = args.get("remote-faults", "");
+      }
+      xbar::configure_remote_executor(rcfg);
     }
     if (args.flag("executor")) {
       xbar::set_executor(args.get("executor", "auto"));

@@ -1,0 +1,136 @@
+// xbarlife-worker: remote program-execution worker.
+//
+// Usage:
+//   xbarlife-worker --listen unix:/tmp/xbarlife.sock
+//   xbarlife-worker --listen 127.0.0.1:7781
+//   xbarlife-worker --listen 127.0.0.1:0          # prints the bound port
+//
+// Binds the given address and serves xbarlife.wire.v1 connections: each
+// kExecute frame carries a full crossbar snapshot plus a ProgramSequence,
+// which the worker replays through the deterministic SimExecutor and
+// answers with the post-execution state (see docs/programming.md, "Remote
+// execution & wire protocol"). Connections are served one at a time per
+// thread; each accepted connection gets its own serving thread so a stuck
+// client cannot starve the others.
+//
+// The bound address is printed to stdout as `listening on <addr>` once the
+// socket is ready, so scripts can wait for it (and discover an ephemeral
+// port). SIGINT/SIGTERM request a graceful stop: in-flight requests finish,
+// then the process exits 0. A client kShutdown frame does the same.
+//
+// Exit codes: 0 clean shutdown, 2 bad arguments, 3 bind/socket failure,
+// 5 internal error.
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/shutdown.hpp"
+#include "net/transport.hpp"
+#include "xbar/remote.hpp"
+
+namespace {
+
+using namespace std::chrono_literals;
+
+int run(const std::string& address) {
+  const std::unique_ptr<xbarlife::net::Listener> listener =
+      xbarlife::net::listen(address);
+  std::cout << "listening on " << listener->address() << std::endl;
+
+  // One serving thread per accepted connection; `shutdown` also trips when
+  // any client sends kShutdown so the accept loop below can exit.
+  std::atomic<bool> shutdown{false};
+  std::mutex mu;
+  std::vector<std::thread> threads;
+
+  while (!xbarlife::shutdown_requested() &&
+         !shutdown.load(std::memory_order_relaxed)) {
+    std::unique_ptr<xbarlife::net::Transport> conn;
+    try {
+      conn = listener->accept(200ms);
+    } catch (const xbarlife::net::TransportTimeout&) {
+      continue;  // poll the shutdown flags
+    } catch (const xbarlife::net::TransportError&) {
+      break;  // listener closed
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    threads.emplace_back(
+        [&shutdown, c = std::shared_ptr<xbarlife::net::Transport>(
+                        std::move(conn))]() mutable {
+          xbarlife::xbar::ServeOptions opts;
+          opts.idle_poll = 200ms;
+          opts.stop = &shutdown;
+          opts.honor_shutdown_flag = true;
+          try {
+            if (xbarlife::xbar::serve_connection(*c, opts)) {
+              shutdown.store(true, std::memory_order_relaxed);
+            }
+          } catch (const std::exception& e) {
+            // A dying connection must not take the worker down.
+            std::cerr << "xbarlife-worker: connection error: " << e.what()
+                      << std::endl;
+          }
+          c->close();
+        });
+  }
+
+  listener->close();
+  std::vector<std::thread> joinable;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    joinable.swap(threads);
+  }
+  for (std::thread& t : joinable) {
+    t.join();
+  }
+  return 0;
+}
+
+int usage(std::ostream& os) {
+  os << "usage: xbarlife-worker --listen <unix:/path | host:port>\n"
+        "serves xbarlife.wire.v1 remote program execution; host:0 binds\n"
+        "an ephemeral port (reported via 'listening on <addr>')\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string address;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--listen") == 0 && i + 1 < argc) {
+      address = argv[++i];
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      usage(std::cout);
+      return 0;
+    } else {
+      std::cerr << "xbarlife-worker: unknown argument '" << argv[i] << "'\n";
+      return usage(std::cerr);
+    }
+  }
+  if (address.empty()) {
+    std::cerr << "xbarlife-worker: --listen is required\n";
+    return usage(std::cerr);
+  }
+  xbarlife::install_signal_handlers();
+  try {
+    return run(address);
+  } catch (const xbarlife::InvalidArgument& e) {
+    std::cerr << "xbarlife-worker: " << e.what() << std::endl;
+    return 2;
+  } catch (const xbarlife::IoError& e) {
+    std::cerr << "xbarlife-worker: " << e.what() << std::endl;
+    return 3;
+  } catch (const std::exception& e) {
+    std::cerr << "xbarlife-worker: internal error: " << e.what() << std::endl;
+    return 5;
+  }
+}

@@ -11,6 +11,7 @@
 #include "mapping/mapper.hpp"
 #include "obs/metrics.hpp"
 #include "tensor/im2col.hpp"
+#include "xbar/remote.hpp"
 #include "tensor/kernels/kernels.hpp"
 #include "tensor/matmul.hpp"
 #include "xbar/crossbar.hpp"
@@ -169,6 +170,20 @@ void BM_ProgramWeightsPerCell(benchmark::State& state) {
   execute_sequence_with(state, exec);
 }
 BENCHMARK(BM_ProgramWeightsPerCell)->Arg(64)->Arg(128);
+
+/// The same pulse stream shipped through the remote backend over the
+/// in-process loopback worker (clean link): measures the full wire round
+/// trip — request encode (array params + state + sequence), framing +
+/// CRC both ways, the worker's array rebuild and execution, response
+/// decode, and the client-side state restore. The gap vs
+/// BM_ProgramWeightsBatched is the protocol's cost; the CLI twin
+/// (program_remote_loopback) feeds check_bench_regression.py's
+/// remote-overhead bound.
+void BM_ProgramWeightsRemoteLoopback(benchmark::State& state) {
+  const xbar::RemoteExecutor exec{xbar::RemoteConfig{}};
+  execute_sequence_with(state, exec);
+}
+BENCHMARK(BM_ProgramWeightsRemoteLoopback)->Arg(64)->Arg(128);
 
 void BM_StressIncrement(benchmark::State& state) {
   aging::AgingModel model({});

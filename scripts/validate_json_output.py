@@ -44,6 +44,8 @@ CKPT_SCHEMA = "xbarlife.ckpt.v1"
 CKPT_KINDS = ("train", "lifetime", "sweep", "faults")
 RESULT_KEYS = ["schema", "command", "kernel", "executor", "data", "metrics"]
 METRIC_KEYS = ["counters", "gauges", "histograms"]
+KNOWN_EXECUTORS = ("sim", "percell", "remote")
+DEGRADATION_KEYS = ["fallback_executor", "fallbacks", "retries", "reconnects"]
 BENCH_KEYS = ["schema", "tool", "kernel", "executor", "threads", "git_rev",
               "results"]
 BENCH_RESULT_KEYS = ["name", "unit", "reps", "median", "p10", "p90"]
@@ -115,21 +117,49 @@ def validate_profile_rollup(profile):
                 fail(f"profile span {index} missing {key!r}")
 
 
+def validate_degradation(deg):
+    """Checks the optional 'executor_degradation' stamp (emitted only when
+    the remote executor fell back to local execution mid-run)."""
+    if not isinstance(deg, dict) or list(deg.keys()) != DEGRADATION_KEYS:
+        fail(f"'executor_degradation' keys must be {DEGRADATION_KEYS}")
+    if deg["fallback_executor"] != "sim":
+        fail(f"degradation fallback_executor {deg['fallback_executor']!r} "
+             f"!= 'sim'")
+    for key in ("fallbacks", "retries", "reconnects"):
+        if not isinstance(deg[key], int) or deg[key] < 0:
+            fail(f"degradation {key!r} must be a non-negative integer")
+    if deg["fallbacks"] < 1:
+        fail("a degradation stamp with zero fallbacks must not be emitted")
+
+
 def validate_result(result):
     keys = list(result.keys())
-    # "profile" is the one optional key and must come last so unprofiled
-    # documents stay byte-identical to pre-profiler builds.
-    if keys not in (RESULT_KEYS, RESULT_KEYS + ["profile"]):
+    # Optional keys: "executor_degradation" right after "executor" (only
+    # when the remote backend fell back), "profile" trailing — clean runs
+    # stay byte-identical to pre-feature builds.
+    base = list(keys)
+    degradation = result.get("executor_degradation")
+    if "executor_degradation" in base:
+        if base.index("executor_degradation") != base.index("executor") + 1:
+            fail("'executor_degradation' must directly follow 'executor'")
+        base.remove("executor_degradation")
+    if base not in (RESULT_KEYS, RESULT_KEYS + ["profile"]):
         fail(f"result document keys {keys} != {RESULT_KEYS} (+ optional "
-             f"trailing 'profile')")
+             f"'executor_degradation' and trailing 'profile')")
     if result["schema"] != RESULT_SCHEMA:
         fail(f"schema {result['schema']!r} != {RESULT_SCHEMA!r}")
     if not isinstance(result["command"], str) or not result["command"]:
         fail("result 'command' must be a non-empty string")
     if not isinstance(result["kernel"], str) or not result["kernel"]:
         fail("result 'kernel' must be a non-empty string")
-    if not isinstance(result["executor"], str) or not result["executor"]:
-        fail("result 'executor' must be a non-empty string")
+    if result["executor"] not in KNOWN_EXECUTORS:
+        fail(f"result 'executor' {result['executor']!r} not in "
+             f"{KNOWN_EXECUTORS}")
+    if degradation is not None:
+        if result["executor"] != "remote":
+            fail("'executor_degradation' is only valid for the remote "
+                 "executor")
+        validate_degradation(degradation)
     if not isinstance(result["data"], dict):
         fail("result 'data' must be an object")
     metrics = result["metrics"]
@@ -159,8 +189,8 @@ def validate_bench(doc):
         fail(f"bench document keys {list(doc.keys())} != {BENCH_KEYS}")
     if not isinstance(doc["kernel"], str) or not doc["kernel"]:
         fail("bench 'kernel' must be a non-empty string")
-    if not isinstance(doc["executor"], str) or not doc["executor"]:
-        fail("bench 'executor' must be a non-empty string")
+    if doc["executor"] not in KNOWN_EXECUTORS:
+        fail(f"bench 'executor' {doc['executor']!r} not in {KNOWN_EXECUTORS}")
     if not isinstance(doc["threads"], int) or doc["threads"] < 1:
         fail("bench 'threads' must be a positive integer")
     if not isinstance(doc["git_rev"], str) or not doc["git_rev"]:

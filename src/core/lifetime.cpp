@@ -122,7 +122,7 @@ std::string LifetimeSimulator::serialize() const {
 void LifetimeSimulator::restore(std::string_view payload) {
   persist::StateReader r(payload);
   next_session_ = r.u64();
-  result_.sessions.resize(r.u64());
+  result_.sessions.resize(r.array_count(8));
   for (SessionRecord& rec : result_.sessions) {
     rec.session = r.u64();
     rec.applications = r.u64();
@@ -132,17 +132,17 @@ void LifetimeSimulator::restore(std::string_view payload) {
     rec.start_accuracy = r.f64();
     rec.accuracy = r.f64();
     rec.pulses_total = r.u64();
-    rec.layer_mean_aged_rmax.resize(r.u64());
+    rec.layer_mean_aged_rmax.resize(r.array_count(8));
     for (double& v : rec.layer_mean_aged_rmax) {
       v = r.f64();
     }
-    rec.layer_mean_usable_levels.resize(r.u64());
+    rec.layer_mean_usable_levels.resize(r.array_count(8));
     for (double& v : rec.layer_mean_usable_levels) {
       v = r.f64();
     }
     rec.resilience_active = r.boolean();
     rec.degraded = r.boolean();
-    rec.rescue_rungs.resize(r.u64());
+    rec.rescue_rungs.resize(r.array_count(8));
     for (std::string& rung : rec.rescue_rungs) {
       rung = r.str();
     }
@@ -159,7 +159,7 @@ void LifetimeSimulator::restore(std::string_view payload) {
   }
   hw_->load_state(r);
   trace_seq_ = r.u64();
-  trace_lines_.resize(r.u64());
+  trace_lines_.resize(r.array_count(8));
   for (std::string& line : trace_lines_) {
     line = r.str();
   }

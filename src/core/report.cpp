@@ -19,6 +19,19 @@ obs::JsonValue result_document(std::string_view command,
   doc.set("command", command);
   doc.set("kernel", kernels::kernel_name());
   doc.set("executor", xbar::executor_name());
+  // "executor_degradation" is an optional key directly after "executor":
+  // it appears only when the remote backend fell back to local execution
+  // during the run, so documents from clean runs stay byte-identical to
+  // the sim goldens (modulo the executor stamp).
+  const xbar::ExecutorDegradation degradation = xbar::executor_degradation();
+  if (degradation.degraded) {
+    obs::JsonValue deg = obs::JsonValue::object();
+    deg.set("fallback_executor", "sim");
+    deg.set("fallbacks", degradation.fallbacks);
+    deg.set("retries", degradation.retries);
+    deg.set("reconnects", degradation.reconnects);
+    doc.set("executor_degradation", std::move(deg));
+  }
   doc.set("data", std::move(data));
   doc.set("metrics", metrics != nullptr ? metrics->to_json()
                                         : obs::Registry().to_json());

@@ -94,7 +94,7 @@ class SweepState : public persist::Checkpointable {
       job.failed = r.boolean();
       job.timed_out = r.boolean();
       job.error = r.str();
-      job.trace_lines.resize(r.u64());
+      job.trace_lines.resize(r.array_count(8));
       for (std::string& line : job.trace_lines) {
         line = r.str();
       }

@@ -114,7 +114,7 @@ std::string Trainer::serialize() const {
 void Trainer::restore(std::string_view payload) {
   persist::StateReader r(payload);
   next_epoch_ = r.u64();
-  history_.epochs.resize(r.u64());
+  history_.epochs.resize(r.array_count(8));
   for (EpochStats& es : history_.epochs) {
     es.epoch = r.u64();
     es.loss = r.f64();
@@ -155,7 +155,7 @@ void Trainer::restore(std::string_view payload) {
     }
   }
   trace_seq_ = r.u64();
-  trace_lines_.resize(r.u64());
+  trace_lines_.resize(r.array_count(8));
   for (std::string& line : trace_lines_) {
     line = r.str();
   }

@@ -1,0 +1,108 @@
+// Byte transports for the xbarlife wire protocol.
+//
+// A Transport is a reliable, ordered, bidirectional byte stream with
+// deadline-aware reads — the substrate net/wire.hpp frames messages over.
+// Three implementations ship:
+//
+//   pipe    make_pipe(): an in-process cross-thread pair (mutex + condvar
+//           byte queues). The loopback worker and every chaos test run on
+//           it — no ports, no files, fully deterministic.
+//   tcp     dial("host:port") / listen("host:port"). Localhost-oriented:
+//           numeric IPv4 plus "localhost"; TCP_NODELAY so small frames
+//           don't sit in Nagle buffers. listen("host:0") binds an
+//           ephemeral port; Listener::address() reports the real one.
+//   unix    dial("unix:/path") / listen("unix:/path") — stream sockets,
+//           the default for same-machine worker deployments.
+//
+// recv_exact() buffers partial reads internally, so a deadline expiring
+// mid-message never desynchronizes the stream: the bytes already read are
+// delivered to the next call. Failures are TransportError (connection
+// broken — reconnect) or TransportTimeout (deadline passed — retry on the
+// same connection), both deriving IoError so generic handlers keep
+// working.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace xbarlife::net {
+
+/// The connection is broken (refused, reset, closed by the peer, or an
+/// injected disconnect): the caller must reconnect before retrying.
+class TransportError : public IoError {
+ public:
+  explicit TransportError(const std::string& what) : IoError(what) {}
+};
+
+/// A read deadline expired with the connection still healthy: the caller
+/// may retry on the same connection.
+class TransportTimeout : public TransportError {
+ public:
+  explicit TransportTimeout(const std::string& what) : TransportError(what) {}
+};
+
+/// A reliable ordered byte stream. send() is atomic per call on the pipe
+/// transport (the unit fault injection drops/corrupts/duplicates), so
+/// framing code writes one message per send() call.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  Transport() = default;
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  /// Writes all of `bytes` or throws TransportError.
+  virtual void send(std::string_view bytes) = 0;
+
+  /// Reads exactly `n` bytes into `dst` within `timeout`. Partial data is
+  /// retained across a TransportTimeout; TransportError means the peer
+  /// closed or the connection broke.
+  virtual void recv_exact(char* dst, std::size_t n,
+                          std::chrono::milliseconds timeout) = 0;
+
+  /// Closes both directions; subsequent sends/recvs on either end fail
+  /// with TransportError. Idempotent.
+  virtual void close() = 0;
+};
+
+/// An in-process connected pair: bytes sent on `first` arrive at `second`
+/// and vice versa. Closing either end fails both.
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>> make_pipe();
+
+/// Accepts inbound connections bound at construction by listen().
+class Listener {
+ public:
+  virtual ~Listener() = default;
+  Listener() = default;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Waits up to `timeout` for one connection; TransportTimeout when none
+  /// arrives (poll-loop callers interleave shutdown checks between calls),
+  /// TransportError once the listener is closed.
+  virtual std::unique_ptr<Transport> accept(
+      std::chrono::milliseconds timeout) = 0;
+
+  /// The dialable address actually bound (resolves ":0" ephemeral ports).
+  virtual std::string address() const = 0;
+
+  virtual void close() = 0;
+};
+
+/// Connects to "host:port" or "unix:/path". Throws TransportError when the
+/// endpoint is unreachable within `timeout`, InvalidArgument for a
+/// malformed address.
+std::unique_ptr<Transport> dial(const std::string& address,
+                                std::chrono::milliseconds timeout);
+
+/// Binds "host:port" (":0" picks an ephemeral port) or "unix:/path"
+/// (replacing a stale socket file). Throws TransportError on bind failure.
+std::unique_ptr<Listener> listen(const std::string& address);
+
+}  // namespace xbarlife::net

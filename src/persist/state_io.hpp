@@ -102,6 +102,27 @@ class StateReader {
     return v;
   }
 
+  /// Reads a u64 element count that prefixes an array whose elements each
+  /// occupy at least `min_bytes_per_element` payload bytes, rejecting any
+  /// count the remaining payload cannot possibly satisfy. Count-prefixed
+  /// loops must size containers through this instead of a raw u64(): a
+  /// corrupt (or hostile — the same reader now parses network payloads)
+  /// prefix would otherwise drive a near-2^64 reserve()/resize() and
+  /// abort on allocation failure instead of failing cleanly.
+  std::size_t array_count(std::size_t min_bytes_per_element) {
+    const std::uint64_t n = u64();
+    const std::size_t per =
+        min_bytes_per_element == 0 ? 1 : min_bytes_per_element;
+    if (n > remaining() / per) {
+      throw CheckpointError(
+          "checkpoint payload corrupt: element count " + std::to_string(n) +
+          " needs at least " + std::to_string(per) +
+          " byte(s) each but only " + std::to_string(remaining()) +
+          " byte(s) remain at offset " + std::to_string(pos_));
+    }
+    return static_cast<std::size_t>(n);
+  }
+
   /// True when every byte has been consumed.
   bool done() const { return pos_ == data_.size(); }
 

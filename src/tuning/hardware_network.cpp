@@ -425,7 +425,7 @@ void HardwareNetwork::load_state(persist::StateReader& r) {
     for (float& g : l.pinned_g) {
       g = r.f32();
     }
-    l.row_perm.resize(r.u64());
+    l.row_perm.resize(r.array_count(8));
     for (std::size_t& p : l.row_perm) {
       p = r.u64();
     }

@@ -46,6 +46,7 @@ void Crossbar::configure_nonideality(const NonidealityConfig& config,
     return;  // Ideal array: no RNG streams, no fault map, legacy behaviour.
   }
   nonideal_ = config;
+  nonideality_seed_ = seed;
   Rng root(seed);
   const std::uint64_t map_seed = root();
   write_rng_ = root.fork(1);

@@ -64,6 +64,15 @@ class Crossbar {
 
   /// True once a nonzero NonidealityConfig has been installed.
   bool nonideal() const { return nonideal_.has_value(); }
+  /// The installed config, or null for an ideal array. Together with
+  /// nonideality_seed() this is everything a remote worker needs to
+  /// rebuild an identically-configured array (the FaultMap and RNG
+  /// streams are deterministic functions of config + seed).
+  const NonidealityConfig* nonideality_config() const {
+    return nonideal_.has_value() ? &*nonideal_ : nullptr;
+  }
+  /// Seed configure_nonideality() was called with; 0 for an ideal array.
+  std::uint64_t nonideality_seed() const { return nonideality_seed_; }
   /// Manufacture-time fault map; null when no stuck faults were drawn.
   const FaultMap* fault_map() const { return faults_.get(); }
 
@@ -93,6 +102,15 @@ class Crossbar {
   /// executed sequence. Both backends call it with the same structural
   /// stats, so the counters never depend on the backend choice.
   void note_sequence_executed(const SequenceStats& stats);
+
+  /// Bumps the attached pulse counters without touching any array state.
+  /// The remote executor calls this after restoring a worker-produced
+  /// snapshot: the snapshot already contains the pulses' effects (and
+  /// total_pulses), but obs counters live client-side and would otherwise
+  /// miss the increments the worker's execution produced.
+  void credit_pulse_counters(std::uint64_t pulses, std::uint64_t traced) {
+    tracker_.tally_pulses(pulses, traced);
+  }
 
   /// Recoverable drift on cell (r, c): resistance moves without a pulse.
   /// Stuck cells do not drift — the defect pins them.
@@ -191,6 +209,7 @@ class Crossbar {
   obs::Counter* batch_counter_ = nullptr;
   /// Engaged only by configure_nonideality with a nonzero config.
   std::optional<NonidealityConfig> nonideal_;
+  std::uint64_t nonideality_seed_ = 0;
   std::unique_ptr<FaultMap> faults_;
   Rng write_rng_{0};
   mutable Rng read_rng_{0};

@@ -2,9 +2,12 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <memory>
+#include <mutex>
 
 #include "common/error.hpp"
 #include "xbar/crossbar.hpp"
+#include "xbar/remote.hpp"
 
 namespace xbarlife::xbar {
 
@@ -67,12 +70,43 @@ namespace {
 const SimExecutor g_sim;
 const PerCellExecutor g_percell;
 
+/// The remote backend carries configuration, so unlike sim/percell it is
+/// built on demand: from configure_remote_executor() when the CLI passed
+/// flags, else from the environment the first time "remote" resolves.
+std::mutex g_remote_mu;
+std::unique_ptr<RemoteExecutor> g_remote;
+
+RemoteExecutor& remote_instance() {
+  std::lock_guard<std::mutex> lock(g_remote_mu);
+  if (g_remote == nullptr) {
+    RemoteConfig cfg;
+    if (const char* addr = std::getenv("XBARLIFE_REMOTE")) {
+      if (addr[0] != '\0') {
+        cfg.address = addr;
+      }
+    }
+    if (const char* faults = std::getenv("XBARLIFE_REMOTE_FAULTS")) {
+      cfg.fault_spec = faults;
+    }
+    g_remote = std::make_unique<RemoteExecutor>(cfg);
+  }
+  return *g_remote;
+}
+
+RemoteExecutor* remote_instance_if_built() {
+  std::lock_guard<std::mutex> lock(g_remote_mu);
+  return g_remote.get();
+}
+
 const ProgramExecutor* resolve(const std::string& name) {
   if (name.empty() || name == "auto" || name == "sim") {
     return &g_sim;
   }
   if (name == "percell") {
     return &g_percell;
+  }
+  if (name == "remote") {
+    return &remote_instance();
   }
   return nullptr;
 }
@@ -128,6 +162,39 @@ void set_executor(const std::string& name) {
 
 std::string executor_name() { return select_executor().name(); }
 
-std::vector<std::string> available_executors() { return {"sim", "percell"}; }
+std::vector<std::string> available_executors() {
+  return {"sim", "percell", "remote"};
+}
+
+void configure_remote_executor(const RemoteConfig& config) {
+  auto fresh = std::make_unique<RemoteExecutor>(config);
+  std::lock_guard<std::mutex> lock(g_remote_mu);
+  // Keep g_active coherent when the remote backend is being replaced
+  // while selected (CLI flag handling configures before set_executor, but
+  // tests may re-configure mid-run).
+  const ProgramExecutor* old = g_remote.get();
+  g_remote = std::move(fresh);
+  const ProgramExecutor* expected = old;
+  g_active.compare_exchange_strong(expected, g_remote.get(),
+                                   std::memory_order_acq_rel);
+}
+
+bool executor_degraded() { return select_executor().degraded(); }
+
+bool pin_executor_fallback() { return select_executor().pin_local_fallback(); }
+
+ExecutorDegradation executor_degradation() {
+  ExecutorDegradation out;
+  const RemoteExecutor* remote = remote_instance_if_built();
+  if (remote == nullptr || !remote->degraded()) {
+    return out;
+  }
+  const RemoteLinkStats stats = remote->link_stats();
+  out.degraded = true;
+  out.fallbacks = stats.fallbacks;
+  out.retries = stats.retries;
+  out.reconnects = stats.reconnects;
+  return out;
+}
 
 }  // namespace xbarlife::xbar

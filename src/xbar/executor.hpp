@@ -13,9 +13,11 @@
 //            percell by construction.
 //   percell  legacy reference: every pulse goes through the original
 //            one-call-per-cell Crossbar::program_cell path.
-//
-// A remote / hardware-in-the-loop executor is a drop-in later: implement
-// the interface, register the name in executor.cpp.
+//   remote   ships each sequence (plus full crossbar state) over a socket
+//            to a worker process — or the in-process loopback worker —
+//            with retry/backoff and graceful fallback to `sim` (see
+//            xbar/remote.hpp). Configured via --remote/--remote-faults or
+//            XBARLIFE_REMOTE/XBARLIFE_REMOTE_FAULTS.
 #pragma once
 
 #include <cstdint>
@@ -41,6 +43,16 @@ class ProgramExecutor {
   virtual ~ProgramExecutor() = default;
   virtual const char* name() const = 0;
   virtual ExecReport execute(Crossbar& xb, const ProgramSequence& seq) const = 0;
+
+  /// True when the backend is running degraded (the remote backend: at
+  /// least one sequence fell back to local execution). In-process
+  /// backends never degrade.
+  virtual bool degraded() const { return false; }
+
+  /// Permanently routes execution to the backend's local fallback path
+  /// (the resilience ladder's fallback-executor rung). Returns true on
+  /// the transition, false when unsupported or already pinned.
+  virtual bool pin_local_fallback() const { return false; }
 };
 
 /// Column-batched in-process simulator (default backend).
@@ -61,8 +73,8 @@ class PerCellExecutor final : public ProgramExecutor {
 /// on first use (throws InvalidArgument for an unknown value).
 const ProgramExecutor& select_executor();
 
-/// Activates a backend by name ("sim", "percell"; "" / "auto" -> default).
-/// Throws InvalidArgument listing the usable names otherwise.
+/// Activates a backend by name ("sim", "percell", "remote"; "" / "auto"
+/// -> default). Throws InvalidArgument listing the usable names otherwise.
 void set_executor(const std::string& name);
 
 /// Name of the active backend (resolving it if needed).
@@ -70,5 +82,34 @@ std::string executor_name();
 
 /// Usable backend names, selection-priority order.
 std::vector<std::string> available_executors();
+
+struct RemoteConfig;
+
+/// Installs (or replaces) the remote backend's configuration. Call before
+/// set_executor("remote"); without it, resolving "remote" builds the
+/// backend from XBARLIFE_REMOTE / XBARLIFE_REMOTE_FAULTS (defaulting to
+/// the in-process loopback worker).
+void configure_remote_executor(const RemoteConfig& config);
+
+/// True when the active backend reports itself degraded (remote fallback
+/// engaged). The resilience ladder's fallback-executor rung keys off it.
+bool executor_degraded();
+
+/// Pins the active backend to its local fallback path; true only on the
+/// transition (so the ladder rung runs at most once).
+bool pin_executor_fallback();
+
+/// Degradation summary stamped into result documents.
+struct ExecutorDegradation {
+  bool degraded = false;
+  std::uint64_t fallbacks = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t reconnects = 0;
+};
+
+/// Snapshot of the remote backend's degradation state; `degraded` is
+/// false when the remote backend was never instantiated or never fell
+/// back.
+ExecutorDegradation executor_degradation();
 
 }  // namespace xbarlife::xbar

@@ -44,9 +44,11 @@ void ProgramSequence::save_state(persist::StateWriter& w) const {
 
 ProgramSequence ProgramSequence::load_state(persist::StateReader& r) {
   ProgramSequence seq;
-  const std::uint64_t n = r.u64();
-  seq.ops_.reserve(static_cast<std::size_t>(n));
-  for (std::uint64_t i = 0; i < n; ++i) {
+  // Each op occupies exactly 17 payload bytes (kind u8 + row/col u32 +
+  // value f64); array_count rejects corrupt prefixes before the reserve.
+  const std::size_t n = r.array_count(17);
+  seq.ops_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
     ProgramOp op;
     const std::uint8_t kind = r.u8();
     if (kind > static_cast<std::uint8_t>(OpKind::kBarrier)) {

@@ -1,0 +1,532 @@
+#include "xbar/remote.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/shutdown.hpp"
+#include "net/wire.hpp"
+#include "persist/state_io.hpp"
+#include "xbar/crossbar.hpp"
+
+namespace xbarlife::xbar {
+
+namespace {
+
+constexpr std::uint8_t kRequestVersion = 1;
+constexpr std::uint8_t kResponseVersion = 1;
+
+/// Serialized size of one cell in Crossbar::save_state (4 f64 + 1 u64);
+/// used to reject request geometries the shipped state cannot back.
+constexpr std::uint64_t kStateBytesPerCell = 40;
+
+void write_device_params(persist::StateWriter& w,
+                         const device::DeviceParams& p) {
+  w.f64(p.r_min_fresh);
+  w.f64(p.r_max_fresh);
+  w.u64(p.levels);
+  w.f64(p.v_prog);
+  w.f64(p.t_pulse_s);
+  w.f64(p.temperature_k);
+  w.f64(p.compliance_current_a);
+}
+
+device::DeviceParams read_device_params(persist::StateReader& r) {
+  device::DeviceParams p;
+  p.r_min_fresh = r.f64();
+  p.r_max_fresh = r.f64();
+  p.levels = static_cast<std::size_t>(r.u64());
+  p.v_prog = r.f64();
+  p.t_pulse_s = r.f64();
+  p.temperature_k = r.f64();
+  p.compliance_current_a = r.f64();
+  return p;
+}
+
+void write_aging_params(persist::StateWriter& w, const aging::AgingParams& a) {
+  w.f64(a.activation_energy_ev);
+  w.f64(a.reference_temp_k);
+  w.f64(a.reference_current_a);
+  w.f64(a.current_exponent);
+  w.f64(a.a_f);
+  w.f64(a.m_f);
+  w.f64(a.a_g);
+  w.f64(a.m_g);
+  w.f64(a.r_floor);
+  w.f64(a.thermal_crosstalk);
+}
+
+aging::AgingParams read_aging_params(persist::StateReader& r) {
+  aging::AgingParams a;
+  a.activation_energy_ev = r.f64();
+  a.reference_temp_k = r.f64();
+  a.reference_current_a = r.f64();
+  a.current_exponent = r.f64();
+  a.a_f = r.f64();
+  a.m_f = r.f64();
+  a.a_g = r.f64();
+  a.m_g = r.f64();
+  a.r_floor = r.f64();
+  a.thermal_crosstalk = r.f64();
+  return a;
+}
+
+std::atomic<obs::Registry*> g_remote_metrics{nullptr};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Worker-side protocol handlers.
+
+std::string encode_execute_request(const Crossbar& xb,
+                                   const ProgramSequence& seq) {
+  persist::StateWriter w;
+  w.u8(kRequestVersion);
+  w.u64(xb.rows());
+  w.u64(xb.cols());
+  write_device_params(w, xb.device_params());
+  write_aging_params(w, xb.aging_model().params());
+  const NonidealityConfig* cfg = xb.nonideality_config();
+  w.boolean(cfg != nullptr);
+  if (cfg != nullptr) {
+    w.f64(cfg->write_noise_sigma);
+    w.f64(cfg->read_noise_sigma);
+    w.f64(cfg->stuck_off_fraction);
+    w.f64(cfg->stuck_on_fraction);
+    w.f64(cfg->line_resistance);
+    w.u64(xb.nonideality_seed());
+  }
+  persist::StateWriter state;
+  xb.save_state(state);
+  w.str(state.data());
+  seq.save_state(w);
+  return w.data();
+}
+
+std::string execute_request(std::string_view payload) {
+  persist::StateReader r(payload);
+  const std::uint8_t version = r.u8();
+  if (version != kRequestVersion) {
+    throw InvalidArgument("remote execute request version " +
+                          std::to_string(version) +
+                          " is not supported (this worker speaks " +
+                          std::to_string(kRequestVersion) + ")");
+  }
+  const std::uint64_t rows = r.u64();
+  const std::uint64_t cols = r.u64();
+  const device::DeviceParams dev = read_device_params(r);
+  const aging::AgingParams ag = read_aging_params(r);
+  const bool has_nonideal = r.boolean();
+  NonidealityConfig cfg;
+  std::uint64_t nonideal_seed = 0;
+  if (has_nonideal) {
+    cfg.write_noise_sigma = r.f64();
+    cfg.read_noise_sigma = r.f64();
+    cfg.stuck_off_fraction = r.f64();
+    cfg.stuck_on_fraction = r.f64();
+    cfg.line_resistance = r.f64();
+    nonideal_seed = r.u64();
+  }
+  const std::string state = r.str();
+  // Geometry sanity before any allocation: the shipped state serializes
+  // every cell at kStateBytesPerCell bytes, so a count the state cannot
+  // back is corrupt (or hostile) and must not drive the array allocation.
+  if (rows == 0 || cols == 0 ||
+      rows > state.size() / kStateBytesPerCell ||
+      cols > state.size() / kStateBytesPerCell ||
+      rows * cols > state.size() / kStateBytesPerCell) {
+    throw InvalidArgument(
+        "remote execute request geometry " + std::to_string(rows) + "x" +
+        std::to_string(cols) + " is not backed by its " +
+        std::to_string(state.size()) + "-byte state payload");
+  }
+  const ProgramSequence seq = ProgramSequence::load_state(r);
+  if (!r.done()) {
+    throw InvalidArgument("remote execute request has trailing bytes");
+  }
+
+  Crossbar xb(static_cast<std::size_t>(rows), static_cast<std::size_t>(cols),
+              dev, ag);
+  if (has_nonideal) {
+    xb.configure_nonideality(cfg, nonideal_seed);
+  }
+  persist::StateReader sr(state);
+  xb.load_state(sr);
+  if (!sr.done()) {
+    throw InvalidArgument("remote execute request state has trailing bytes");
+  }
+
+  obs::Counter pulses;
+  obs::Counter traced;
+  xb.attach_pulse_counters(&pulses, &traced);
+  const ExecReport report = SimExecutor{}.execute(xb, seq);
+
+  persist::StateWriter w;
+  w.u8(kResponseVersion);
+  w.u64(pulses.value());
+  w.u64(traced.value());
+  w.u64(report.results.size());
+  for (const double v : report.results) {
+    w.f64(v);
+  }
+  persist::StateWriter state_out;
+  xb.save_state(state_out);
+  w.str(state_out.data());
+  return w.data();
+}
+
+ExecuteResponse decode_execute_response(std::string_view payload) {
+  persist::StateReader r(payload);
+  const std::uint8_t version = r.u8();
+  if (version != kResponseVersion) {
+    throw InvalidArgument("remote execute response version " +
+                          std::to_string(version) + " is not supported");
+  }
+  ExecuteResponse resp;
+  resp.pulses = r.u64();
+  resp.traced_pulses = r.u64();
+  const std::size_t n = r.array_count(8);
+  resp.results.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    resp.results.push_back(r.f64());
+  }
+  resp.crossbar_state = r.str();
+  if (!r.done()) {
+    throw InvalidArgument("remote execute response has trailing bytes");
+  }
+  return resp;
+}
+
+bool serve_connection(net::Transport& t, const ServeOptions& opts) {
+  // One-deep idempotent-replay cache: clients retry strictly their most
+  // recent request id, so caching the last response suffices to answer a
+  // replayed id without re-executing.
+  std::uint64_t cached_id = 0;
+  std::string cached_response;
+  bool has_cached = false;
+  for (;;) {
+    if ((opts.stop != nullptr &&
+         opts.stop->load(std::memory_order_relaxed)) ||
+        (opts.honor_shutdown_flag && shutdown_requested())) {
+      return false;
+    }
+    net::Frame frame;
+    try {
+      frame = net::read_frame(t, opts.idle_poll);
+    } catch (const net::TransportTimeout&) {
+      continue;  // idle: loop back to the stop-flag checks
+    } catch (const net::TransportError&) {
+      return false;  // peer gone or stream desynced (WireError)
+    }
+    try {
+      switch (frame.type) {
+        case net::MsgType::kHello:
+          net::write_frame(t, net::MsgType::kHelloAck, frame.seq_id);
+          break;
+        case net::MsgType::kHeartbeat:
+          net::write_frame(t, net::MsgType::kHeartbeatAck, frame.seq_id);
+          break;
+        case net::MsgType::kExecute: {
+          if (!has_cached || frame.seq_id != cached_id) {
+            try {
+              cached_response = execute_request(frame.payload);
+              cached_id = frame.seq_id;
+              has_cached = true;
+            } catch (const Error& e) {
+              persist::StateWriter w;
+              w.str(e.what());
+              net::write_frame(t, net::MsgType::kError, frame.seq_id,
+                               w.data());
+              break;
+            }
+          }
+          net::write_frame(t, net::MsgType::kExecuteResult, frame.seq_id,
+                           cached_response);
+          break;
+        }
+        case net::MsgType::kShutdown:
+          return true;
+        default:
+          break;  // acks/errors from a confused peer: ignore
+      }
+    } catch (const net::TransportError&) {
+      return false;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LoopbackWorker.
+
+LoopbackWorker::LoopbackWorker(const net::FaultPlan& plan) : plan_(plan) {}
+
+LoopbackWorker::~LoopbackWorker() { stop(); }
+
+std::unique_ptr<net::Transport> LoopbackWorker::connect() {
+  auto [client, server] = net::make_pipe();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stop_.load(std::memory_order_relaxed)) {
+    throw net::TransportError("loopback worker is stopped");
+  }
+  // Odd fault streams for the worker->client direction; the client wraps
+  // its own end with the even streams, so the two directions of every
+  // connection draw independent deterministic schedules.
+  const std::uint64_t stream = 2 * connections_ + 1;
+  ++connections_;
+  std::shared_ptr<net::Transport> served =
+      net::maybe_wrap_faulty(std::move(server), plan_, stream);
+  threads_.emplace_back([this, served = std::move(served)] {
+    ServeOptions opts;
+    opts.idle_poll = std::chrono::milliseconds(50);
+    opts.stop = &stop_;
+    // The process-wide shutdown flag is handled by the client between
+    // retries; the loopback thread must stay alive to serve the sequence
+    // in flight so an interrupted run still checkpoints consistently.
+    opts.honor_shutdown_flag = false;
+    serve_connection(*served, opts);
+    served->close();
+  });
+  return std::move(client);
+}
+
+void LoopbackWorker::stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  std::vector<std::thread> drained;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    drained.swap(threads_);
+  }
+  for (std::thread& t : drained) {
+    t.join();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RemoteExecutor.
+
+struct RemoteExecutor::Link {
+  std::unique_ptr<net::Transport> transport;
+};
+
+RemoteExecutor::RemoteExecutor(RemoteConfig config)
+    : config_(std::move(config)),
+      fault_plan_(net::FaultPlan::parse(config_.fault_spec)),
+      jitter_(config_.jitter_seed) {
+  if (config_.max_attempts < 1) {
+    throw InvalidArgument("remote executor: max_attempts must be >= 1");
+  }
+}
+
+RemoteExecutor::~RemoteExecutor() {
+  drop_connection();
+  loopback_.reset();
+}
+
+void RemoteExecutor::count(const char* name, std::uint64_t delta) const {
+  obs::Registry* reg = g_remote_metrics.load(std::memory_order_acquire);
+  if (reg != nullptr) {
+    reg->counter(name).add(delta);
+  }
+}
+
+void RemoteExecutor::ensure_connected(std::unique_lock<std::mutex>&) const {
+  if (link_ != nullptr) {
+    return;
+  }
+  std::unique_ptr<net::Transport> t;
+  if (config_.address == "loopback") {
+    if (loopback_ == nullptr) {
+      loopback_ = std::make_unique<LoopbackWorker>(fault_plan_);
+    }
+    t = loopback_->connect();
+  } else {
+    t = net::dial(config_.address, config_.dial_timeout);
+  }
+  t = net::maybe_wrap_faulty(std::move(t), fault_plan_, 2 * connections_);
+  if (connections_ > 0) {
+    ++stats_.reconnects;
+    count("executor.remote.reconnects");
+  }
+  ++connections_;
+  link_ = std::make_unique<Link>(std::move(t));
+  // Hello handshake: prove the peer speaks xbarlife.wire.v1 before
+  // shipping a full-state request.
+  const std::uint64_t id = ++next_seq_;
+  net::write_frame(*link_->transport, net::MsgType::kHello, id);
+  read_matching(net::MsgType::kHelloAck, id,
+                std::chrono::steady_clock::now() + config_.request_deadline);
+}
+
+void RemoteExecutor::drop_connection() const {
+  if (link_ != nullptr) {
+    link_->transport->close();
+    link_.reset();
+  }
+}
+
+net::Frame RemoteExecutor::read_matching(
+    net::MsgType want, std::uint64_t want_id,
+    std::chrono::steady_clock::time_point deadline) const {
+  for (;;) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (left.count() <= 0) {
+      throw net::TransportTimeout(
+          "remote executor: no response within the request deadline");
+    }
+    net::Frame frame = net::read_frame(*link_->transport, left);
+    if (frame.seq_id != want_id) {
+      continue;  // stale frame: a duplicated or late earlier response
+    }
+    if (frame.type == want || frame.type == net::MsgType::kError) {
+      return frame;
+    }
+    // Matching id but unexpected type: a protocol-confused peer; skip.
+  }
+}
+
+bool RemoteExecutor::probe_liveness() const {
+  if (link_ == nullptr) {
+    return false;
+  }
+  try {
+    const std::uint64_t id = ++next_seq_;
+    net::write_frame(*link_->transport, net::MsgType::kHeartbeat, id);
+    const auto probe_deadline =
+        std::chrono::steady_clock::now() +
+        std::min(config_.request_deadline, std::chrono::milliseconds(250));
+    read_matching(net::MsgType::kHeartbeatAck, id, probe_deadline);
+    return true;
+  } catch (const net::TransportError&) {
+    return false;
+  }
+}
+
+void RemoteExecutor::backoff_sleep(int attempt) const {
+  // Exponential base capped at backoff_max, jittered by a factor in
+  // [0.5, 1.0) so a fleet of clients does not retry in lockstep. The
+  // sleep runs in small slices polling the cooperative shutdown flag, so
+  // SIGINT never hangs in a backoff.
+  std::chrono::milliseconds base = config_.backoff_initial;
+  for (int i = 1; i < attempt && base < config_.backoff_max; ++i) {
+    base *= 2;
+  }
+  base = std::min(base, config_.backoff_max);
+  const double factor = 0.5 + 0.5 * jitter_.uniform();
+  auto remaining = std::chrono::milliseconds(
+      static_cast<std::int64_t>(static_cast<double>(base.count()) * factor));
+  constexpr std::chrono::milliseconds kSlice{10};
+  while (remaining.count() > 0) {
+    if (shutdown_requested()) {
+      throw InterruptedError(
+          "shutdown requested during remote executor retry backoff");
+    }
+    const auto nap = std::min(remaining, kSlice);
+    std::this_thread::sleep_for(nap);
+    remaining -= nap;
+  }
+}
+
+ExecReport RemoteExecutor::run_local(Crossbar& xb,
+                                     const ProgramSequence& seq) const {
+  return SimExecutor{}.execute(xb, seq);
+}
+
+ExecReport RemoteExecutor::execute(Crossbar& xb,
+                                   const ProgramSequence& seq) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (pinned_) {
+    return run_local(xb, seq);
+  }
+  ++stats_.requests;
+  const std::string payload = encode_execute_request(xb, seq);
+  // One id per logical request across all its retries: the replay key.
+  const std::uint64_t id = ++next_seq_;
+  bool timed_out_on_live_link = false;
+  for (int attempt = 0; attempt < config_.max_attempts; ++attempt) {
+    // Cooperative shutdown is honored between retries (backoff_sleep
+    // polls the flag), never before a healthy first attempt: a requested
+    // shutdown must not strand an in-progress session that a working
+    // link would complete — checkpointing loops handle the flag at their
+    // own snapshot boundaries.
+    if (attempt > 0) {
+      ++stats_.retries;
+      count("executor.remote.retries");
+      backoff_sleep(attempt);
+    }
+    try {
+      ensure_connected(lock);
+      if (timed_out_on_live_link && !probe_liveness()) {
+        // The link swallowed a request or response; prove liveness before
+        // re-shipping the (large) request, reconnecting if the probe dies.
+        drop_connection();
+        ensure_connected(lock);
+      }
+      timed_out_on_live_link = false;
+      net::write_frame(*link_->transport, net::MsgType::kExecute, id,
+                       payload);
+      const net::Frame frame = read_matching(
+          net::MsgType::kExecuteResult, id,
+          std::chrono::steady_clock::now() + config_.request_deadline);
+      if (frame.type == net::MsgType::kError) {
+        persist::StateReader er(frame.payload);
+        throw RemoteWorkerError("remote worker rejected the request: " +
+                                er.str());
+      }
+      ExecuteResponse resp = decode_execute_response(frame.payload);
+      persist::StateReader sr(resp.crossbar_state);
+      xb.load_state(sr);
+      xb.credit_pulse_counters(resp.pulses, resp.traced_pulses);
+      ExecReport report;
+      report.results = std::move(resp.results);
+      report.stats = seq.stats();
+      xb.note_sequence_executed(report.stats);
+      return report;
+    } catch (const net::TransportTimeout&) {
+      timed_out_on_live_link = true;
+    } catch (const net::TransportError&) {
+      drop_connection();
+      timed_out_on_live_link = false;
+    }
+  }
+  drop_connection();
+  if (!config_.fallback_to_sim) {
+    throw net::TransportError(
+        "remote executor: worker at '" + config_.address +
+        "' unreachable after " + std::to_string(config_.max_attempts) +
+        " attempt(s) and local fallback is disabled");
+  }
+  // Graceful degradation: the request never mutated local state (every
+  // attempt shipped the same pre-state), so executing locally now yields
+  // exactly what a successful remote run would have.
+  degraded_ = true;
+  ++stats_.fallbacks;
+  count("executor.remote.fallbacks");
+  return run_local(xb, seq);
+}
+
+bool RemoteExecutor::degraded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return degraded_;
+}
+
+bool RemoteExecutor::pin_local_fallback() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pinned_) {
+    return false;
+  }
+  pinned_ = true;
+  degraded_ = true;
+  return true;
+}
+
+RemoteLinkStats RemoteExecutor::link_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void set_remote_metrics(obs::Registry* registry) {
+  g_remote_metrics.store(registry, std::memory_order_release);
+}
+
+}  // namespace xbarlife::xbar

@@ -1,0 +1,212 @@
+// Remote program execution: the "remote" ProgramExecutor backend, the
+// worker-side request handler, and the in-process loopback worker.
+//
+// The client serializes (array construction parameters + full crossbar
+// state + ProgramSequence) into one xbarlife.wire.v1 kExecute frame, the
+// worker rebuilds an identical array, runs the sequence through the local
+// SimExecutor, and returns (per-op results + pulse tallies + post-execution
+// state). The client restores that state verbatim, so a completed remote
+// run is byte-identical to a local `sim` run *by construction* — the same
+// deterministic code executes on the same bits, just in another process.
+//
+// Fault tolerance: each execute() retries under one fixed sequence id with
+// per-request deadlines and jittered exponential backoff, reconnecting on
+// transport errors. Because every request carries the full pre-state,
+// re-execution after a lost response is naturally idempotent — and the
+// worker additionally caches its last response per connection, replaying
+// it without re-executing when the same id arrives again. When every
+// attempt is exhausted the executor degrades gracefully (when enabled):
+// the sequence runs on the local SimExecutor, the executor marks itself
+// degraded (stamped into the result document, and picked up by the
+// resilience ladder's fallback-executor rung), and the run continues with
+// bit-identical results.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "net/faulty.hpp"
+#include "net/transport.hpp"
+#include "net/wire.hpp"
+#include "obs/metrics.hpp"
+#include "xbar/executor.hpp"
+
+namespace xbarlife::xbar {
+
+/// The remote worker reported a request-level failure (malformed payload,
+/// geometry mismatch, an execution error). Not transient: the same
+/// deterministic failure would recur on retry, so the client re-raises
+/// instead of retrying.
+class RemoteWorkerError : public Error {
+ public:
+  explicit RemoteWorkerError(const std::string& what) : Error(what) {}
+};
+
+// ---------------------------------------------------------------------------
+// Worker-side protocol handlers (shared by the loopback thread and the
+// xbarlife-worker app).
+
+/// Serializes a kExecute payload: geometry, device/aging parameters, the
+/// nonideality configuration (so the worker can rebuild the identical
+/// array), the full crossbar state, and the sequence.
+std::string encode_execute_request(const Crossbar& xb,
+                                   const ProgramSequence& seq);
+
+/// Decodes a kExecute payload, rebuilds the array, executes the sequence
+/// through SimExecutor, and returns the encoded kExecuteResult payload.
+/// Throws (InvalidArgument / CheckpointError / Error) on a malformed or
+/// inconsistent request; serve_connection turns that into a kError frame.
+std::string execute_request(std::string_view payload);
+
+/// Decoded kExecuteResult payload.
+struct ExecuteResponse {
+  std::vector<double> results;     ///< per-op outcomes, sequence-aligned
+  std::uint64_t pulses = 0;        ///< pulse-counter delta for crediting
+  std::uint64_t traced_pulses = 0; ///< traced-pulse delta for crediting
+  std::string crossbar_state;      ///< post-execution save_state payload
+};
+
+ExecuteResponse decode_execute_response(std::string_view payload);
+
+struct ServeOptions {
+  /// Idle read-poll granularity: how often the serve loop wakes to check
+  /// the stop flags while no frame is arriving.
+  std::chrono::milliseconds idle_poll{200};
+  /// Optional external stop flag (the loopback worker's).
+  const std::atomic<bool>* stop = nullptr;
+  /// Also stop when the process-wide cooperative shutdown flag is set.
+  bool honor_shutdown_flag = true;
+};
+
+/// Serves one client connection until it closes, a framing error occurs,
+/// a stop flag trips, or the client sends kShutdown (returns true in the
+/// kShutdown case — the worker app exits its accept loop on it).
+bool serve_connection(net::Transport& t, const ServeOptions& opts);
+
+// ---------------------------------------------------------------------------
+// In-process loopback worker: a worker thread per connection over pipe
+// transports. The default endpoint of the remote backend, which makes
+// `XBARLIFE_EXECUTOR=remote` work everywhere (tests, CI, the bench)
+// without ports or subprocesses, and the substrate the chaos tests inject
+// faults into.
+
+class LoopbackWorker {
+ public:
+  /// `plan` is applied to the worker->client direction of every
+  /// connection (the client wraps its own side), so both directions of
+  /// the link can fault independently.
+  explicit LoopbackWorker(const net::FaultPlan& plan = {});
+  ~LoopbackWorker();
+
+  LoopbackWorker(const LoopbackWorker&) = delete;
+  LoopbackWorker& operator=(const LoopbackWorker&) = delete;
+
+  /// Opens a new served connection and returns the client end (unwrapped;
+  /// callers add their own fault wrapper if desired).
+  std::unique_ptr<net::Transport> connect();
+
+  /// Closes the stop flag and joins all serving threads. Idempotent.
+  void stop();
+
+ private:
+  net::FaultPlan plan_;
+  std::atomic<bool> stop_{false};
+  std::mutex mu_;
+  std::vector<std::thread> threads_;
+  std::uint64_t connections_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// The remote executor backend.
+
+struct RemoteConfig {
+  /// "loopback" (in-process worker thread), "unix:/path", or "host:port".
+  std::string address = "loopback";
+  /// FaultPlan spec injected on the client->worker direction (and, for
+  /// loopback, independently on the worker->client direction). Empty
+  /// means a clean link.
+  std::string fault_spec;
+  /// Per-request deadline covering send + worker execution + response.
+  std::chrono::milliseconds request_deadline{2000};
+  std::chrono::milliseconds dial_timeout{500};
+  /// Total tries per sequence (first attempt + retries) before degrading.
+  int max_attempts = 5;
+  /// Exponential backoff between attempts: initial * 2^k, capped, with
+  /// multiplicative jitter in [0.5, 1.0) drawn from jitter_seed.
+  std::chrono::milliseconds backoff_initial{10};
+  std::chrono::milliseconds backoff_max{250};
+  std::uint64_t jitter_seed = 0x9e3779b97f4a7c15ULL;
+  /// Degrade to the local SimExecutor when all attempts fail; when false
+  /// the executor throws TransportError instead (CLI exit 3).
+  bool fallback_to_sim = true;
+};
+
+/// Link-health counters (process-lifetime totals for this executor).
+struct RemoteLinkStats {
+  std::uint64_t requests = 0;    ///< sequences submitted
+  std::uint64_t retries = 0;     ///< re-sent attempts after a failure
+  std::uint64_t reconnects = 0;  ///< connections re-established
+  std::uint64_t fallbacks = 0;   ///< sequences executed via local fallback
+};
+
+class RemoteExecutor final : public ProgramExecutor {
+ public:
+  explicit RemoteExecutor(RemoteConfig config);
+  ~RemoteExecutor() override;
+
+  const char* name() const override { return "remote"; }
+  ExecReport execute(Crossbar& xb, const ProgramSequence& seq) const override;
+
+  /// True once at least one sequence fell back to local execution (or the
+  /// executor was pinned). The resilience ladder's fallback-executor rung
+  /// keys off this.
+  bool degraded() const override;
+
+  /// Pins every future execute() to the local SimExecutor (no more remote
+  /// attempts). Returns true on the transition, false when already pinned.
+  bool pin_local_fallback() const override;
+
+  RemoteLinkStats link_stats() const;
+  const RemoteConfig& config() const { return config_; }
+
+ private:
+  struct Link;
+
+  void ensure_connected(std::unique_lock<std::mutex>& lock) const;
+  void drop_connection() const;
+  net::Frame read_matching(net::MsgType want, std::uint64_t want_id,
+                           std::chrono::steady_clock::time_point deadline)
+      const;
+  bool probe_liveness() const;
+  void backoff_sleep(int attempt) const;
+  ExecReport run_local(Crossbar& xb, const ProgramSequence& seq) const;
+  void count(const char* name, std::uint64_t delta = 1) const;
+
+  RemoteConfig config_;
+  net::FaultPlan fault_plan_;
+  mutable std::mutex mu_;
+  mutable std::unique_ptr<Link> link_;
+  mutable std::unique_ptr<LoopbackWorker> loopback_;
+  mutable std::uint64_t next_seq_ = 0;
+  mutable std::uint64_t connections_ = 0;
+  mutable RemoteLinkStats stats_;
+  mutable bool degraded_ = false;
+  mutable bool pinned_ = false;
+  mutable Rng jitter_;
+};
+
+/// Registry the remote backend lazily creates its link counters in
+/// (executor.remote.retries / .reconnects / .fallbacks). Counters are
+/// created only when the corresponding event first occurs, so a clean run
+/// emits no remote counters and stays byte-identical to `sim` goldens.
+/// Pass nullptr to detach; the registry must outlive remote execution.
+void set_remote_metrics(obs::Registry* registry);
+
+}  // namespace xbarlife::xbar

@@ -14,6 +14,7 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "persist/state_io.hpp"
+#include "xbar/program_sequence.hpp"
 
 namespace xbarlife::persist {
 namespace {
@@ -128,6 +129,90 @@ TEST(StateIo, UnderflowIsCheckpointError) {
   w2.u64(1000);  // claims a 1000-byte string that is not there
   StateReader r2(w2.data());
   EXPECT_THROW(r2.str(), CheckpointError);
+}
+
+TEST(StateIo, ArrayCountRejectsCountsTheBytesCannotBack) {
+  // A well-formed prefix passes through.
+  {
+    StateWriter w;
+    w.u64(3);
+    w.f64(1.0);
+    w.f64(2.0);
+    w.f64(3.0);
+    StateReader r(w.data());
+    EXPECT_EQ(r.array_count(8), 3u);
+  }
+  // A corrupt (or hostile) count larger than the remaining bytes could
+  // ever serialize must throw instead of driving a giant reserve().
+  {
+    StateWriter w;
+    w.u64(0xffffffffffffffffULL);
+    StateReader r(w.data());
+    EXPECT_THROW(r.array_count(8), CheckpointError);
+  }
+  {
+    StateWriter w;
+    w.u64(10);  // claims 10 elements, only 9 payload bytes follow
+    for (int i = 0; i < 9; ++i) {
+      w.u8(0);
+    }
+    StateReader r(w.data());
+    EXPECT_THROW(r.array_count(1), CheckpointError);
+  }
+  // min_bytes_per_element == 0 is treated as 1 (count <= remaining).
+  {
+    StateWriter w;
+    w.u64(2);
+    w.u8(0);
+    w.u8(0);
+    StateReader r(w.data());
+    EXPECT_EQ(r.array_count(0), 2u);
+  }
+}
+
+// Corruption fuzz for the count-prefixed load paths (satellite of the
+// remote-executor work: the worker feeds network bytes straight into
+// these readers). Every single-byte flip and every truncation of a real
+// ProgramSequence payload must either restore cleanly or throw a typed
+// xbarlife::Error — never crash, loop, or attempt an absurd allocation.
+TEST(StateIo, ProgramSequenceCorruptionFuzzFailsClosed) {
+  xbar::SequenceBuilder b(4, 4);
+  for (std::size_t c = 0; c < 4; ++c) {
+    for (std::size_t r = 0; r < 4; ++r) {
+      b.pulse(r, c, 1e4 + 500.0 * static_cast<double>(r + c));
+    }
+    b.verify(0, c);
+    b.wait(c, 1.0);
+  }
+  StateWriter w;
+  b.build().save_state(w);
+  const std::string good = w.data();
+  {
+    StateReader r(good);
+    (void)xbar::ProgramSequence::load_state(r);  // baseline restores
+  }
+
+  for (std::size_t i = 0; i < good.size(); ++i) {
+    for (const unsigned char mask : {0x01, 0x80, 0xff}) {
+      std::string mutated = good;
+      mutated[i] = static_cast<char>(
+          static_cast<unsigned char>(mutated[i]) ^ mask);
+      try {
+        StateReader r(mutated);
+        (void)xbar::ProgramSequence::load_state(r);
+        // Some flips land in value bytes and still parse — fine; the
+        // contract is only that failures are typed and bounded.
+      } catch (const Error&) {
+      }
+    }
+  }
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    try {
+      StateReader r(good.substr(0, len));
+      (void)xbar::ProgramSequence::load_state(r);
+    } catch (const Error&) {
+    }
+  }
 }
 
 TEST(CheckpointStore, MissingSnapshotIsFreshStart) {

@@ -46,11 +46,12 @@ ProgramSequence mixed_sequence(std::size_t rows, std::size_t cols) {
   return b.build();
 }
 
-TEST(ExecutorRegistry, ListsBothBackends) {
+TEST(ExecutorRegistry, ListsAllBackends) {
   const auto names = available_executors();
-  ASSERT_EQ(names.size(), 2u);
+  ASSERT_EQ(names.size(), 3u);
   EXPECT_EQ(names[0], "sim");
   EXPECT_EQ(names[1], "percell");
+  EXPECT_EQ(names[2], "remote");
 }
 
 TEST(ExecutorRegistry, SetExecutorSwitchesActiveBackend) {
@@ -78,6 +79,7 @@ TEST(ExecutorRegistry, UnknownNameThrowsListingBackends) {
     EXPECT_NE(msg.find("fpga"), std::string::npos);
     EXPECT_NE(msg.find("sim"), std::string::npos);
     EXPECT_NE(msg.find("percell"), std::string::npos);
+    EXPECT_NE(msg.find("remote"), std::string::npos);
   }
   EXPECT_EQ(executor_name(), before);
 }

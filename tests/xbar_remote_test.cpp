@@ -1,0 +1,426 @@
+// Remote-executor contract tests: the request/response codec, worker-side
+// request validation (including the corrupt-geometry bomb), loopback
+// byte-identity against the local sim backend, idempotent replay, retry /
+// fallback behavior against dead endpoints, shutdown responsiveness, and
+// a deterministic chaos matrix over seeded fault schedules.
+#include "xbar/remote.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/shutdown.hpp"
+#include "net/transport.hpp"
+#include "net/wire.hpp"
+#include "obs/metrics.hpp"
+#include "persist/state_io.hpp"
+#include "xbar/crossbar.hpp"
+
+namespace xbarlife::xbar {
+namespace {
+
+using namespace std::chrono_literals;
+
+device::DeviceParams dev() { return device::DeviceParams{}; }
+
+/// Crosstalk makes the ambient pool order-dependent — the strictest
+/// setting for byte-identity checks.
+aging::AgingParams ag_crosstalk() {
+  aging::AgingParams a;
+  a.thermal_crosstalk = 0.05;
+  return a;
+}
+
+std::string snapshot(const Crossbar& xb) {
+  persist::StateWriter w;
+  xb.save_state(w);
+  return w.data();
+}
+
+ProgramSequence mixed_sequence(std::size_t rows, std::size_t cols) {
+  SequenceBuilder b(rows, cols);
+  for (std::size_t c = 0; c < cols; c += 2) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      b.pulse(r, c, 1e4 + 1e3 * static_cast<double>(r + c * rows));
+    }
+    b.verify(0, c);
+    b.wait(c, 2.5);
+  }
+  return b.build();
+}
+
+/// A fast-failing config against an endpoint that will never answer.
+RemoteConfig dead_endpoint_config() {
+  RemoteConfig cfg;
+  cfg.address = "127.0.0.1:1";
+  cfg.dial_timeout = 100ms;
+  cfg.request_deadline = 200ms;
+  cfg.max_attempts = 2;
+  cfg.backoff_initial = 1ms;
+  cfg.backoff_max = 2ms;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Request/response codec and worker-side validation.
+
+TEST(RemoteCodec, RequestRoundTripsThroughWorkerHandler) {
+  const ProgramSequence seq = mixed_sequence(5, 4);
+  Crossbar local(5, 4, dev(), ag_crosstalk());
+  Crossbar remote_copy(5, 4, dev(), ag_crosstalk());
+
+  const std::string request = encode_execute_request(remote_copy, seq);
+  const ExecuteResponse resp =
+      decode_execute_response(execute_request(request));
+
+  const ExecReport local_report = SimExecutor{}.execute(local, seq);
+  EXPECT_EQ(resp.results, local_report.results);
+  EXPECT_EQ(resp.pulses, local_report.stats.pulses);
+  EXPECT_EQ(resp.crossbar_state, snapshot(local));
+}
+
+TEST(RemoteCodec, NonidealConfigurationShipsWithTheRequest) {
+  NonidealityConfig cfg;
+  cfg.write_noise_sigma = 0.01;
+  cfg.stuck_off_fraction = 0.05;
+  const ProgramSequence seq = mixed_sequence(6, 6);
+
+  Crossbar local(6, 6, dev(), ag_crosstalk());
+  local.configure_nonideality(cfg, 99);
+  Crossbar shipped(6, 6, dev(), ag_crosstalk());
+  shipped.configure_nonideality(cfg, 99);
+
+  const ExecuteResponse resp =
+      decode_execute_response(execute_request(encode_execute_request(
+          shipped, seq)));
+  SimExecutor{}.execute(local, seq);
+  EXPECT_EQ(resp.crossbar_state, snapshot(local));
+}
+
+TEST(RemoteCodec, RejectsUnsupportedVersion) {
+  persist::StateWriter w;
+  w.u8(42);
+  EXPECT_THROW(execute_request(w.data()), InvalidArgument);
+}
+
+TEST(RemoteCodec, RejectsGeometryNotBackedByState) {
+  // A corrupt (or hostile) request claiming a giant array but shipping a
+  // tiny state must be rejected before any allocation happens.
+  Crossbar xb(3, 3, dev(), ag_crosstalk());
+  const ProgramSequence seq = mixed_sequence(3, 3);
+  std::string request = encode_execute_request(xb, seq);
+  // rows is the u64 right after the 1-byte version: blow it up.
+  for (int i = 0; i < 8; ++i) {
+    request[1 + i] = static_cast<char>(0xff);
+  }
+  try {
+    execute_request(request);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("geometry"), std::string::npos);
+  }
+}
+
+TEST(RemoteCodec, RejectsTrailingBytes) {
+  Crossbar xb(3, 3, dev(), ag_crosstalk());
+  std::string request =
+      encode_execute_request(xb, mixed_sequence(3, 3)) + "junk";
+  EXPECT_THROW(execute_request(request), Error);
+}
+
+// ---------------------------------------------------------------------------
+// serve_connection protocol behavior.
+
+TEST(ServeConnection, AnswersHelloHeartbeatAndShutdown) {
+  auto [client, server] = net::make_pipe();
+  std::atomic<bool> stop{false};
+  std::thread worker([&, t = server.get()] {
+    ServeOptions opts;
+    opts.idle_poll = 20ms;
+    opts.stop = &stop;
+    opts.honor_shutdown_flag = false;
+    EXPECT_TRUE(serve_connection(*t, opts));  // true: saw kShutdown
+  });
+
+  net::write_frame(*client, net::MsgType::kHello, 1);
+  EXPECT_EQ(net::read_frame(*client, 1000ms).type, net::MsgType::kHelloAck);
+  net::write_frame(*client, net::MsgType::kHeartbeat, 2);
+  EXPECT_EQ(net::read_frame(*client, 1000ms).type,
+            net::MsgType::kHeartbeatAck);
+  net::write_frame(*client, net::MsgType::kShutdown, 3);
+  worker.join();
+}
+
+TEST(ServeConnection, MalformedExecuteYieldsErrorFrameNotDeath) {
+  auto [client, server] = net::make_pipe();
+  std::atomic<bool> stop{false};
+  std::thread worker([&, t = server.get()] {
+    ServeOptions opts;
+    opts.idle_poll = 20ms;
+    opts.stop = &stop;
+    opts.honor_shutdown_flag = false;
+    serve_connection(*t, opts);
+  });
+
+  net::write_frame(*client, net::MsgType::kExecute, 5, "not a request");
+  const net::Frame err = net::read_frame(*client, 1000ms);
+  EXPECT_EQ(err.type, net::MsgType::kError);
+  EXPECT_EQ(err.seq_id, 5u);
+  persist::StateReader r(err.payload);
+  EXPECT_FALSE(r.str().empty());
+
+  // The connection survives a rejected request.
+  net::write_frame(*client, net::MsgType::kHeartbeat, 6);
+  EXPECT_EQ(net::read_frame(*client, 1000ms).type,
+            net::MsgType::kHeartbeatAck);
+  client->close();
+  worker.join();
+}
+
+TEST(ServeConnection, ReplaysCachedResponseForRepeatedId) {
+  auto [client, server] = net::make_pipe();
+  std::atomic<bool> stop{false};
+  std::thread worker([&, t = server.get()] {
+    ServeOptions opts;
+    opts.idle_poll = 20ms;
+    opts.stop = &stop;
+    opts.honor_shutdown_flag = false;
+    serve_connection(*t, opts);
+  });
+
+  Crossbar xb(4, 4, dev(), ag_crosstalk());
+  const std::string request =
+      encode_execute_request(xb, mixed_sequence(4, 4));
+  net::write_frame(*client, net::MsgType::kExecute, 9, request);
+  const net::Frame first = net::read_frame(*client, 2000ms);
+  ASSERT_EQ(first.type, net::MsgType::kExecuteResult);
+
+  // The retry (same id, e.g. the first response was lost) must yield the
+  // byte-identical cached response — not a re-execution.
+  net::write_frame(*client, net::MsgType::kExecute, 9, request);
+  const net::Frame replay = net::read_frame(*client, 2000ms);
+  EXPECT_EQ(replay.type, net::MsgType::kExecuteResult);
+  EXPECT_EQ(replay.payload, first.payload);
+
+  client->close();
+  worker.join();
+}
+
+// ---------------------------------------------------------------------------
+// RemoteExecutor over the loopback worker.
+
+TEST(RemoteExecutor_, LoopbackMatchesSimByteIdentical) {
+  const ProgramSequence seq = mixed_sequence(6, 5);
+  Crossbar local(6, 5, dev(), ag_crosstalk());
+  Crossbar remote_xb(6, 5, dev(), ag_crosstalk());
+
+  const ExecReport local_report = SimExecutor{}.execute(local, seq);
+  const RemoteExecutor remote{RemoteConfig{}};
+  const ExecReport remote_report = remote.execute(remote_xb, seq);
+
+  EXPECT_EQ(snapshot(remote_xb), snapshot(local));
+  EXPECT_EQ(remote_report.results, local_report.results);
+  EXPECT_EQ(remote_report.stats.pulses, local_report.stats.pulses);
+  EXPECT_FALSE(remote.degraded());
+  EXPECT_EQ(remote.link_stats().requests, 1u);
+  EXPECT_EQ(remote.link_stats().retries, 0u);
+  EXPECT_EQ(remote.link_stats().fallbacks, 0u);
+}
+
+TEST(RemoteExecutor_, LoopbackCreditsPulseAndExecutorCounters) {
+  const ProgramSequence seq = mixed_sequence(6, 5);
+
+  obs::Counter lp, lt, ls, lb;
+  Crossbar local(6, 5, dev(), ag_crosstalk());
+  local.attach_pulse_counters(&lp, &lt);
+  local.attach_executor_counters(&ls, &lb);
+  SimExecutor{}.execute(local, seq);
+
+  obs::Counter rp, rt, rs, rb;
+  Crossbar remote_xb(6, 5, dev(), ag_crosstalk());
+  remote_xb.attach_pulse_counters(&rp, &rt);
+  remote_xb.attach_executor_counters(&rs, &rb);
+  const RemoteExecutor remote{RemoteConfig{}};
+  remote.execute(remote_xb, seq);
+
+  // Counter parity: pulses happened in the worker process, but they are
+  // credited to the client-side counters, matching a local run exactly.
+  EXPECT_EQ(rp.value(), lp.value());
+  EXPECT_EQ(rt.value(), lt.value());
+  EXPECT_EQ(rs.value(), ls.value());
+  EXPECT_EQ(rb.value(), lb.value());
+  EXPECT_GT(rp.value(), 0u);
+}
+
+TEST(RemoteExecutor_, SequentialSequencesShareTheConnection) {
+  Crossbar local(5, 5, dev(), ag_crosstalk());
+  Crossbar remote_xb(5, 5, dev(), ag_crosstalk());
+  const RemoteExecutor remote{RemoteConfig{}};
+  for (int round = 0; round < 3; ++round) {
+    const ProgramSequence seq = mixed_sequence(5, 5);
+    SimExecutor{}.execute(local, seq);
+    remote.execute(remote_xb, seq);
+  }
+  EXPECT_EQ(snapshot(remote_xb), snapshot(local));
+  EXPECT_EQ(remote.link_stats().requests, 3u);
+  EXPECT_EQ(remote.link_stats().reconnects, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Failure handling: dead endpoints, fallback, pinning, shutdown.
+
+TEST(RemoteExecutor_, DeadEndpointFallsBackToSimByteIdentical) {
+  const ProgramSequence seq = mixed_sequence(6, 5);
+  Crossbar local(6, 5, dev(), ag_crosstalk());
+  Crossbar remote_xb(6, 5, dev(), ag_crosstalk());
+
+  SimExecutor{}.execute(local, seq);
+  const RemoteExecutor remote{dead_endpoint_config()};
+  remote.execute(remote_xb, seq);
+
+  EXPECT_EQ(snapshot(remote_xb), snapshot(local));
+  EXPECT_TRUE(remote.degraded());
+  const RemoteLinkStats stats = remote.link_stats();
+  EXPECT_EQ(stats.requests, 1u);
+  EXPECT_EQ(stats.retries, 1u);  // max_attempts=2 -> one retry
+  EXPECT_EQ(stats.fallbacks, 1u);
+}
+
+TEST(RemoteExecutor_, DeadEndpointWithoutFallbackThrowsTransportError) {
+  RemoteConfig cfg = dead_endpoint_config();
+  cfg.fallback_to_sim = false;
+  const RemoteExecutor remote{cfg};
+  Crossbar xb(4, 4, dev(), ag_crosstalk());
+  const std::string before = snapshot(xb);
+  EXPECT_THROW(remote.execute(xb, mixed_sequence(4, 4)),
+               net::TransportError);
+  // A failed request must leave the local array untouched.
+  EXPECT_EQ(snapshot(xb), before);
+  EXPECT_FALSE(remote.degraded());
+}
+
+TEST(RemoteExecutor_, PinLocalFallbackSkipsTheLinkEntirely) {
+  const RemoteExecutor remote{dead_endpoint_config()};
+  EXPECT_TRUE(remote.pin_local_fallback());
+  EXPECT_FALSE(remote.pin_local_fallback());  // transition happens once
+  EXPECT_TRUE(remote.degraded());
+
+  // Pinned execution never dials: no retries accrue even on the dead
+  // endpoint, and the result still matches sim.
+  const ProgramSequence seq = mixed_sequence(5, 4);
+  Crossbar local(5, 4, dev(), ag_crosstalk());
+  Crossbar remote_xb(5, 4, dev(), ag_crosstalk());
+  SimExecutor{}.execute(local, seq);
+  remote.execute(remote_xb, seq);
+  EXPECT_EQ(snapshot(remote_xb), snapshot(local));
+  EXPECT_EQ(remote.link_stats().retries, 0u);
+  EXPECT_EQ(remote.link_stats().requests, 0u);
+}
+
+TEST(RemoteExecutor_, ShutdownRequestInterruptsRetryLoop) {
+  reset_shutdown();
+  RemoteConfig cfg = dead_endpoint_config();
+  cfg.max_attempts = 1000;          // would grind for minutes...
+  cfg.backoff_initial = 50ms;
+  cfg.backoff_max = 250ms;
+  const RemoteExecutor remote{cfg};
+  Crossbar xb(4, 4, dev(), ag_crosstalk());
+
+  std::thread interrupter([] {
+    std::this_thread::sleep_for(100ms);
+    request_shutdown();
+  });
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(remote.execute(xb, mixed_sequence(4, 4)), InterruptedError);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  interrupter.join();
+  reset_shutdown();
+  // ...but the cooperative shutdown flag cuts it off promptly (polled in
+  // 10 ms slices inside the backoff sleep).
+  EXPECT_LT(elapsed, 5s);
+}
+
+TEST(RemoteExecutor_, RejectsNonPositiveMaxAttempts) {
+  RemoteConfig cfg;
+  cfg.max_attempts = 0;
+  EXPECT_THROW(RemoteExecutor{cfg}, InvalidArgument);
+  RemoteConfig bad_spec;
+  bad_spec.fault_spec = "drop=2.0";
+  EXPECT_THROW(RemoteExecutor{bad_spec}, InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos matrix: every seeded fault schedule must end in one of exactly two
+// states — remote completion byte-identical to sim, or a clean fallback
+// (also byte-identical, and flagged degraded). Never a hang, crash, or
+// silent divergence.
+
+TEST(RemoteExecutor_, ChaosMatrixCompletesOrFallsBackByteIdentical) {
+  const std::vector<std::string> specs = {
+      "seed=1,drop=0.2",
+      "seed=2,corrupt=0.2",
+      "seed=3,dup=0.3",
+      "seed=4,disconnect=0.15",
+      "seed=5,drop=0.15,corrupt=0.1,dup=0.1,disconnect=0.05",
+      "seed=6,drop=0.5,disconnect=0.2",
+      "seed=7,drop=0.1,corrupt=0.05,disconnect=0.02,delay_ms=1",
+  };
+  for (const std::string& spec : specs) {
+    SCOPED_TRACE("fault spec: " + spec);
+    RemoteConfig cfg;
+    cfg.fault_spec = spec;
+    cfg.request_deadline = 150ms;
+    cfg.max_attempts = 4;
+    cfg.backoff_initial = 1ms;
+    cfg.backoff_max = 4ms;
+    const RemoteExecutor remote{cfg};
+
+    Crossbar local(6, 5, dev(), ag_crosstalk());
+    Crossbar remote_xb(6, 5, dev(), ag_crosstalk());
+    for (int round = 0; round < 4; ++round) {
+      const ProgramSequence seq = mixed_sequence(6, 5);
+      const ExecReport local_report = SimExecutor{}.execute(local, seq);
+      const ExecReport remote_report = remote.execute(remote_xb, seq);
+      EXPECT_EQ(remote_report.results, local_report.results);
+    }
+    // Whether the schedule let the requests through (possibly after
+    // retries and reconnects) or forced fallbacks, the final state is
+    // byte-identical to the local run.
+    EXPECT_EQ(snapshot(remote_xb), snapshot(local));
+    const RemoteLinkStats stats = remote.link_stats();
+    EXPECT_EQ(stats.requests, 4u);
+    EXPECT_EQ(remote.degraded(), stats.fallbacks > 0);
+  }
+}
+
+TEST(RemoteExecutor_, ChaosScheduleIsReproducible) {
+  // The same spec must produce the same retry/reconnect/fallback history
+  // on every run — the property that makes chaos failures debuggable.
+  const auto run = [] {
+    RemoteConfig cfg;
+    cfg.fault_spec = "seed=5,drop=0.15,corrupt=0.1,dup=0.1,disconnect=0.05";
+    cfg.request_deadline = 150ms;
+    cfg.max_attempts = 4;
+    cfg.backoff_initial = 1ms;
+    cfg.backoff_max = 4ms;
+    const RemoteExecutor remote{cfg};
+    Crossbar xb(6, 5, dev(), ag_crosstalk());
+    for (int round = 0; round < 4; ++round) {
+      remote.execute(xb, mixed_sequence(6, 5));
+    }
+    return remote.link_stats();
+  };
+  const RemoteLinkStats a = run();
+  const RemoteLinkStats b = run();
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.reconnects, b.reconnects);
+  EXPECT_EQ(a.fallbacks, b.fallbacks);
+}
+
+}  // namespace
+}  // namespace xbarlife::xbar
