@@ -14,6 +14,7 @@
 //                      [--job-timeout MS] [--strict]
 //   xbarlife device    [--pulses N] [--target-r OHMS]
 //   xbarlife bench     [--reps N] [--dim N]
+//   xbarlife worker-status [--remote ADDR]
 //   xbarlife models
 //   xbarlife info
 //
@@ -59,6 +60,10 @@
 //                    a sweep/campaign job over budget is recorded as
 //                    failed+timed_out, isolated like any other job error;
 //                    on lifetime (no fan-out) expiry exits 8
+//   --status-file PATH (train/lifetime/sweep/faults) atomically rewrite a
+//                    live xbarlife.progress.v1 snapshot (phase, done/total,
+//                    ETA, counter rollup) as the run advances, at a bounded
+//                    cadence — poll it with `watch cat PATH`
 //
 // Exit codes: 0 ok, 2 invalid argument/usage, 3 I/O failure,
 // 4 failed convergence (--strict), 5 internal error, 6 interrupted by a
@@ -89,6 +94,7 @@
 #include "core/scenario_runner.hpp"
 #include "core/sweep_checkpoint.hpp"
 #include "device/memristor.hpp"
+#include "net/wire.hpp"
 #include "nn/serialize.hpp"
 #include "obs/obs.hpp"
 #include "obs/perfetto.hpp"
@@ -187,16 +193,44 @@ class CliOutput {
       root_span_ = profiler_->begin_span("cmd." + args.command);
     }
 
+    if (args.flag("status-file")) {
+      const std::string status_path = args.get("status-file", "");
+      if (status_path.empty()) {
+        throw xbarlife::InvalidArgument("--status-file needs a file path");
+      }
+      progress_ = std::make_unique<obs::ProgressReporter>(status_path,
+                                                          args.command);
+      progress_->attach_counters(&registry_);
+    }
+
     // Let the remote executor drop its link-health counters (retries/
     // reconnects/fallbacks) into the embedded metrics registry. Counters
     // are created lazily on the first event, so clean runs emit none.
     xbar::set_remote_metrics(&registry_);
+    // Same contract for client-side wire telemetry (net.frame_bytes_in/
+    // out, net.crc_failures): lazily created, so non-remote runs stay
+    // byte-identical. The worker side of a loopback link scopes its own
+    // registry per serving thread and never counts here.
+    net::set_wire_metrics(&registry_);
   }
 
-  ~CliOutput() { xbar::set_remote_metrics(nullptr); }
+  ~CliOutput() {
+    net::set_wire_metrics(nullptr);
+    xbar::set_remote_metrics(nullptr);
+    // On the error paths emit() never runs; the status file must still
+    // end on a finished snapshot so watchers see the run stop. Swallow
+    // write failures — this is a destructor on an already-failing path.
+    if (progress_ != nullptr) {
+      try {
+        progress_->finish();
+      } catch (const xbarlife::Error&) {
+      }
+    }
+  }
 
   obs::Obs obs() {
-    return obs::Obs{&registry_, trace_.get(), profiler_.get()};
+    return obs::Obs{&registry_, trace_.get(), profiler_.get(),
+                    progress_.get()};
   }
 
   /// Human-readable stream: stdout normally, silenced (null) when the
@@ -223,6 +257,7 @@ class CliOutput {
   /// final line instead of a result.v1 envelope.
   void finish_document(const std::string& command,
                        const obs::JsonValue& doc) {
+    finish_progress();
     close_profile(command);
     if (json_sink_ != nullptr) {
       json_sink_->write(doc.dump());
@@ -236,6 +271,7 @@ class CliOutput {
  private:
   void emit(const std::string& command, obs::JsonValue data,
             const obs::Registry* metrics, bool include_profile) {
+    finish_progress();
     close_profile(command);
     if (json_sink_ != nullptr) {
       json_sink_->write(
@@ -247,6 +283,14 @@ class CliOutput {
     }
     if (trace_sink_ != nullptr) {
       trace_sink_->flush();
+    }
+  }
+
+  /// Writes the final (finished:true) progress snapshot. Idempotent;
+  /// no-op when --status-file is off.
+  void finish_progress() {
+    if (progress_ != nullptr) {
+      progress_->finish();
     }
   }
 
@@ -289,6 +333,7 @@ class CliOutput {
   std::unique_ptr<obs::EventTrace> trace_;
   std::unique_ptr<obs::Sink> profile_sink_;
   std::unique_ptr<obs::Profiler> profiler_;
+  std::unique_ptr<obs::ProgressReporter> progress_;
   std::size_t root_span_ = obs::kNoSpan;
   NullStream null_;
   bool human_enabled_ = true;
@@ -635,6 +680,9 @@ int cmd_sweep(const Args& args, CliOutput& out) {
     return 0;
   }
 
+  // The runner only ticks; the sweep-wide phase is declared here (the
+  // checkpointed engine declares its own, resume-aware).
+  out.obs().progress_phase("sweep.jobs", 0, jobs.size());
   const auto entries = runner.run(jobs, out.obs());
   out.human() << core::sweep_table(entries);
 
@@ -746,6 +794,40 @@ int cmd_faults(const Args& args, CliOutput& out) {
   out.finish_deterministic("faults", std::move(data));
   enforce_strict(args, out.human(), "campaign", result.failed_jobs,
                  result.timed_out_jobs, result.jobs.size());
+  return 0;
+}
+
+/// Queries a serving worker for one xbarlife.workerstats.v1 snapshot.
+/// With no --remote / $XBARLIFE_REMOTE a throwaway in-process loopback
+/// worker answers, which doubles as an end-to-end protocol self-test.
+int cmd_worker_status(const Args& args, CliOutput& out) {
+  xbar::RemoteConfig rcfg;
+  if (const char* env = std::getenv("XBARLIFE_REMOTE")) {
+    if (env[0] != '\0') {
+      rcfg.address = env;
+    }
+  }
+  if (args.flag("remote")) {
+    rcfg.address = args.get("remote", "loopback");
+  }
+  const xbar::WorkerStatsSnapshot snap = xbar::query_worker_status(rcfg);
+
+  TablePrinter table({"metric", "value"});
+  table.add_row({"endpoint", rcfg.address});
+  table.add_row({"build", snap.build});
+  table.add_row({"wire version", std::to_string(snap.wire_version)});
+  table.add_row({"request version",
+                 std::to_string(snap.request_version)});
+  table.add_row({"uptime (ms)", std::to_string(snap.uptime_ms)});
+  table.add_row({"requests served", std::to_string(snap.requests_served)});
+  table.add_row({"replay-cache hits", std::to_string(snap.replay_hits)});
+  table.add_row({"errors", std::to_string(snap.errors)});
+  table.add_row(
+      {"active connections", std::to_string(snap.active_connections)});
+  table.add_row(
+      {"connections total", std::to_string(snap.connections_total)});
+  out.human() << table.render();
+  out.finish_document("worker-status", snap.to_json());
   return 0;
 }
 
@@ -961,6 +1043,11 @@ int cmd_info() {
              "            scenario, sweep fan-out, batched vs per-cell vs\n"
              "            remote-loopback programming); --json emits\n"
              "            xbarlife.bench.v1\n"
+             "  worker-status [--remote ADDR]\n"
+             "            query a serving worker for one live\n"
+             "            xbarlife.workerstats.v1 snapshot (uptime,\n"
+             "            requests, replay hits, latency histograms);\n"
+             "            --json emits the document\n"
              "  models    list registered models\n"
              "  info      this text\n\n"
              "fault options (lifetime: scalars; faults: comma lists for\n"
@@ -1016,7 +1103,11 @@ int cmd_info() {
              "                  16); a killed run loses at most one chunk\n"
              "  --job-timeout MS (lifetime/sweep/faults) per-job watchdog;\n"
              "                  sweep/campaign jobs over budget fail with\n"
-             "                  timed_out:true; lifetime expiry exits 8\n\n"
+             "                  timed_out:true; lifetime expiry exits 8\n"
+             "  --status-file PATH  (train/lifetime/sweep/faults) live\n"
+             "                  xbarlife.progress.v1 heartbeats: phase,\n"
+             "                  done/total, ETA, counter rollup, rewritten\n"
+             "                  atomically at a bounded cadence\n\n"
              "exit codes: 0 ok, 2 bad arguments, 3 I/O failure,\n"
              "4 failed convergence (--strict), 5 internal error,\n"
              "6 interrupted (snapshot written, resumable), 7 checkpoint\n"
@@ -1095,6 +1186,9 @@ int main(int argc, char** argv) {
     }
     if (args.command == "bench") {
       return cmd_bench(args, out);
+    }
+    if (args.command == "worker-status") {
+      return cmd_worker_status(args, out);
     }
     if (args.command == "models") {
       return cmd_models(out);

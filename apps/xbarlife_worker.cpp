@@ -32,6 +32,7 @@
 
 #include "common/error.hpp"
 #include "common/shutdown.hpp"
+#include "common/version.hpp"
 #include "net/transport.hpp"
 #include "xbar/remote.hpp"
 
@@ -42,13 +43,19 @@ using namespace std::chrono_literals;
 int run(const std::string& address) {
   const std::unique_ptr<xbarlife::net::Listener> listener =
       xbarlife::net::listen(address);
-  std::cout << "listening on " << listener->address() << std::endl;
+  std::cout << "xbarlife-worker " << xbarlife::kBuildVersion << " (wire v"
+            << static_cast<int>(xbarlife::net::kWireVersion) << ")\n"
+            << "listening on " << listener->address() << std::endl;
 
   // One serving thread per accepted connection; `shutdown` also trips when
   // any client sends kShutdown so the accept loop below can exit.
   std::atomic<bool> shutdown{false};
   std::mutex mu;
   std::vector<std::thread> threads;
+  // One process-wide stats block shared by every serving thread: uptime,
+  // request/replay accounting, latency histograms, wire telemetry —
+  // queryable live via `xbarlife worker-status`.
+  xbarlife::xbar::WorkerStatsState stats;
 
   while (!xbarlife::shutdown_requested() &&
          !shutdown.load(std::memory_order_relaxed)) {
@@ -62,12 +69,14 @@ int run(const std::string& address) {
     }
     std::lock_guard<std::mutex> lock(mu);
     threads.emplace_back(
-        [&shutdown, c = std::shared_ptr<xbarlife::net::Transport>(
-                        std::move(conn))]() mutable {
+        [&shutdown, &stats,
+         c = std::shared_ptr<xbarlife::net::Transport>(
+             std::move(conn))]() mutable {
           xbarlife::xbar::ServeOptions opts;
           opts.idle_poll = 200ms;
           opts.stop = &shutdown;
           opts.honor_shutdown_flag = true;
+          opts.stats = &stats;
           try {
             if (xbarlife::xbar::serve_connection(*c, opts)) {
               shutdown.store(true, std::memory_order_relaxed);

@@ -11,7 +11,17 @@ way. The final document's type is auto-detected:
   * bench documents    — schema "xbarlife.bench.v1" (median/p10/p90 per
                          result, pinned thread count, git rev),
   * profile documents  — Chrome trace_event/Perfetto JSON as written by
-                         --profile (otherData.schema "xbarlife.profile.v1").
+                         --profile (otherData.schema "xbarlife.profile.v1"),
+  * worker stats       — schema "xbarlife.workerstats.v1" as emitted by
+                         `xbarlife worker-status --json` (uptime, request
+                         accounting, latency histograms),
+  * progress snapshots — schema "xbarlife.progress.v1" as written by
+                         --status-file (phase, done/total, ETA, counters).
+
+Histograms inside result/workerstats metrics are checked against the
+bucketed-histogram schema: plain summaries carry count/sum/min/max/mean;
+bucketed ones append p50/p95/p99 and a sparse "buckets" object whose
+counts must sum to "count" (64 fixed log2 buckets, keys "0".."63").
 
 With --ckpt the argument is instead a binary checkpoint snapshot
 ("xbarlife.ckpt.v1": one JSON header line + raw payload); the header
@@ -49,6 +59,16 @@ DEGRADATION_KEYS = ["fallback_executor", "fallbacks", "retries", "reconnects"]
 BENCH_KEYS = ["schema", "tool", "kernel", "executor", "threads", "git_rev",
               "results"]
 BENCH_RESULT_KEYS = ["name", "unit", "reps", "median", "p10", "p90"]
+WORKERSTATS_SCHEMA = "xbarlife.workerstats.v1"
+WORKERSTATS_KEYS = ["schema", "build", "wire_version", "request_version",
+                    "uptime_ms", "requests_served", "replay_hits", "errors",
+                    "active_connections", "connections_total", "metrics"]
+PROGRESS_SCHEMA = "xbarlife.progress.v1"
+PROGRESS_KEYS = ["schema", "command", "phase", "done", "total",
+                 "elapsed_ms", "finished", "counters"]
+HIST_KEYS = ["count", "sum", "min", "max", "mean"]
+HIST_BUCKETED_KEYS = HIST_KEYS + ["p50", "p95", "p99", "buckets"]
+HIST_BUCKET_COUNT = 64
 
 
 def fail(message):
@@ -99,6 +119,105 @@ def validate_faults_data(data):
             fail(f"campaign entry {index} is timed_out but not failed")
         if "wall_ms" in entry:
             fail(f"campaign entry {index} carries nondeterministic wall_ms")
+
+
+def validate_histograms(histograms, where):
+    """Checks every histogram summary in a metrics object against the
+    plain or bucketed schema."""
+    if not isinstance(histograms, dict):
+        fail(f"{where}: 'histograms' must be an object")
+    for name, hist in histograms.items():
+        keys = list(hist.keys())
+        if keys not in (HIST_KEYS, HIST_BUCKETED_KEYS):
+            fail(f"{where}: histogram {name!r} keys {keys} match neither "
+                 f"{HIST_KEYS} nor {HIST_BUCKETED_KEYS}")
+        if not isinstance(hist["count"], int) or hist["count"] < 1:
+            fail(f"{where}: histogram {name!r} count must be >= 1 "
+                 f"(empty histograms are never exported)")
+        if "buckets" not in hist:
+            continue
+        if not hist["min"] <= hist["p50"] <= hist["p95"] <= hist["p99"] \
+                <= hist["max"]:
+            fail(f"{where}: histogram {name!r} quantiles out of order")
+        buckets = hist["buckets"]
+        if not isinstance(buckets, dict) or not buckets:
+            fail(f"{where}: bucketed histogram {name!r} has no buckets")
+        total = 0
+        for key, value in buckets.items():
+            if not key.isdigit() or int(key) >= HIST_BUCKET_COUNT:
+                fail(f"{where}: histogram {name!r} bucket key {key!r} "
+                     f"outside 0..{HIST_BUCKET_COUNT - 1}")
+            if not isinstance(value, int) or value < 1:
+                fail(f"{where}: histogram {name!r} bucket {key!r} count "
+                     f"{value!r} must be a positive integer (zero "
+                     f"buckets are elided)")
+            total += value
+        if total != hist["count"]:
+            fail(f"{where}: histogram {name!r} bucket counts sum to "
+                 f"{total}, expected count {hist['count']}")
+
+
+def validate_metrics(metrics, where):
+    if not isinstance(metrics, dict) or list(metrics.keys()) != METRIC_KEYS:
+        fail(f"{where}: 'metrics' must have keys {METRIC_KEYS}")
+    validate_histograms(metrics["histograms"], where)
+
+
+def validate_workerstats(doc):
+    """Checks an xbarlife.workerstats.v1 document (worker-status)."""
+    if list(doc.keys()) != WORKERSTATS_KEYS:
+        fail(f"workerstats keys {list(doc.keys())} != {WORKERSTATS_KEYS}")
+    if not isinstance(doc["build"], str) or not doc["build"]:
+        fail("workerstats 'build' must be a non-empty string")
+    for key in ("wire_version", "request_version"):
+        if not isinstance(doc[key], int) or doc[key] < 1:
+            fail(f"workerstats {key!r} must be a positive integer")
+    for key in ("uptime_ms", "requests_served", "replay_hits", "errors",
+                "active_connections", "connections_total"):
+        if not isinstance(doc[key], int) or doc[key] < 0:
+            fail(f"workerstats {key!r} must be a non-negative integer")
+    if doc["active_connections"] > doc["connections_total"]:
+        fail("workerstats active_connections exceeds connections_total")
+    validate_metrics(doc["metrics"], "workerstats")
+    return (f"build={doc['build']!r}, "
+            f"{doc['requests_served']} requests served")
+
+
+def validate_progress(doc):
+    """Checks an xbarlife.progress.v1 snapshot (--status-file)."""
+    keys = list(doc.keys())
+    base = list(keys)
+    # eta_ms is optional (absent until a unit completes / once finished)
+    # and sits between elapsed_ms and finished; counters only appear when
+    # a registry is attached.
+    if "eta_ms" in base:
+        if base.index("eta_ms") != base.index("elapsed_ms") + 1:
+            fail("'eta_ms' must directly follow 'elapsed_ms'")
+        base.remove("eta_ms")
+    if base not in (PROGRESS_KEYS, PROGRESS_KEYS[:-1]):
+        fail(f"progress keys {keys} != {PROGRESS_KEYS} (+ optional "
+             f"'eta_ms', 'counters' optional)")
+    if not isinstance(doc["command"], str) or not doc["command"]:
+        fail("progress 'command' must be a non-empty string")
+    for key in ("done", "total", "elapsed_ms"):
+        if not isinstance(doc[key], int) or doc[key] < 0:
+            fail(f"progress {key!r} must be a non-negative integer")
+    if not isinstance(doc["finished"], bool):
+        fail("progress 'finished' must be a boolean")
+    if "eta_ms" in doc and (not isinstance(doc["eta_ms"], int)
+                            or doc["eta_ms"] < 0):
+        fail("progress 'eta_ms' must be a non-negative integer")
+    if "counters" in doc:
+        counters = doc["counters"]
+        if not isinstance(counters, dict):
+            fail("progress 'counters' must be an object")
+        for name, value in counters.items():
+            if not isinstance(value, int) or value < 0:
+                fail(f"progress counter {name!r} must be a non-negative "
+                     f"integer")
+    return (f"command={doc['command']!r}, phase={doc['phase']!r}, "
+            f"{doc['done']}/{doc['total']}"
+            f"{' finished' if doc['finished'] else ''}")
 
 
 def validate_profile_rollup(profile):
@@ -162,9 +281,7 @@ def validate_result(result):
         validate_degradation(degradation)
     if not isinstance(result["data"], dict):
         fail("result 'data' must be an object")
-    metrics = result["metrics"]
-    if not isinstance(metrics, dict) or list(metrics.keys()) != METRIC_KEYS:
-        fail(f"result 'metrics' must have keys {METRIC_KEYS}")
+    validate_metrics(result["metrics"], "result")
     if "profile" in result:
         validate_profile_rollup(result["profile"])
     if result["command"] == "faults":
@@ -199,9 +316,14 @@ def validate_bench(doc):
     if not isinstance(results, list) or not results:
         fail("bench 'results' must be a non-empty list")
     for index, entry in enumerate(results):
-        if list(entry.keys()) != BENCH_RESULT_KEYS:
-            fail(f"bench result {index} keys {list(entry.keys())} != "
-                 f"{BENCH_RESULT_KEYS}")
+        # Extra keys (e.g. a passed-through histogram summary) must
+        # trail the pinned prefix; bench_to_json.py never strips them.
+        if list(entry.keys())[:len(BENCH_RESULT_KEYS)] != BENCH_RESULT_KEYS:
+            fail(f"bench result {index} keys {list(entry.keys())} do not "
+                 f"start with {BENCH_RESULT_KEYS}")
+        if "histogram" in entry:
+            validate_histograms({entry["name"]: entry["histogram"]},
+                                f"bench result {index}")
         if entry["reps"] < 1:
             fail(f"bench result {index} has no repetitions")
         if not entry["p10"] <= entry["median"] <= entry["p90"]:
@@ -330,6 +452,10 @@ def main():
         detail = validate_profile(result)
     elif result.get("schema") == BENCH_SCHEMA:
         detail = validate_bench(result)
+    elif result.get("schema") == WORKERSTATS_SCHEMA:
+        detail = validate_workerstats(result)
+    elif result.get("schema") == PROGRESS_SCHEMA:
+        detail = validate_progress(result)
     else:
         detail = validate_result(result)
 

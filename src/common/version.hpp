@@ -1,0 +1,12 @@
+// Build identification shared by the CLI, the worker, and the wire-level
+// handshake. The version string travels in hello/hello-ack payloads so
+// both ends of a remote-execution link can report what they are talking
+// to; the protocol compatibility check itself is the separate
+// wire/request version bytes — this string is diagnostic only.
+#pragma once
+
+namespace xbarlife {
+
+inline constexpr const char* kBuildVersion = "0.9.0";
+
+}  // namespace xbarlife

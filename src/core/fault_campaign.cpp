@@ -160,6 +160,9 @@ FaultCampaignResult run_fault_campaign(const FaultCampaignConfig& config,
   // NOT the pool size — so batch composition (and with it the
   // batch-relative fields of sweep_job_done trace events) is identical
   // at any thread count.
+  // Batches flow through ScenarioRunner::run, which only sees one batch
+  // at a time; the campaign-wide phase is declared here.
+  obs.progress_phase("faults.jobs", 0, specs.size());
   constexpr std::size_t kChunk = 16;
   for (std::size_t start = 0; start < specs.size(); start += kChunk) {
     const std::size_t end = std::min(specs.size(), start + kChunk);

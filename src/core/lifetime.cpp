@@ -178,6 +178,9 @@ LifetimeResult LifetimeSimulator::run(tuning::HardwareNetwork& hw,
   if (obs.metrics_enabled()) {
     hw.attach_metrics(*obs.metrics);
   }
+  // Lets the remote executor open its per-sequence remote-execute span
+  // (and graft the worker's span tree under it) in profiled runs.
+  hw.attach_profiler(obs.profiler);
   tuning::OnlineTuner tuner(config_.tuning);
   hw_ = &hw;
   tuner_ = &tuner;
@@ -239,6 +242,8 @@ LifetimeResult LifetimeSimulator::run(tuning::HardwareNetwork& hw,
                                                            : nullptr);
   }
 
+  obs.progress_phase("lifetime.sessions", next_session_,
+                     config_.max_sessions);
   for (std::size_t session = next_session_;
        session < config_.max_sessions && !result_.died; ++session) {
     check_job_deadline();
@@ -364,6 +369,7 @@ LifetimeResult LifetimeSimulator::run(tuning::HardwareNetwork& hw,
            {"pulses_total", rec.pulses_total}});
     }
     session_span.reset();
+    obs.progress_tick();
 
     if (store != nullptr) {
       if (child != nullptr) {

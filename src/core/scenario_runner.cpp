@@ -86,6 +86,10 @@ std::vector<ScenarioSweepEntry> ScenarioRunner::run(
   parallel_for(0, jobs.size(), 1, [&](std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) {
       entries[i] = run_single(jobs[i], fork.job(i));
+      // Heartbeat as jobs complete (any order); the enclosing phase is
+      // set by the caller, which knows the full campaign size — this
+      // run() may only see one resumable batch of it.
+      obs.progress_tick();
     }
   });
 

@@ -161,6 +161,11 @@ CheckpointedSweepOutcome run_checkpointed_sweep(
   }
   obs::ObsFork fork(fork_parent, std::move(labels));
 
+  // Resumed jobs count as already done, so a resumed run's heartbeat
+  // starts where the killed run left off.
+  obs.progress_phase(config.kind + ".jobs",
+                     out.jobs.size() - pending.size(), out.jobs.size());
+
   const std::size_t chunk = config.chunk > 0 ? config.chunk : 16;
   for (std::size_t start = 0; start < pending.size(); start += chunk) {
     const std::size_t end = std::min(pending.size(), start + chunk);
@@ -185,6 +190,7 @@ CheckpointedSweepOutcome run_checkpointed_sweep(
         job.entry_json = serialize_entry(idx, entry);
         XB_ASSERT(!job.entry_json.empty(),
                   "entry serializer returned nothing for " + job.label);
+        obs.progress_tick();
       }
     });
     for (std::size_t k = start; k < end; ++k) {

@@ -192,6 +192,7 @@ TrainHistory Trainer::run(const obs::Obs& obs,
     fit_obs.trace = nullptr;
   }
   const obs::Span fit_span(fit_obs, "train.fit");
+  obs.progress_phase("train.epochs", next_epoch_, config_.epochs);
   for (std::size_t epoch = next_epoch_; epoch < config_.epochs; ++epoch) {
     check_job_deadline();
     // Inner scope: the epoch span must close before the snapshot drain
@@ -247,6 +248,7 @@ TrainHistory Trainer::run(const obs::Obs& obs,
         freeze_omegas_now();
       }
     }
+    obs.progress_tick();
 
     if (store != nullptr) {
       if (child != nullptr) {

@@ -33,6 +33,10 @@
 
 #include "net/transport.hpp"
 
+namespace xbarlife::obs {
+class Registry;
+}  // namespace xbarlife::obs
+
 namespace xbarlife::net {
 
 inline constexpr std::uint8_t kWireVersion = 1;
@@ -58,9 +62,33 @@ enum class MsgType : std::uint8_t {
   kHeartbeatAck = 6,   ///< worker -> client
   kError = 7,          ///< worker -> client: str(message) payload
   kShutdown = 8,       ///< client -> worker: stop serving after this frame
+  kStats = 9,          ///< client -> worker: request a stats snapshot
+  kStatsAck = 10,      ///< worker -> client: xbarlife.workerstats.v1 payload
 };
 
 const char* to_string(MsgType type);
+
+/// Installs the process-default registry wire telemetry reports into:
+/// bucketed "net.frame_bytes_in"/"net.frame_bytes_out" histograms and a
+/// "net.crc_failures" counter, all lazily created on first frame so runs
+/// that never touch the wire stay byte-identical. Pass nullptr to detach.
+void set_wire_metrics(obs::Registry* registry);
+
+/// RAII thread-local override of the wire-metrics registry. The worker
+/// serving loop installs one per connection so worker-side frames land in
+/// the worker's stats registry (or nowhere) instead of double-counting
+/// into the client registry when the loopback worker shares the process.
+class WireMetricsScope {
+ public:
+  explicit WireMetricsScope(obs::Registry* registry);
+  ~WireMetricsScope();
+  WireMetricsScope(const WireMetricsScope&) = delete;
+  WireMetricsScope& operator=(const WireMetricsScope&) = delete;
+
+ private:
+  obs::Registry* saved_;
+  bool saved_active_;
+};
 
 struct Frame {
   MsgType type = MsgType::kError;

@@ -25,11 +25,14 @@ ObsFork::ObsFork(const Obs& parent, std::vector<std::string> labels)
 }
 
 Obs ObsFork::job(std::size_t i) {
+  // Deliberately no progress handle: the campaign loop owns the phase
+  // and ticks once per finished job on the parent Obs; letting a job's
+  // inner phases (e.g. lifetime.sessions) through would clobber it.
+  Obs handle;
   if (children_.empty()) {
-    return {};
+    return handle;
   }
   Child& child = *children_[i];
-  Obs handle;
   handle.metrics = parent_.metrics_enabled() ? &child.registry : nullptr;
   handle.trace = child.trace.get();
   handle.profiler = child.profiler.get();

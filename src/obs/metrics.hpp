@@ -13,8 +13,10 @@
 // no metrics are attached.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <map>
 #include <memory>
@@ -56,9 +58,22 @@ class Gauge {
   std::atomic<bool> set_{false};
 };
 
-/// Streaming summary (count / sum / min / max) of observed samples.
+/// Streaming summary (count / sum / min / max) of observed samples, plus a
+/// fixed log-scale bucket array for deterministic quantile estimates.
+///
+/// Buckets are powers of two: bucket 0 catches non-positive and non-finite
+/// samples, bucket i (i >= 1) spans [2^(i-33), 2^(i-32)) — covering
+/// ~1.2e-10 through ~2.1e9 with everything beyond clamped into the edge
+/// buckets. Every observe() updates the buckets, so combine() is a plain
+/// element-wise add and the merged state is invariant under merge order;
+/// quantile() reads only buckets/count/min/max (never the fp sum), so the
+/// estimates are byte-identical at any thread count and any fold order.
+/// The bucketed flag (Registry::bucketed_histogram) only widens the JSON
+/// export — plain histograms keep their summary-only shape.
 class HistogramMetric {
  public:
+  static constexpr std::size_t kBuckets = 64;
+
   void observe(double sample);
 
   std::uint64_t count() const;
@@ -67,15 +82,35 @@ class HistogramMetric {
   double max() const;  ///< -inf when empty
   double mean() const;  ///< 0 when empty
 
+  /// Deterministic quantile estimate from the log buckets (q in [0,1]);
+  /// 0 when empty. Exact for min/max, within one bucket width otherwise.
+  double quantile(double q) const;
+
+  /// Snapshot of the bucket array.
+  std::array<std::uint64_t, kBuckets> buckets() const;
+
+  /// Whether extended (quantile + bucket) JSON export is requested.
+  bool bucketed() const;
+  void set_bucketed();
+
+  /// Maps a sample to its bucket index (exposed for tests).
+  static std::size_t bucket_index(double sample);
+
   /// Adds another summary into this one (used by Registry::merge_from).
+  /// Commutative and associative: combine(a,b) == combine(b,a) up to fp
+  /// addition of sums, and bucket/quantile state exactly.
   void combine(const HistogramMetric& other);
 
  private:
+  double quantile_locked(double q) const;
+
   mutable std::mutex mu_;
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  bool bucketed_ = false;
 };
 
 class Registry {
@@ -91,6 +126,12 @@ class Registry {
   Gauge& gauge(std::string_view name);
   HistogramMetric& histogram(std::string_view name);
 
+  /// Like histogram(), but marks the metric for extended JSON export:
+  /// p50/p95/p99 estimates plus the sparse bucket array are emitted after
+  /// the summary fields. The flag survives merge_from, so a bucketed
+  /// child histogram stays bucketed in the merged parent snapshot.
+  HistogramMetric& bucketed_histogram(std::string_view name);
+
   /// Folds `other` into this registry: counters add, histograms combine,
   /// and set gauges overwrite (callers merge in job-index order, so
   /// "latest job wins" is deterministic).
@@ -103,6 +144,16 @@ class Registry {
   /// matches `exclude_suffix` (when non-empty) are dropped — the
   /// determinism tests use this to ignore wall-clock "*_ms" series.
   JsonValue to_json(std::string_view exclude_suffix = {}) const;
+
+  /// Counters only, as a JSON object keyed by name (sorted). The cheap
+  /// live rollup used by progress snapshots: Counter::add is atomic, so
+  /// this is safe to call while jobs are still incrementing.
+  JsonValue counters_json() const;
+
+  /// Calls fn(name, value) for every counter in name order. Used by the
+  /// wire layer to ship counter deltas without exposing the maps.
+  void visit_counters(
+      const std::function<void(const std::string&, std::uint64_t)>& fn) const;
 
   std::size_t size() const;
 

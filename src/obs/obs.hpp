@@ -19,6 +19,7 @@
 #include "obs/event_trace.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
+#include "obs/progress.hpp"
 
 namespace xbarlife::obs {
 
@@ -26,6 +27,10 @@ struct Obs {
   Registry* metrics = nullptr;
   EventTrace* trace = nullptr;
   Profiler* profiler = nullptr;
+  /// Live progress heartbeats (--status-file). Deliberately excluded from
+  /// enabled(): progress is a side channel, not a mergeable sink, and must
+  /// not force ObsFork to build per-job children.
+  ProgressReporter* progress = nullptr;
 
   bool metrics_enabled() const { return metrics != nullptr; }
   bool trace_enabled() const { return trace != nullptr && trace->enabled(); }
@@ -65,6 +70,19 @@ struct Obs {
   void event(std::string_view type, const std::vector<Field>& fields) const {
     if (trace != nullptr) {
       trace->emit(type, fields);
+    }
+  }
+  /// Progress heartbeat helpers; no-ops with no reporter attached, like
+  /// every other Obs entry point.
+  void progress_phase(std::string_view name, std::uint64_t done,
+                      std::uint64_t total) const {
+    if (progress != nullptr) {
+      progress->phase(name, done, total);
+    }
+  }
+  void progress_tick(std::uint64_t delta = 1) const {
+    if (progress != nullptr) {
+      progress->tick(delta);
     }
   }
 };

@@ -1,0 +1,99 @@
+#include "obs/progress.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "persist/checkpoint.hpp"
+
+namespace xbarlife::obs {
+
+ProgressReporter::ProgressReporter(std::string path, std::string command,
+                                   std::chrono::milliseconds min_interval)
+    : path_(std::move(path)),
+      command_(std::move(command)),
+      min_interval_(min_interval),
+      started_(std::chrono::steady_clock::now()),
+      last_write_(started_ - min_interval) {}
+
+void ProgressReporter::attach_counters(const Registry* registry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_ = registry;
+}
+
+void ProgressReporter::phase(std::string_view name, std::uint64_t done,
+                             std::uint64_t total) {
+  std::lock_guard<std::mutex> lock(mu_);
+  phase_ = std::string(name);
+  done_ = done;
+  total_ = total;
+  write_locked(/*force=*/true);
+}
+
+void ProgressReporter::tick(std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  done_ += delta;
+  write_locked(/*force=*/false);
+}
+
+void ProgressReporter::finish() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (finished_) {
+    return;
+  }
+  finished_ = true;
+  write_locked(/*force=*/true);
+}
+
+std::string ProgressReporter::render_locked() const {
+  const auto now = std::chrono::steady_clock::now();
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::milliseconds>(now - started_);
+  const std::uint64_t elapsed_ms =
+      static_cast<std::uint64_t>(elapsed.count());
+
+  std::ostringstream out;
+  out << "{\"schema\":\"xbarlife.progress.v1\",\"command\":\""
+      << json_escape(command_) << "\",\"phase\":\"" << json_escape(phase_)
+      << "\",\"done\":" << done_ << ",\"total\":" << total_
+      << ",\"elapsed_ms\":" << elapsed_ms;
+  // ETA is the naive linear extrapolation; meaningless until a unit has
+  // finished or once the run is past (or at) its target.
+  if (!finished_ && done_ > 0 && total_ > done_) {
+    const double per_unit =
+        static_cast<double>(elapsed_ms) / static_cast<double>(done_);
+    out << ",\"eta_ms\":"
+        << static_cast<std::uint64_t>(per_unit *
+                                      static_cast<double>(total_ - done_));
+  }
+  out << ",\"finished\":" << (finished_ ? "true" : "false");
+  if (counters_ != nullptr) {
+    out << ",\"counters\":" << counters_->counters_json().dump();
+  }
+  out << "}\n";
+  return out.str();
+}
+
+void ProgressReporter::write_locked(bool force) {
+  const auto now = std::chrono::steady_clock::now();
+  if (!force && wrote_ && now - last_write_ < min_interval_) {
+    return;
+  }
+  const std::string doc = render_locked();
+  if (force) {
+    persist::write_file_atomic(path_, doc);
+  } else {
+    // A rate-limited heartbeat must never kill the run it reports on.
+    try {
+      persist::write_file_atomic(path_, doc);
+    } catch (const IoError&) {
+      return;
+    }
+  }
+  last_write_ = now;
+  wrote_ = true;
+}
+
+}  // namespace xbarlife::obs

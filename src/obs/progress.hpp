@@ -1,0 +1,85 @@
+// ProgressReporter: live progress heartbeats for long-running commands
+// (schema "xbarlife.progress.v1").
+//
+// A reporter owns one status file and rewrites it atomically (via
+// persist::write_file_atomic, the same tmp+rename primitive checkpoints
+// use) whenever the run advances, so an external watcher — `watch cat`,
+// a dashboard poller — always reads a complete, parseable snapshot:
+//
+//   {"schema":"xbarlife.progress.v1","command":"lifetime",
+//    "phase":"lifetime.sessions","done":12,"total":40,
+//    "elapsed_ms":1523,"eta_ms":3554,"finished":false,
+//    "counters":{"aging.pulses":81234,...}}
+//
+// phase() and finish() always write; tick() is rate-limited to one write
+// per `min_interval` so per-unit ticks in hot loops cost an atomic clock
+// read, not a file write. The ETA is the naive linear extrapolation
+// elapsed/done * (total - done) — honest for homogeneous units, absent
+// ("eta_ms" omitted) until at least one unit completes or when the total
+// is unknown. The optional counters rollup snapshots a live Registry's
+// counters (Registry::counters_json()), giving watchers the same live
+// totals the final result document will report.
+//
+// All entry points are thread-safe: parallel sweep workers tick a single
+// shared reporter. A tick whose rate-limited write fails (disk full,
+// status path vanished) is swallowed — a heartbeat must never kill the
+// run it reports on — but forced writes from phase()/finish() propagate
+// IoError so a bad --status-file path fails fast at phase setup.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace xbarlife::obs {
+
+class Registry;
+
+class ProgressReporter {
+ public:
+  /// `command` is stamped into every snapshot ("train", "lifetime",
+  /// "sweep", "faults"). No file is written until the first phase()/tick().
+  ProgressReporter(std::string path, std::string command,
+                   std::chrono::milliseconds min_interval =
+                       std::chrono::milliseconds(200));
+
+  ProgressReporter(const ProgressReporter&) = delete;
+  ProgressReporter& operator=(const ProgressReporter&) = delete;
+
+  /// Attaches the registry whose counters are rolled into every snapshot.
+  /// Pass nullptr to detach; the registry must outlive the reporter.
+  void attach_counters(const Registry* registry);
+
+  /// Enters a named phase with `done` of `total` units already complete
+  /// (resumed runs start past zero). Always writes.
+  void phase(std::string_view name, std::uint64_t done, std::uint64_t total);
+
+  /// Records `delta` finished units; writes at most once per min_interval.
+  void tick(std::uint64_t delta = 1);
+
+  /// Marks the run finished and writes a final snapshot. Idempotent.
+  void finish();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  void write_locked(bool force);
+  std::string render_locked() const;
+
+  const std::string path_;
+  const std::string command_;
+  const std::chrono::milliseconds min_interval_;
+  std::mutex mu_;
+  const Registry* counters_ = nullptr;
+  std::string phase_;
+  std::uint64_t done_ = 0;
+  std::uint64_t total_ = 0;
+  bool finished_ = false;
+  std::chrono::steady_clock::time_point started_;
+  std::chrono::steady_clock::time_point last_write_;
+  bool wrote_ = false;
+};
+
+}  // namespace xbarlife::obs

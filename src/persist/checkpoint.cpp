@@ -201,6 +201,24 @@ bool file_exists(const std::string& file) {
 
 }  // namespace
 
+void write_file_atomic(const std::string& path, std::string_view content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) {
+      throw IoError("cannot write file: " + tmp);
+    }
+    out.write(content.data(), static_cast<std::streamsize>(content.size()));
+    out.flush();
+    if (!out.good()) {
+      throw IoError("file write failed: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw IoError("cannot move file into place: " + path);
+  }
+}
+
 CheckpointStore::CheckpointStore(std::string path)
     : path_(std::move(path)) {
   if (path_.empty()) {

@@ -34,6 +34,12 @@ inline constexpr std::string_view kCheckpointSchema = "xbarlife.ckpt.v1";
 /// crc32("123456789") == 0xCBF43926.
 std::uint32_t crc32(std::string_view data);
 
+/// Atomically replaces `path` with `content`: writes <path>.tmp, flushes,
+/// then renames into place — readers never observe a partial file. The
+/// same primitive CheckpointStore::save builds on; progress status files
+/// reuse it directly. Throws IoError on failure.
+void write_file_atomic(const std::string& path, std::string_view content);
+
 /// FNV-1a 64-bit accumulator for state fingerprints: a cheap content hash
 /// of the configuration that must match for a snapshot to be resumable.
 class Fingerprint {

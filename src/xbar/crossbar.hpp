@@ -21,6 +21,10 @@
 #include "xbar/nonideal.hpp"
 #include "xbar/program_sequence.hpp"
 
+namespace xbarlife::obs {
+class Profiler;
+}  // namespace xbarlife::obs
+
 namespace xbarlife::xbar {
 
 /// Aggregate ground-truth aging statistics of an array.
@@ -158,6 +162,13 @@ class Crossbar {
     batch_counter_ = column_batches;
   }
 
+  /// Attaches a span profiler (null to detach). The remote executor opens
+  /// an "executor.remote.execute" span per shipped sequence and grafts the
+  /// worker's span tree under it; in-process backends ignore it. Must
+  /// outlive the crossbar.
+  void attach_profiler(obs::Profiler* profiler) { profiler_ = profiler; }
+  obs::Profiler* profiler() const { return profiler_; }
+
   std::uint64_t total_pulses() const { return total_pulses_; }
 
   /// Array-wide thermal-crosstalk stress pool shared by every cell.
@@ -207,6 +218,7 @@ class Crossbar {
   double ambient_stress_ = 0.0;
   obs::Counter* seq_counter_ = nullptr;
   obs::Counter* batch_counter_ = nullptr;
+  obs::Profiler* profiler_ = nullptr;
   /// Engaged only by configure_nonideality with a nonzero config.
   std::optional<NonidealityConfig> nonideal_;
   std::uint64_t nonideality_seed_ = 0;

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/shutdown.hpp"
+#include "common/version.hpp"
 #include "net/wire.hpp"
 #include "persist/state_io.hpp"
 #include "xbar/crossbar.hpp"
@@ -13,8 +14,15 @@ namespace xbarlife::xbar {
 
 namespace {
 
-constexpr std::uint8_t kRequestVersion = 1;
-constexpr std::uint8_t kResponseVersion = 1;
+/// v2 appends the telemetry fields (want_telemetry + trace context on the
+/// request; has_telemetry + span tree + counter deltas on the response)
+/// after the complete v1 layout, so the worker still accepts v1 requests
+/// and answers them in v1 shape.
+constexpr std::uint8_t kRequestVersion = 2;
+constexpr std::uint8_t kResponseVersion = 2;
+constexpr std::uint8_t kStatsVersion = 1;
+/// Wire encoding of obs::kNoSpan in a shipped span tree.
+constexpr std::uint64_t kNoSpanWire = ~std::uint64_t{0};
 
 /// Serialized size of one cell in Crossbar::save_state (4 f64 + 1 u64);
 /// used to reject request geometries the shipped state cannot back.
@@ -73,13 +81,55 @@ aging::AgingParams read_aging_params(persist::StateReader& r) {
 
 std::atomic<obs::Registry*> g_remote_metrics{nullptr};
 
+/// Versioned hello / hello-ack payload: both directions stamp the wire
+/// version, the execute-request codec version, and the build string. An
+/// empty payload is a legacy peer and is accepted as-is.
+std::string hello_payload() {
+  persist::StateWriter w;
+  w.u8(net::kWireVersion);
+  w.u8(kRequestVersion);
+  w.str(kBuildVersion);
+  return w.data();
+}
+
+/// Client-side hello-ack validation: rejects a worker that could not
+/// parse the requests this build will send. Empty = legacy, accepted.
+void check_hello_ack(std::string_view payload) {
+  if (payload.empty()) {
+    return;
+  }
+  std::uint8_t wire_v = 0;
+  std::uint8_t req_v = 0;
+  std::string build;
+  try {
+    persist::StateReader r(payload);
+    wire_v = r.u8();
+    req_v = r.u8();
+    build = r.str();
+  } catch (const Error&) {
+    throw net::WireError("remote worker sent a malformed hello ack payload");
+  }
+  if (wire_v != net::kWireVersion || req_v < kRequestVersion) {
+    throw net::WireError(
+        "remote worker (build " + build + ") speaks wire v" +
+        std::to_string(wire_v) + " / execute-request v" +
+        std::to_string(req_v) + "; this client (build " +
+        std::string(kBuildVersion) + ") needs wire v" +
+        std::to_string(net::kWireVersion) + " and execute-request >= v" +
+        std::to_string(kRequestVersion));
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
 // Worker-side protocol handlers.
 
 std::string encode_execute_request(const Crossbar& xb,
-                                   const ProgramSequence& seq) {
+                                   const ProgramSequence& seq,
+                                   bool want_telemetry,
+                                   std::uint64_t trace_id,
+                                   std::uint64_t span_id) {
   persist::StateWriter w;
   w.u8(kRequestVersion);
   w.u64(xb.rows());
@@ -100,16 +150,19 @@ std::string encode_execute_request(const Crossbar& xb,
   xb.save_state(state);
   w.str(state.data());
   seq.save_state(w);
+  w.boolean(want_telemetry);
+  w.u64(trace_id);
+  w.u64(span_id);
   return w.data();
 }
 
 std::string execute_request(std::string_view payload) {
   persist::StateReader r(payload);
   const std::uint8_t version = r.u8();
-  if (version != kRequestVersion) {
+  if (version < 1 || version > kRequestVersion) {
     throw InvalidArgument("remote execute request version " +
                           std::to_string(version) +
-                          " is not supported (this worker speaks " +
+                          " is not supported (this worker speaks up to " +
                           std::to_string(kRequestVersion) + ")");
   }
   const std::uint64_t rows = r.u64();
@@ -141,9 +194,28 @@ std::string execute_request(std::string_view payload) {
         std::to_string(state.size()) + "-byte state payload");
   }
   const ProgramSequence seq = ProgramSequence::load_state(r);
+  bool want_telemetry = false;
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  if (version >= 2) {
+    want_telemetry = r.boolean();
+    trace_id = r.u64();
+    span_id = r.u64();
+  }
   if (!r.done()) {
     throw InvalidArgument("remote execute request has trailing bytes");
   }
+
+  // Per-request telemetry: a private profiler + registry whose entire
+  // contents ship back in the response. Span structure and counter values
+  // are deterministic; only the wall-clock offsets/durations are not —
+  // the same contract the client-side profile export already follows.
+  obs::Profiler prof;
+  obs::Registry reg;
+  const std::size_t request_span =
+      want_telemetry ? prof.begin_span("worker.request") : 0;
+  const std::size_t rebuild_span =
+      want_telemetry ? prof.begin_span("worker.rebuild") : 0;
 
   Crossbar xb(static_cast<std::size_t>(rows), static_cast<std::size_t>(cols),
               dev, ag);
@@ -155,14 +227,32 @@ std::string execute_request(std::string_view payload) {
   if (!sr.done()) {
     throw InvalidArgument("remote execute request state has trailing bytes");
   }
+  if (want_telemetry) {
+    prof.end_span(rebuild_span);
+  }
 
   obs::Counter pulses;
   obs::Counter traced;
   xb.attach_pulse_counters(&pulses, &traced);
+  if (want_telemetry) {
+    xb.attach_executor_counters(&reg.counter("executor.sequences"),
+                                &reg.counter("executor.column_batches"));
+  }
+  const std::size_t execute_span =
+      want_telemetry ? prof.begin_span("worker.execute") : 0;
   const ExecReport report = SimExecutor{}.execute(xb, seq);
+  if (want_telemetry) {
+    prof.add_counter("aging.pulses", pulses.value());
+    prof.add_counter("aging.traced_pulses", traced.value());
+    prof.end_span(execute_span);
+    reg.counter("aging.pulses").add(pulses.value());
+    reg.counter("aging.traced_pulses").add(traced.value());
+  }
 
+  const std::size_t serialize_span =
+      want_telemetry ? prof.begin_span("worker.serialize") : 0;
   persist::StateWriter w;
-  w.u8(kResponseVersion);
+  w.u8(version);  // answer in the request's codec version
   w.u64(pulses.value());
   w.u64(traced.value());
   w.u64(report.results.size());
@@ -172,13 +262,53 @@ std::string execute_request(std::string_view payload) {
   persist::StateWriter state_out;
   xb.save_state(state_out);
   w.str(state_out.data());
+  if (want_telemetry) {
+    // Close the whole tree before encoding it; the telemetry encoding
+    // itself is the only work the spans cannot cover.
+    prof.end_span(serialize_span);
+    prof.end_span(request_span);
+  }
+  if (version >= 2) {
+    w.boolean(want_telemetry);
+    if (want_telemetry) {
+      w.u64(trace_id);
+      w.u64(span_id);
+      const auto& records = prof.records();
+      w.u64(records.size());
+      for (const obs::SpanRecord& rec : records) {
+        w.str(rec.name);
+        w.u64(rec.parent == obs::kNoSpan ? kNoSpanWire
+                                         : static_cast<std::uint64_t>(
+                                               rec.parent));
+        w.f64(std::chrono::duration<double, std::milli>(rec.start -
+                                                        prof.epoch())
+                  .count());
+        w.f64(rec.dur_ms);
+        w.u64(rec.counters.size());
+        for (const auto& [cname, cvalue] : rec.counters) {
+          w.str(cname);
+          w.u64(cvalue);
+        }
+      }
+      std::vector<std::pair<std::string, std::uint64_t>> deltas;
+      reg.visit_counters([&deltas](const std::string& name,
+                                   std::uint64_t value) {
+        deltas.emplace_back(name, value);
+      });
+      w.u64(deltas.size());
+      for (const auto& [dname, dvalue] : deltas) {
+        w.str(dname);
+        w.u64(dvalue);
+      }
+    }
+  }
   return w.data();
 }
 
 ExecuteResponse decode_execute_response(std::string_view payload) {
   persist::StateReader r(payload);
   const std::uint8_t version = r.u8();
-  if (version != kResponseVersion) {
+  if (version < 1 || version > kResponseVersion) {
     throw InvalidArgument("remote execute response version " +
                           std::to_string(version) + " is not supported");
   }
@@ -191,13 +321,137 @@ ExecuteResponse decode_execute_response(std::string_view payload) {
     resp.results.push_back(r.f64());
   }
   resp.crossbar_state = r.str();
+  if (version >= 2) {
+    resp.has_telemetry = r.boolean();
+    if (resp.has_telemetry) {
+      resp.trace_id = r.u64();
+      resp.span_id = r.u64();
+      // Minimum bytes per span: name len (8) + parent (8) + two f64 (16)
+      // + counter count (8); per counter: name len (8) + value (8).
+      const std::size_t span_count = r.array_count(40);
+      resp.spans.reserve(span_count);
+      for (std::size_t i = 0; i < span_count; ++i) {
+        obs::Profiler::RemoteSpan span;
+        span.name = r.str();
+        const std::uint64_t parent = r.u64();
+        span.parent = parent == kNoSpanWire
+                          ? obs::kNoSpan
+                          : static_cast<std::size_t>(parent);
+        span.start_offset_ms = r.f64();
+        span.dur_ms = r.f64();
+        const std::size_t counter_count = r.array_count(16);
+        span.counters.reserve(counter_count);
+        for (std::size_t c = 0; c < counter_count; ++c) {
+          std::string cname = r.str();
+          const std::uint64_t cvalue = r.u64();
+          span.counters.emplace_back(std::move(cname), cvalue);
+        }
+        resp.spans.push_back(std::move(span));
+      }
+      const std::size_t delta_count = r.array_count(16);
+      resp.counter_deltas.reserve(delta_count);
+      for (std::size_t i = 0; i < delta_count; ++i) {
+        std::string dname = r.str();
+        const std::uint64_t dvalue = r.u64();
+        resp.counter_deltas.emplace_back(std::move(dname), dvalue);
+      }
+    }
+  }
   if (!r.done()) {
     throw InvalidArgument("remote execute response has trailing bytes");
   }
   return resp;
 }
 
+std::string WorkerStatsState::encode_snapshot() const {
+  const std::uint64_t uptime_ms = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - started)
+          .count());
+  persist::StateWriter w;
+  w.u8(kStatsVersion);
+  w.str(kBuildVersion);
+  w.u8(net::kWireVersion);
+  w.u8(kRequestVersion);
+  w.u64(uptime_ms);
+  w.u64(requests_served.load(std::memory_order_relaxed));
+  w.u64(replay_hits.load(std::memory_order_relaxed));
+  w.u64(errors.load(std::memory_order_relaxed));
+  w.u64(active_connections.load(std::memory_order_relaxed));
+  w.u64(connections_total.load(std::memory_order_relaxed));
+  // The registry travels pre-rendered: the client splices the JSON dump
+  // verbatim (JsonValue::raw) instead of re-parsing metric structures.
+  w.str(metrics.to_json().dump());
+  return w.data();
+}
+
+WorkerStatsSnapshot decode_worker_stats(std::string_view payload) {
+  persist::StateReader r(payload);
+  const std::uint8_t version = r.u8();
+  if (version != kStatsVersion) {
+    throw InvalidArgument("worker stats snapshot version " +
+                          std::to_string(version) + " is not supported");
+  }
+  WorkerStatsSnapshot snap;
+  snap.build = r.str();
+  snap.wire_version = r.u8();
+  snap.request_version = r.u8();
+  snap.uptime_ms = r.u64();
+  snap.requests_served = r.u64();
+  snap.replay_hits = r.u64();
+  snap.errors = r.u64();
+  snap.active_connections = r.u64();
+  snap.connections_total = r.u64();
+  snap.metrics_json = r.str();
+  if (!r.done()) {
+    throw InvalidArgument("worker stats snapshot has trailing bytes");
+  }
+  return snap;
+}
+
+obs::JsonValue WorkerStatsSnapshot::to_json() const {
+  obs::JsonValue doc = obs::JsonValue::object();
+  doc.set("schema", "xbarlife.workerstats.v1");
+  doc.set("build", build);
+  doc.set("wire_version", wire_version);
+  doc.set("request_version", request_version);
+  doc.set("uptime_ms", uptime_ms);
+  doc.set("requests_served", requests_served);
+  doc.set("replay_hits", replay_hits);
+  doc.set("errors", errors);
+  doc.set("active_connections", active_connections);
+  doc.set("connections_total", connections_total);
+  doc.set("metrics", obs::JsonValue::raw(metrics_json));
+  return doc;
+}
+
+namespace {
+
+/// Bumps connection gauges for the lifetime of one served connection.
+struct ConnectionScope {
+  WorkerStatsState* stats;
+  explicit ConnectionScope(WorkerStatsState* s) : stats(s) {
+    if (stats != nullptr) {
+      stats->connections_total.fetch_add(1, std::memory_order_relaxed);
+      stats->active_connections.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  ~ConnectionScope() {
+    if (stats != nullptr) {
+      stats->active_connections.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+};
+
+}  // namespace
+
 bool serve_connection(net::Transport& t, const ServeOptions& opts) {
+  // Worker-side frames count into the worker's stats registry (or
+  // nowhere) — never into the process-default registry, which on a
+  // loopback link belongs to the client and would double-count.
+  net::WireMetricsScope wire_scope(
+      opts.stats != nullptr ? &opts.stats->metrics : nullptr);
+  ConnectionScope connection_scope(opts.stats);
   // One-deep idempotent-replay cache: clients retry strictly their most
   // recent request id, so caching the last response suffices to answer a
   // replayed id without re-executing.
@@ -220,28 +474,107 @@ bool serve_connection(net::Transport& t, const ServeOptions& opts) {
     }
     try {
       switch (frame.type) {
-        case net::MsgType::kHello:
-          net::write_frame(t, net::MsgType::kHelloAck, frame.seq_id);
+        case net::MsgType::kHello: {
+          // An empty payload is a legacy client: accepted, acked with our
+          // versions so IT can decide. A versioned payload is rejected
+          // only when this worker could not parse what the client will
+          // send (different wire version or a newer request codec).
+          std::string mismatch;
+          if (!frame.payload.empty()) {
+            try {
+              persist::StateReader hr(frame.payload);
+              const std::uint8_t wire_v = hr.u8();
+              const std::uint8_t req_v = hr.u8();
+              const std::string build = hr.str();
+              if (wire_v != net::kWireVersion || req_v > kRequestVersion) {
+                mismatch =
+                    "protocol mismatch: client (build " + build +
+                    ") speaks wire v" + std::to_string(wire_v) +
+                    " / execute-request v" + std::to_string(req_v) +
+                    "; this worker (build " + std::string(kBuildVersion) +
+                    ") speaks wire v" + std::to_string(net::kWireVersion) +
+                    " and execute-request <= v" +
+                    std::to_string(kRequestVersion);
+              }
+            } catch (const Error&) {
+              mismatch = "malformed hello payload";
+            }
+          }
+          if (!mismatch.empty()) {
+            if (opts.stats != nullptr) {
+              opts.stats->errors.fetch_add(1, std::memory_order_relaxed);
+            }
+            persist::StateWriter w;
+            w.str(mismatch);
+            net::write_frame(t, net::MsgType::kError, frame.seq_id,
+                             w.data());
+            break;
+          }
+          net::write_frame(t, net::MsgType::kHelloAck, frame.seq_id,
+                           hello_payload());
           break;
-        case net::MsgType::kHeartbeat:
-          net::write_frame(t, net::MsgType::kHeartbeatAck, frame.seq_id);
+        }
+        case net::MsgType::kHeartbeat: {
+          // With stats attached the ack stamps uptime + protocol
+          // versions; legacy clients simply ignore the payload.
+          persist::StateWriter w;
+          if (opts.stats != nullptr) {
+            w.u64(static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    std::chrono::steady_clock::now() - opts.stats->started)
+                    .count()));
+            w.u8(net::kWireVersion);
+            w.u8(kRequestVersion);
+          }
+          net::write_frame(t, net::MsgType::kHeartbeatAck, frame.seq_id,
+                           w.data());
           break;
+        }
         case net::MsgType::kExecute: {
-          if (!has_cached || frame.seq_id != cached_id) {
+          if (has_cached && frame.seq_id == cached_id) {
+            if (opts.stats != nullptr) {
+              opts.stats->replay_hits.fetch_add(1,
+                                                std::memory_order_relaxed);
+            }
+          } else {
+            const auto started = std::chrono::steady_clock::now();
             try {
               cached_response = execute_request(frame.payload);
               cached_id = frame.seq_id;
               has_cached = true;
             } catch (const Error& e) {
+              if (opts.stats != nullptr) {
+                opts.stats->errors.fetch_add(1, std::memory_order_relaxed);
+              }
               persist::StateWriter w;
               w.str(e.what());
               net::write_frame(t, net::MsgType::kError, frame.seq_id,
                                w.data());
               break;
             }
+            if (opts.stats != nullptr) {
+              opts.stats->requests_served.fetch_add(
+                  1, std::memory_order_relaxed);
+              opts.stats->metrics.bucketed_histogram("worker.request_ms")
+                  .observe(std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - started)
+                               .count());
+            }
           }
           net::write_frame(t, net::MsgType::kExecuteResult, frame.seq_id,
                            cached_response);
+          break;
+        }
+        case net::MsgType::kStats: {
+          if (opts.stats == nullptr) {
+            persist::StateWriter w;
+            w.str("worker stats are not enabled on this endpoint");
+            net::write_frame(t, net::MsgType::kError, frame.seq_id,
+                             w.data());
+          } else {
+            net::write_frame(t, net::MsgType::kStatsAck, frame.seq_id,
+                             opts.stats->encode_snapshot());
+          }
           break;
         }
         case net::MsgType::kShutdown:
@@ -279,6 +612,7 @@ std::unique_ptr<net::Transport> LoopbackWorker::connect() {
     ServeOptions opts;
     opts.idle_poll = std::chrono::milliseconds(50);
     opts.stop = &stop_;
+    opts.stats = &stats_;
     // The process-wide shutdown flag is handled by the client between
     // retries; the loopback thread must stay alive to serve the sequence
     // in flight so an interrupted run still checkpoints consistently.
@@ -349,12 +683,20 @@ void RemoteExecutor::ensure_connected(std::unique_lock<std::mutex>&) const {
   }
   ++connections_;
   link_ = std::make_unique<Link>(std::move(t));
-  // Hello handshake: prove the peer speaks xbarlife.wire.v1 before
-  // shipping a full-state request.
+  // Hello handshake: prove the peer speaks xbarlife.wire.v1 — and a
+  // compatible execute-request codec — before shipping a full-state
+  // request. Both sides stamp their versions; see check_hello_ack.
   const std::uint64_t id = ++next_seq_;
-  net::write_frame(*link_->transport, net::MsgType::kHello, id);
-  read_matching(net::MsgType::kHelloAck, id,
-                std::chrono::steady_clock::now() + config_.request_deadline);
+  net::write_frame(*link_->transport, net::MsgType::kHello, id,
+                   hello_payload());
+  const net::Frame ack = read_matching(
+      net::MsgType::kHelloAck, id,
+      std::chrono::steady_clock::now() + config_.request_deadline);
+  if (ack.type == net::MsgType::kError) {
+    persist::StateReader er(ack.payload);
+    throw net::WireError("remote worker refused the handshake: " + er.str());
+  }
+  check_hello_ack(ack.payload);
 }
 
 void RemoteExecutor::drop_connection() const {
@@ -439,9 +781,33 @@ ExecReport RemoteExecutor::execute(Crossbar& xb,
     return run_local(xb, seq);
   }
   ++stats_.requests;
-  const std::string payload = encode_execute_request(xb, seq);
-  // One id per logical request across all its retries: the replay key.
+  // With a profiler attached the request carries a trace context and asks
+  // the worker to profile itself; the worker's span tree grafts under
+  // this client-side span so one --profile run shows client wait vs.
+  // worker rebuild/execute/serialize. The RAII guard closes the span on
+  // every exit path, the fallback and error paths included.
+  obs::Profiler* profiler = xb.profiler();
+  struct SpanGuard {
+    obs::Profiler* profiler;
+    std::size_t index = 0;
+    explicit SpanGuard(obs::Profiler* p) : profiler(p) {
+      if (profiler != nullptr) {
+        index = profiler->begin_span("executor.remote.execute");
+      }
+    }
+    ~SpanGuard() {
+      if (profiler != nullptr) {
+        profiler->end_span(index);
+      }
+    }
+  } span_guard(profiler);
+  const bool want_telemetry = profiler != nullptr;
+  // One id per logical request across all its retries: the replay key
+  // (and, with telemetry, the trace id the worker echoes back).
   const std::uint64_t id = ++next_seq_;
+  const std::string payload = encode_execute_request(
+      xb, seq, want_telemetry, id,
+      want_telemetry ? static_cast<std::uint64_t>(span_guard.index) : 0);
   bool timed_out_on_live_link = false;
   for (int attempt = 0; attempt < config_.max_attempts; ++attempt) {
     // Cooperative shutdown is honored between retries (backoff_sleep
@@ -463,20 +829,42 @@ ExecReport RemoteExecutor::execute(Crossbar& xb,
         ensure_connected(lock);
       }
       timed_out_on_live_link = false;
+      const auto sent_at = std::chrono::steady_clock::now();
       net::write_frame(*link_->transport, net::MsgType::kExecute, id,
                        payload);
       const net::Frame frame = read_matching(
           net::MsgType::kExecuteResult, id,
-          std::chrono::steady_clock::now() + config_.request_deadline);
+          sent_at + config_.request_deadline);
       if (frame.type == net::MsgType::kError) {
         persist::StateReader er(frame.payload);
         throw RemoteWorkerError("remote worker rejected the request: " +
                                 er.str());
       }
       ExecuteResponse resp = decode_execute_response(frame.payload);
+      if (obs::Registry* reg =
+              g_remote_metrics.load(std::memory_order_acquire)) {
+        reg->bucketed_histogram("executor.remote.request_ms")
+            .observe(std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - sent_at)
+                         .count());
+      }
       persist::StateReader sr(resp.crossbar_state);
       xb.load_state(sr);
       xb.credit_pulse_counters(resp.pulses, resp.traced_pulses);
+      if (profiler != nullptr && resp.has_telemetry && resp.trace_id == id) {
+        // Exactly one graft per logical request: only the one successful
+        // decode reaches here, a replay-cache hit returns the original
+        // telemetry, and the degraded fallback path ships none.
+        profiler->graft(resp.spans, sent_at);
+        if (obs::Registry* reg =
+                g_remote_metrics.load(std::memory_order_acquire)) {
+          for (const auto& [name, value] : resp.counter_deltas) {
+            // Namespaced: the client already credits pulse counters from
+            // the response, so the raw names would double-count.
+            reg->counter("worker." + name).add(value);
+          }
+        }
+      }
       ExecReport report;
       report.results = std::move(resp.results);
       report.stats = seq.stats();
@@ -523,6 +911,59 @@ bool RemoteExecutor::pin_local_fallback() const {
 RemoteLinkStats RemoteExecutor::link_stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+WorkerStatsSnapshot query_worker_status(const RemoteConfig& config) {
+  std::unique_ptr<LoopbackWorker> loopback;
+  std::unique_ptr<net::Transport> t;
+  if (config.address == "loopback") {
+    loopback = std::make_unique<LoopbackWorker>(
+        net::FaultPlan::parse(config.fault_spec));
+    t = loopback->connect();
+  } else {
+    t = net::dial(config.address, config.dial_timeout);
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + config.request_deadline;
+  std::uint64_t next_id = 0;
+  const auto read_matching = [&](net::MsgType want,
+                                 std::uint64_t want_id) -> net::Frame {
+    for (;;) {
+      const auto left =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline - std::chrono::steady_clock::now());
+      if (left.count() <= 0) {
+        throw net::TransportTimeout(
+            "worker status: no response within the request deadline");
+      }
+      net::Frame frame = net::read_frame(*t, left);
+      if (frame.seq_id != want_id) {
+        continue;
+      }
+      if (frame.type == want || frame.type == net::MsgType::kError) {
+        return frame;
+      }
+    }
+  };
+  std::uint64_t id = ++next_id;
+  net::write_frame(*t, net::MsgType::kHello, id, hello_payload());
+  const net::Frame ack = read_matching(net::MsgType::kHelloAck, id);
+  if (ack.type == net::MsgType::kError) {
+    persist::StateReader er(ack.payload);
+    throw net::WireError("remote worker refused the handshake: " + er.str());
+  }
+  check_hello_ack(ack.payload);
+  id = ++next_id;
+  net::write_frame(*t, net::MsgType::kStats, id);
+  const net::Frame stats = read_matching(net::MsgType::kStatsAck, id);
+  if (stats.type == net::MsgType::kError) {
+    persist::StateReader er(stats.payload);
+    throw net::WireError("remote worker cannot answer a stats request: " +
+                         er.str());
+  }
+  WorkerStatsSnapshot snap = decode_worker_stats(stats.payload);
+  t->close();
+  return snap;
 }
 
 void set_remote_metrics(obs::Registry* registry) {

@@ -35,7 +35,9 @@
 #include "net/faulty.hpp"
 #include "net/transport.hpp"
 #include "net/wire.hpp"
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "xbar/executor.hpp"
 
 namespace xbarlife::xbar {
@@ -55,9 +57,17 @@ class RemoteWorkerError : public Error {
 
 /// Serializes a kExecute payload: geometry, device/aging parameters, the
 /// nonideality configuration (so the worker can rebuild the identical
-/// array), the full crossbar state, and the sequence.
+/// array), the full crossbar state, and the sequence. When
+/// `want_telemetry` is set the request additionally carries a trace
+/// context (trace_id / span_id) and asks the worker to profile itself and
+/// ship its span tree + metric deltas back in the response; the v1 field
+/// layout is preserved as a prefix, so v1 workers still parse the
+/// geometry before rejecting the version.
 std::string encode_execute_request(const Crossbar& xb,
-                                   const ProgramSequence& seq);
+                                   const ProgramSequence& seq,
+                                   bool want_telemetry = false,
+                                   std::uint64_t trace_id = 0,
+                                   std::uint64_t span_id = 0);
 
 /// Decodes a kExecute payload, rebuilds the array, executes the sequence
 /// through SimExecutor, and returns the encoded kExecuteResult payload.
@@ -71,9 +81,60 @@ struct ExecuteResponse {
   std::uint64_t pulses = 0;        ///< pulse-counter delta for crediting
   std::uint64_t traced_pulses = 0; ///< traced-pulse delta for crediting
   std::string crossbar_state;      ///< post-execution save_state payload
+  /// Worker-side telemetry, present only when the request asked for it.
+  bool has_telemetry = false;
+  std::uint64_t trace_id = 0;  ///< echo of the request trace context
+  std::uint64_t span_id = 0;
+  /// Worker span tree (worker.request > rebuild/execute/serialize), ready
+  /// to graft under the client's remote-execute span.
+  std::vector<obs::Profiler::RemoteSpan> spans;
+  /// Worker registry counter deltas for this request, in name order.
+  std::vector<std::pair<std::string, std::uint64_t>> counter_deltas;
 };
 
 ExecuteResponse decode_execute_response(std::string_view payload);
+
+/// Live statistics of a serving worker, shared by every serving thread
+/// (the loopback worker embeds one; the xbarlife-worker app owns one).
+/// Counters are atomic and the registry locks internally, so concurrent
+/// connection threads update the single shared instance safely. Snapshots
+/// ship as the kStatsAck payload and render as xbarlife.workerstats.v1.
+struct WorkerStatsState {
+  std::chrono::steady_clock::time_point started =
+      std::chrono::steady_clock::now();
+  std::atomic<std::uint64_t> requests_served{0};
+  std::atomic<std::uint64_t> replay_hits{0};
+  std::atomic<std::uint64_t> errors{0};
+  std::atomic<std::uint64_t> active_connections{0};
+  std::atomic<std::uint64_t> connections_total{0};
+  /// Wire telemetry (net.frame_bytes_in/out, net.crc_failures) plus the
+  /// bucketed worker.request_ms latency histogram.
+  obs::Registry metrics;
+
+  /// Encodes the kStatsAck payload (versioned binary snapshot).
+  std::string encode_snapshot() const;
+};
+
+/// Client-side decode of a kStatsAck payload.
+struct WorkerStatsSnapshot {
+  std::string build;
+  std::uint8_t wire_version = 0;
+  std::uint8_t request_version = 0;
+  std::uint64_t uptime_ms = 0;
+  std::uint64_t requests_served = 0;
+  std::uint64_t replay_hits = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t active_connections = 0;
+  std::uint64_t connections_total = 0;
+  /// Pre-serialized Registry::to_json() dump from the worker, spliced
+  /// verbatim into the document (the client never re-parses it).
+  std::string metrics_json;
+
+  /// Renders the xbarlife.workerstats.v1 document.
+  obs::JsonValue to_json() const;
+};
+
+WorkerStatsSnapshot decode_worker_stats(std::string_view payload);
 
 struct ServeOptions {
   /// Idle read-poll granularity: how often the serve loop wakes to check
@@ -83,6 +144,12 @@ struct ServeOptions {
   const std::atomic<bool>* stop = nullptr;
   /// Also stop when the process-wide cooperative shutdown flag is set.
   bool honor_shutdown_flag = true;
+  /// Optional shared stats (uptime, request/latency accounting, wire
+  /// telemetry, kStats snapshots). With none attached kStats is answered
+  /// with kError and worker-side frames count nowhere — serve_connection
+  /// always scopes the wire-metrics registry per thread, so a loopback
+  /// worker never leaks frame telemetry into the client's registry.
+  WorkerStatsState* stats = nullptr;
 };
 
 /// Serves one client connection until it closes, a framing error occurs,
@@ -115,12 +182,16 @@ class LoopbackWorker {
   /// Closes the stop flag and joins all serving threads. Idempotent.
   void stop();
 
+  /// Live worker statistics shared by every served connection.
+  WorkerStatsState& stats() { return stats_; }
+
  private:
   net::FaultPlan plan_;
   std::atomic<bool> stop_{false};
   std::mutex mu_;
   std::vector<std::thread> threads_;
   std::uint64_t connections_ = 0;
+  WorkerStatsState stats_;
 };
 
 // ---------------------------------------------------------------------------
@@ -202,10 +273,16 @@ class RemoteExecutor final : public ProgramExecutor {
   mutable Rng jitter_;
 };
 
-/// Registry the remote backend lazily creates its link counters in
-/// (executor.remote.retries / .reconnects / .fallbacks). Counters are
+/// Dials `config.address` ("loopback" spins up a throwaway in-process
+/// worker), performs the versioned hello handshake, and requests one
+/// stats snapshot. Throws TransportError / WireError on failure.
+WorkerStatsSnapshot query_worker_status(const RemoteConfig& config);
+
+/// Registry the remote backend lazily creates its link metrics in
+/// (executor.remote.retries / .reconnects / .fallbacks counters plus the
+/// bucketed executor.remote.request_ms round-trip histogram). Metrics are
 /// created only when the corresponding event first occurs, so a clean run
-/// emits no remote counters and stays byte-identical to `sim` goldens.
+/// emits no remote metrics and stays byte-identical to `sim` goldens.
 /// Pass nullptr to detach; the registry must outlive remote execution.
 void set_remote_metrics(obs::Registry* registry);
 

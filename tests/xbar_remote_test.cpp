@@ -9,12 +9,14 @@
 
 #include <atomic>
 #include <chrono>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/shutdown.hpp"
+#include "common/version.hpp"
 #include "net/transport.hpp"
 #include "net/wire.hpp"
 #include "obs/metrics.hpp"
@@ -420,6 +422,369 @@ TEST(RemoteExecutor_, ChaosScheduleIsReproducible) {
   EXPECT_EQ(a.retries, b.retries);
   EXPECT_EQ(a.reconnects, b.reconnects);
   EXPECT_EQ(a.fallbacks, b.fallbacks);
+}
+
+// ---------------------------------------------------------------------------
+// Worker stats endpoint, heartbeat stamping, and the versioned hello.
+
+/// A versioned kHello payload as the client builds it.
+std::string client_hello(std::uint8_t wire_v, std::uint8_t req_v) {
+  persist::StateWriter w;
+  w.u8(wire_v);
+  w.u8(req_v);
+  w.str("test-client");
+  return w.data();
+}
+
+TEST(RemoteCodec, WorkerStatsSnapshotRoundTrips) {
+  WorkerStatsState state;
+  state.requests_served.store(7);
+  state.replay_hits.store(2);
+  state.errors.store(1);
+  state.active_connections.store(3);
+  state.connections_total.store(5);
+  state.metrics.bucketed_histogram("worker.request_ms").observe(1.5);
+
+  const WorkerStatsSnapshot snap =
+      decode_worker_stats(state.encode_snapshot());
+  EXPECT_EQ(snap.build, kBuildVersion);
+  EXPECT_EQ(snap.wire_version, net::kWireVersion);
+  EXPECT_GE(snap.request_version, 2);
+  EXPECT_EQ(snap.requests_served, 7u);
+  EXPECT_EQ(snap.replay_hits, 2u);
+  EXPECT_EQ(snap.errors, 1u);
+  EXPECT_EQ(snap.active_connections, 3u);
+  EXPECT_EQ(snap.connections_total, 5u);
+  EXPECT_NE(snap.metrics_json.find("worker.request_ms"), std::string::npos);
+
+  const std::string doc = snap.to_json().dump();
+  EXPECT_EQ(doc.find("{\"schema\":\"xbarlife.workerstats.v1\""), 0u);
+  EXPECT_NE(doc.find("\"requests_served\":7"), std::string::npos);
+}
+
+TEST(RemoteCodec, RejectsUnknownStatsSnapshotVersion) {
+  persist::StateWriter w;
+  w.u8(99);
+  EXPECT_THROW(decode_worker_stats(w.data()), InvalidArgument);
+}
+
+TEST(ServeConnection, StatsEndpointReportsLiveAccounting) {
+  auto [client, server] = net::make_pipe();
+  std::atomic<bool> stop{false};
+  WorkerStatsState stats;
+  std::thread worker([&, t = server.get()] {
+    ServeOptions opts;
+    opts.idle_poll = 20ms;
+    opts.stop = &stop;
+    opts.honor_shutdown_flag = false;
+    opts.stats = &stats;
+    serve_connection(*t, opts);
+  });
+
+  // Versioned hello: the ack carries the worker's versions and build.
+  net::write_frame(*client, net::MsgType::kHello, 1,
+                   client_hello(net::kWireVersion, 2));
+  const net::Frame hello_ack = net::read_frame(*client, 1000ms);
+  ASSERT_EQ(hello_ack.type, net::MsgType::kHelloAck);
+  {
+    persist::StateReader r(hello_ack.payload);
+    EXPECT_EQ(r.u8(), net::kWireVersion);
+    EXPECT_GE(r.u8(), 2);
+    EXPECT_EQ(r.str(), kBuildVersion);
+  }
+
+  Crossbar xb(4, 4, dev(), ag_crosstalk());
+  const std::string request =
+      encode_execute_request(xb, mixed_sequence(4, 4));
+  net::write_frame(*client, net::MsgType::kExecute, 11, request);
+  ASSERT_EQ(net::read_frame(*client, 2000ms).type,
+            net::MsgType::kExecuteResult);
+  // A replayed id answers from the cache: requests_served must not move.
+  net::write_frame(*client, net::MsgType::kExecute, 11, request);
+  ASSERT_EQ(net::read_frame(*client, 2000ms).type,
+            net::MsgType::kExecuteResult);
+  net::write_frame(*client, net::MsgType::kExecute, 12, request);
+  ASSERT_EQ(net::read_frame(*client, 2000ms).type,
+            net::MsgType::kExecuteResult);
+
+  net::write_frame(*client, net::MsgType::kStats, 13);
+  const net::Frame stats_ack = net::read_frame(*client, 1000ms);
+  ASSERT_EQ(stats_ack.type, net::MsgType::kStatsAck);
+  const WorkerStatsSnapshot snap = decode_worker_stats(stats_ack.payload);
+  EXPECT_EQ(snap.requests_served, 2u);
+  EXPECT_EQ(snap.replay_hits, 1u);
+  EXPECT_EQ(snap.errors, 0u);
+  EXPECT_EQ(snap.active_connections, 1u);
+  EXPECT_EQ(snap.connections_total, 1u);
+  // Request latency and wire telemetry accumulate in the worker registry.
+  EXPECT_NE(snap.metrics_json.find("\"worker.request_ms\""),
+            std::string::npos);
+  EXPECT_NE(snap.metrics_json.find("\"net.frame_bytes_in\""),
+            std::string::npos);
+
+  client->close();
+  worker.join();
+}
+
+TEST(ServeConnection, StatsWithoutStateAnswersError) {
+  auto [client, server] = net::make_pipe();
+  std::atomic<bool> stop{false};
+  std::thread worker([&, t = server.get()] {
+    ServeOptions opts;
+    opts.idle_poll = 20ms;
+    opts.stop = &stop;
+    opts.honor_shutdown_flag = false;
+    serve_connection(*t, opts);
+  });
+
+  net::write_frame(*client, net::MsgType::kStats, 3);
+  const net::Frame err = net::read_frame(*client, 1000ms);
+  EXPECT_EQ(err.type, net::MsgType::kError);
+  persist::StateReader r(err.payload);
+  EXPECT_NE(r.str().find("not enabled"), std::string::npos);
+  client->close();
+  worker.join();
+}
+
+TEST(ServeConnection, HeartbeatAckStampsUptimeAndVersions) {
+  auto [client, server] = net::make_pipe();
+  std::atomic<bool> stop{false};
+  WorkerStatsState stats;
+  std::thread worker([&, t = server.get()] {
+    ServeOptions opts;
+    opts.idle_poll = 20ms;
+    opts.stop = &stop;
+    opts.honor_shutdown_flag = false;
+    opts.stats = &stats;
+    serve_connection(*t, opts);
+  });
+
+  net::write_frame(*client, net::MsgType::kHeartbeat, 2);
+  const net::Frame ack = net::read_frame(*client, 1000ms);
+  ASSERT_EQ(ack.type, net::MsgType::kHeartbeatAck);
+  persist::StateReader r(ack.payload);
+  const std::uint64_t uptime_ms = r.u64();
+  EXPECT_LT(uptime_ms, 60'000u);  // this worker just started
+  EXPECT_EQ(r.u8(), net::kWireVersion);
+  EXPECT_GE(r.u8(), 2);
+  EXPECT_TRUE(r.done());
+  client->close();
+  worker.join();
+}
+
+TEST(ServeConnection, RejectsHelloFromMismatchedPeer) {
+  auto [client, server] = net::make_pipe();
+  std::atomic<bool> stop{false};
+  WorkerStatsState stats;
+  std::thread worker([&, t = server.get()] {
+    ServeOptions opts;
+    opts.idle_poll = 20ms;
+    opts.stop = &stop;
+    opts.honor_shutdown_flag = false;
+    opts.stats = &stats;
+    serve_connection(*t, opts);
+  });
+
+  // Wrong wire version.
+  net::write_frame(*client, net::MsgType::kHello, 1, client_hello(9, 2));
+  const net::Frame wire_err = net::read_frame(*client, 1000ms);
+  EXPECT_EQ(wire_err.type, net::MsgType::kError);
+  {
+    persist::StateReader r(wire_err.payload);
+    EXPECT_NE(r.str().find("protocol mismatch"), std::string::npos);
+  }
+  // A request codec newer than this worker speaks.
+  net::write_frame(*client, net::MsgType::kHello, 2,
+                   client_hello(net::kWireVersion, 99));
+  EXPECT_EQ(net::read_frame(*client, 1000ms).type, net::MsgType::kError);
+  EXPECT_EQ(stats.errors.load(), 2u);
+
+  // The connection survives, and a matching hello still succeeds.
+  net::write_frame(*client, net::MsgType::kHello, 3,
+                   client_hello(net::kWireVersion, 2));
+  EXPECT_EQ(net::read_frame(*client, 1000ms).type, net::MsgType::kHelloAck);
+  client->close();
+  worker.join();
+}
+
+TEST(RemoteExecutor_, QueryWorkerStatusOverLoopback) {
+  const WorkerStatsSnapshot snap = query_worker_status(RemoteConfig{});
+  EXPECT_EQ(snap.build, kBuildVersion);
+  EXPECT_EQ(snap.wire_version, net::kWireVersion);
+  EXPECT_GE(snap.request_version, 2);
+  EXPECT_GE(snap.connections_total, 1u);
+  EXPECT_EQ(snap.requests_served, 0u);
+}
+
+TEST(RemoteExecutor_, RejectsWorkerSpeakingAnOlderRequestCodec) {
+  // A fake "old worker" that acks the hello with execute-request v1: the
+  // client must refuse the endpoint with a WireError instead of sending
+  // requests the worker cannot parse.
+  const std::string path = testing::TempDir() + "xbw_hello_gate.sock";
+  const std::unique_ptr<net::Listener> listener =
+      net::listen("unix:" + path);
+  std::thread old_worker([&] {
+    try {
+      const std::unique_ptr<net::Transport> conn = listener->accept(2000ms);
+      const net::Frame hello = net::read_frame(*conn, 2000ms);
+      ASSERT_EQ(hello.type, net::MsgType::kHello);
+      persist::StateWriter w;
+      w.u8(net::kWireVersion);
+      w.u8(1);  // an execute-request codec older than the client needs
+      w.str("old-worker");
+      net::write_frame(*conn, net::MsgType::kHelloAck, hello.seq_id,
+                       w.data());
+      conn->close();
+    } catch (const net::TransportError&) {
+      // client hung up after rejecting the ack
+    }
+  });
+
+  RemoteConfig cfg;
+  cfg.address = "unix:" + path;
+  EXPECT_THROW(query_worker_status(cfg), net::WireError);
+  old_worker.join();
+  listener->close();
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Trace-context propagation: worker span trees graft under the client's
+// remote-execute span — once per completed request, never on fallback.
+
+std::size_t count_spans(const obs::Profiler& prof, std::string_view name) {
+  std::size_t n = 0;
+  for (const obs::SpanRecord& rec : prof.records()) {
+    n += rec.name == name;
+  }
+  return n;
+}
+
+bool has_ancestor(const std::vector<obs::SpanRecord>& recs, std::size_t idx,
+                  std::string_view name) {
+  for (std::size_t p = recs[idx].parent; p != obs::kNoSpan;
+       p = recs[p].parent) {
+    if (recs[p].name == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(RemoteExecutor_, ProfiledExecuteGraftsTheWorkerSpanTree) {
+  obs::Profiler prof;
+  obs::Registry registry;
+  set_remote_metrics(&registry);
+  Crossbar xb(5, 4, dev(), ag_crosstalk());
+  xb.attach_profiler(&prof);
+  const RemoteExecutor remote{RemoteConfig{}};
+
+  const std::size_t root = prof.begin_span("command");
+  remote.execute(xb, mixed_sequence(5, 4));
+  remote.execute(xb, mixed_sequence(5, 4));
+  prof.end_span(root);
+  set_remote_metrics(nullptr);
+
+  // One client-side execute span and one grafted worker tree per request.
+  EXPECT_EQ(count_spans(prof, "executor.remote.execute"), 2u);
+  for (const char* name : {"worker.request", "worker.rebuild",
+                           "worker.execute", "worker.serialize"}) {
+    EXPECT_EQ(count_spans(prof, name), 2u) << name;
+  }
+  const std::vector<obs::SpanRecord>& recs = prof.records();
+  bool saw_pulses = false;
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    EXPECT_FALSE(recs[i].open) << recs[i].name;
+    if (recs[i].name.rfind("worker.", 0) == 0) {
+      // Grafted spans are never orphaned, always nest under the client's
+      // remote-execute span, and share its display track.
+      ASSERT_NE(recs[i].parent, obs::kNoSpan);
+      EXPECT_TRUE(has_ancestor(recs, i, "executor.remote.execute"));
+      EXPECT_EQ(recs[i].track, 0u);
+    }
+    if (recs[i].name == "worker.execute") {
+      for (const auto& [name, value] : recs[i].counters) {
+        saw_pulses |= name == "aging.pulses" && value > 0;
+      }
+    }
+  }
+  // The worker profiled its own pulse effort into its execute span...
+  EXPECT_TRUE(saw_pulses);
+  // ...and its registry deltas arrive namespaced, next to the client-side
+  // round-trip histogram.
+  const std::string dump = registry.to_json().dump();
+  EXPECT_NE(dump.find("\"worker.aging.pulses\""), std::string::npos);
+  EXPECT_NE(dump.find("\"executor.remote.request_ms\""), std::string::npos);
+}
+
+TEST(RemoteExecutor_, DegradedFallbackGraftsNoWorkerSpans) {
+  obs::Profiler prof;
+  Crossbar xb(4, 4, dev(), ag_crosstalk());
+  xb.attach_profiler(&prof);
+  const RemoteExecutor remote{dead_endpoint_config()};
+  remote.execute(xb, mixed_sequence(4, 4));
+  EXPECT_TRUE(remote.degraded());
+
+  EXPECT_EQ(count_spans(prof, "executor.remote.execute"), 1u);
+  for (const obs::SpanRecord& rec : prof.records()) {
+    EXPECT_FALSE(rec.open);
+    EXPECT_NE(rec.name.rfind("worker.", 0), 0u) << rec.name;
+  }
+}
+
+TEST(RemoteExecutor_, ChaosMatrixGraftsWellFormedSpanTrees) {
+  // Under every seeded fault schedule — retries, replay hits, reconnects,
+  // clean fallbacks — the grafted trace stays well-formed: exactly one
+  // worker tree per remotely-completed request, none duplicated, none
+  // orphaned, and nothing grafted for a fallback.
+  const std::vector<std::string> specs = {
+      "seed=11,drop=0.2",
+      "seed=12,corrupt=0.2",
+      "seed=13,dup=0.3,disconnect=0.1",
+      "seed=14,drop=0.15,corrupt=0.1,dup=0.1,disconnect=0.05",
+  };
+  for (const std::string& spec : specs) {
+    SCOPED_TRACE("fault spec: " + spec);
+    RemoteConfig cfg;
+    cfg.fault_spec = spec;
+    cfg.request_deadline = 150ms;
+    cfg.max_attempts = 4;
+    cfg.backoff_initial = 1ms;
+    cfg.backoff_max = 4ms;
+    const RemoteExecutor remote{cfg};
+
+    obs::Profiler prof;
+    Crossbar xb(6, 5, dev(), ag_crosstalk());
+    xb.attach_profiler(&prof);
+    const std::size_t root = prof.begin_span("command");
+    for (int round = 0; round < 4; ++round) {
+      remote.execute(xb, mixed_sequence(6, 5));
+    }
+    prof.end_span(root);
+
+    const RemoteLinkStats stats = remote.link_stats();
+    EXPECT_EQ(count_spans(prof, "executor.remote.execute"), 4u);
+    EXPECT_EQ(count_spans(prof, "worker.request"),
+              4u - static_cast<std::size_t>(stats.fallbacks));
+
+    const std::vector<obs::SpanRecord>& recs = prof.records();
+    std::map<std::size_t, std::size_t> trees_per_execute;
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+      EXPECT_FALSE(recs[i].open) << recs[i].name;
+      if (recs[i].name.rfind("worker.", 0) == 0) {
+        ASSERT_NE(recs[i].parent, obs::kNoSpan);
+        EXPECT_TRUE(has_ancestor(recs, i, "executor.remote.execute"));
+      }
+      if (recs[i].name == "worker.request") {
+        EXPECT_EQ(recs[recs[i].parent].name, "executor.remote.execute");
+        ++trees_per_execute[recs[i].parent];
+      }
+    }
+    for (const auto& [parent, trees] : trees_per_execute) {
+      EXPECT_EQ(trees, 1u) << "duplicated worker tree under span "
+                           << parent;
+    }
+  }
 }
 
 }  // namespace
