@@ -32,11 +32,19 @@
 //                    worker and falls back to sim when the link dies
 //   --remote ADDR    remote-executor endpoint: loopback (in-process worker
 //                    thread, default), unix:/path, or host:port (see
-//                    xbarlife-worker --listen); also $XBARLIFE_REMOTE
+//                    xbarlife-worker --listen); also $XBARLIFE_REMOTE.
+//                    A comma-separated list ("unix:/a,unix:/b,host:port")
+//                    builds a worker pool: each array is owned by one
+//                    endpoint (rendezvous hashing), failures fail over to
+//                    the next live worker, and sim fallback engages only
+//                    when the whole pool is down (docs/programming.md,
+//                    "Worker pools & failover")
 //   --remote-faults SPEC  deterministic transport fault injection for the
 //                    remote link, e.g. "seed=7,drop=0.1,corrupt=0.05,
 //                    dup=0.02,disconnect=0.01,delay_ms=1"; also
-//                    $XBARLIFE_REMOTE_FAULTS
+//                    $XBARLIFE_REMOTE_FAULTS. Against a pool, a
+//                    ';'-separated list assigns spec i to endpoint i
+//                    (missing/empty segments leave that link clean)
 //   --json <path|->  write the versioned machine-readable result document
 //                    (schema xbarlife.result.v1, see docs/output_schema.md)
 //                    as the final JSONL line; "-" streams to stdout and
@@ -105,6 +113,7 @@
 #include "tensor/kernels/kernels.hpp"
 #include "tensor/matmul.hpp"
 #include "xbar/executor.hpp"
+#include "xbar/pool.hpp"
 #include "xbar/remote.hpp"
 
 using namespace xbarlife;
@@ -800,6 +809,10 @@ int cmd_faults(const Args& args, CliOutput& out) {
 /// Queries a serving worker for one xbarlife.workerstats.v1 snapshot.
 /// With no --remote / $XBARLIFE_REMOTE a throwaway in-process loopback
 /// worker answers, which doubles as an end-to-end protocol self-test.
+/// A comma-separated endpoint list fans out across the fleet: one table
+/// row set per worker and one workerstats.v1 document (with an
+/// "endpoint" key) per endpoint, in list order. An unreachable endpoint
+/// fails the whole command — status must never silently shrink a fleet.
 int cmd_worker_status(const Args& args, CliOutput& out) {
   xbar::RemoteConfig rcfg;
   if (const char* env = std::getenv("XBARLIFE_REMOTE")) {
@@ -810,24 +823,52 @@ int cmd_worker_status(const Args& args, CliOutput& out) {
   if (args.flag("remote")) {
     rcfg.address = args.get("remote", "loopback");
   }
-  const xbar::WorkerStatsSnapshot snap = xbar::query_worker_status(rcfg);
 
-  TablePrinter table({"metric", "value"});
-  table.add_row({"endpoint", rcfg.address});
-  table.add_row({"build", snap.build});
-  table.add_row({"wire version", std::to_string(snap.wire_version)});
-  table.add_row({"request version",
-                 std::to_string(snap.request_version)});
-  table.add_row({"uptime (ms)", std::to_string(snap.uptime_ms)});
-  table.add_row({"requests served", std::to_string(snap.requests_served)});
-  table.add_row({"replay-cache hits", std::to_string(snap.replay_hits)});
-  table.add_row({"errors", std::to_string(snap.errors)});
-  table.add_row(
-      {"active connections", std::to_string(snap.active_connections)});
-  table.add_row(
-      {"connections total", std::to_string(snap.connections_total)});
+  const bool fleet = rcfg.address.find(',') != std::string::npos;
+  if (!fleet) {
+    const xbar::WorkerStatsSnapshot snap = xbar::query_worker_status(rcfg);
+    TablePrinter table({"metric", "value"});
+    table.add_row({"endpoint", rcfg.address});
+    table.add_row({"build", snap.build});
+    table.add_row({"wire version", std::to_string(snap.wire_version)});
+    table.add_row({"request version",
+                   std::to_string(snap.request_version)});
+    table.add_row({"uptime (ms)", std::to_string(snap.uptime_ms)});
+    table.add_row({"requests served", std::to_string(snap.requests_served)});
+    table.add_row({"replay-cache hits", std::to_string(snap.replay_hits)});
+    table.add_row({"errors", std::to_string(snap.errors)});
+    table.add_row(
+        {"active connections", std::to_string(snap.active_connections)});
+    table.add_row(
+        {"connections total", std::to_string(snap.connections_total)});
+    out.human() << table.render();
+    out.finish_document("worker-status", snap.to_json());
+    return 0;
+  }
+
+  const std::vector<std::string> endpoints =
+      xbar::split_endpoints(rcfg.address);
+  TablePrinter table({"endpoint", "build", "uptime (ms)", "requests",
+                      "replays", "errors", "connections"});
+  std::vector<std::pair<std::string, xbar::WorkerStatsSnapshot>> snaps;
+  snaps.reserve(endpoints.size());
+  for (const std::string& endpoint : endpoints) {
+    xbar::RemoteConfig ecfg = rcfg;
+    ecfg.address = endpoint;
+    const xbar::WorkerStatsSnapshot snap = xbar::query_worker_status(ecfg);
+    table.add_row({endpoint, snap.build, std::to_string(snap.uptime_ms),
+                   std::to_string(snap.requests_served),
+                   std::to_string(snap.replay_hits),
+                   std::to_string(snap.errors),
+                   std::to_string(snap.active_connections) + "/" +
+                       std::to_string(snap.connections_total)});
+    snaps.emplace_back(endpoint, snap);
+  }
   out.human() << table.render();
-  out.finish_document("worker-status", snap.to_json());
+  // One document per endpoint, list order; each carries its endpoint key.
+  for (const auto& [endpoint, snap] : snaps) {
+    out.finish_document("worker-status", snap.to_json(endpoint));
+  }
   return 0;
 }
 
@@ -980,6 +1021,19 @@ int cmd_bench(const Args& args, CliOutput& out) {
       mapping::program_weights(xb_remote, w, plan, false, nullptr, nullptr,
                                nullptr, &remote);
     }));
+
+    // Pool form of the same pass over three loopback workers: dispatch
+    // stays on the array's single rendezvous owner, so the pool's cost
+    // over one remote link is pure bookkeeping.
+    // check_bench_regression.py gates pool(3) <= remote(1) (with slack).
+    xbar::RemoteConfig pool_cfg;
+    pool_cfg.address = "loopback,loopback,loopback";
+    const xbar::PoolExecutor pool{pool_cfg};
+    xbar::Crossbar xb_pool(n, n, {}, {});
+    samples.push_back(measure("program_pool3_loopback", [&] {
+      mapping::program_weights(xb_pool, w, plan, false, nullptr, nullptr,
+                               nullptr, &pool);
+    }));
   }
 
   out.human() << core::bench_table(samples);
@@ -1080,11 +1134,16 @@ int cmd_info() {
              "  --remote ADDR   remote-executor endpoint: loopback (default,\n"
              "                  in-process worker thread), unix:/path, or\n"
              "                  host:port (see xbarlife-worker); also\n"
-             "                  $XBARLIFE_REMOTE\n"
+             "                  $XBARLIFE_REMOTE. A comma-separated list\n"
+             "                  builds a failover worker pool (rendezvous-\n"
+             "                  hashed owners, per-endpoint circuit\n"
+             "                  breakers; sim fallback only when the whole\n"
+             "                  pool is down)\n"
              "  --remote-faults SPEC  seeded transport fault injection, e.g.\n"
              "                  seed=7,drop=0.1,corrupt=0.05,dup=0.02,\n"
              "                  disconnect=0.01,delay_ms=1; also\n"
-             "                  $XBARLIFE_REMOTE_FAULTS\n"
+             "                  $XBARLIFE_REMOTE_FAULTS; ';'-separated\n"
+             "                  per-endpoint specs against a pool\n"
              "  --json PATH|-   write the machine-readable result document\n"
              "                  (JSONL, schema xbarlife.result.v1); '-' is\n"
              "                  stdout and silences the human report\n"

@@ -18,7 +18,9 @@
 // port). SIGINT/SIGTERM request a graceful stop: in-flight requests finish,
 // then the process exits 0. A client kShutdown frame does the same.
 //
-// Exit codes: 0 clean shutdown, 2 bad arguments, 3 bind/socket failure,
+// Exit codes: 0 clean shutdown, 2 bad arguments or a bind that cannot
+// succeed as asked (address already bound, unwritable unix socket path —
+// the one-line error says what to fix), 3 socket failure after startup,
 // 5 internal error.
 #include <atomic>
 #include <chrono>
@@ -41,8 +43,20 @@ namespace {
 using namespace std::chrono_literals;
 
 int run(const std::string& address) {
-  const std::unique_ptr<xbarlife::net::Listener> listener =
-      xbarlife::net::listen(address);
+  std::unique_ptr<xbarlife::net::Listener> listener;
+  try {
+    listener = xbarlife::net::listen(address);
+  } catch (const xbarlife::net::TransportError& e) {
+    // Startup bind failures are configuration problems, not I/O flakes:
+    // one actionable line, exit 2, so supervisors fail fast instead of
+    // retrying a socket that can never bind.
+    std::cerr << "xbarlife-worker: cannot listen on '" << address
+              << "': " << e.what()
+              << " (is another worker already bound here, or is the "
+                 "socket path not writable?)"
+              << std::endl;
+    return 2;
+  }
   std::cout << "xbarlife-worker " << xbarlife::kBuildVersion << " (wire v"
             << static_cast<int>(xbarlife::net::kWireVersion) << ")\n"
             << "listening on " << listener->address() << std::endl;

@@ -16,6 +16,7 @@
 #include "tensor/matmul.hpp"
 #include "xbar/crossbar.hpp"
 #include "xbar/executor.hpp"
+#include "xbar/pool.hpp"
 
 using namespace xbarlife;
 
@@ -184,6 +185,23 @@ void BM_ProgramWeightsRemoteLoopback(benchmark::State& state) {
   execute_sequence_with(state, exec);
 }
 BENCHMARK(BM_ProgramWeightsRemoteLoopback)->Arg(64)->Arg(128);
+
+/// The same stream through a worker pool of `range(1)` loopback workers:
+/// every request still lands on the array's single rendezvous owner, so
+/// pool(N) vs the single-link remote benchmark above isolates the pool's
+/// dispatch bookkeeping (hash, circuit check, accounting) from protocol
+/// cost. The CLI twin (program_pool3_loopback) feeds
+/// check_bench_regression.py's pool(3) <= remote(1) bound.
+void BM_ProgramWeightsPool(benchmark::State& state) {
+  xbar::RemoteConfig cfg;
+  cfg.address = "loopback";
+  for (std::int64_t i = 1; i < state.range(1); ++i) {
+    cfg.address += ",loopback";
+  }
+  const xbar::PoolExecutor exec{cfg};
+  execute_sequence_with(state, exec);
+}
+BENCHMARK(BM_ProgramWeightsPool)->Args({64, 1})->Args({64, 3})->Args({128, 3});
 
 void BM_StressIncrement(benchmark::State& state) {
   aging::AgingModel model({});

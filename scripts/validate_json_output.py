@@ -56,6 +56,9 @@ RESULT_KEYS = ["schema", "command", "kernel", "executor", "data", "metrics"]
 METRIC_KEYS = ["counters", "gauges", "histograms"]
 KNOWN_EXECUTORS = ("sim", "percell", "remote")
 DEGRADATION_KEYS = ["fallback_executor", "fallbacks", "retries", "reconnects"]
+POOL_ENDPOINT_KEYS = ["address", "circuit", "requests", "failovers",
+                      "circuit_opens"]
+CIRCUIT_STATES = ("healthy", "suspect", "open")
 BENCH_KEYS = ["schema", "tool", "kernel", "executor", "threads", "git_rev",
               "results"]
 BENCH_RESULT_KEYS = ["name", "unit", "reps", "median", "p10", "p90"]
@@ -165,8 +168,18 @@ def validate_metrics(metrics, where):
 
 def validate_workerstats(doc):
     """Checks an xbarlife.workerstats.v1 document (worker-status)."""
-    if list(doc.keys()) != WORKERSTATS_KEYS:
-        fail(f"workerstats keys {list(doc.keys())} != {WORKERSTATS_KEYS}")
+    # Fleet fan-out (multi-endpoint worker-status) stamps the queried
+    # endpoint right after "schema"; single-endpoint docs omit it.
+    base = list(doc.keys())
+    if "endpoint" in base:
+        if base.index("endpoint") != base.index("schema") + 1:
+            fail("workerstats 'endpoint' must directly follow 'schema'")
+        if not isinstance(doc["endpoint"], str) or not doc["endpoint"]:
+            fail("workerstats 'endpoint' must be a non-empty string")
+        base.remove("endpoint")
+    if base != WORKERSTATS_KEYS:
+        fail(f"workerstats keys {list(doc.keys())} != {WORKERSTATS_KEYS} "
+             f"(+ optional 'endpoint')")
     if not isinstance(doc["build"], str) or not doc["build"]:
         fail("workerstats 'build' must be a non-empty string")
     for key in ("wire_version", "request_version"):
@@ -251,20 +264,55 @@ def validate_degradation(deg):
         fail("a degradation stamp with zero fallbacks must not be emitted")
 
 
+def validate_executor_pool(pool):
+    """Checks the optional 'executor_pool' stamp (emitted only when the
+    active backend is a worker pool with more than one endpoint)."""
+    if not isinstance(pool, dict) or list(pool.keys()) != ["endpoints"]:
+        fail("'executor_pool' must be an object with the single key "
+             "'endpoints'")
+    endpoints = pool["endpoints"]
+    if not isinstance(endpoints, list) or len(endpoints) < 2:
+        fail("'executor_pool.endpoints' must list at least two endpoints "
+             "(single-endpoint runs must not stamp a pool)")
+    for index, entry in enumerate(endpoints):
+        if not isinstance(entry, dict) \
+                or list(entry.keys()) != POOL_ENDPOINT_KEYS:
+            fail(f"pool endpoint {index} keys must be {POOL_ENDPOINT_KEYS}")
+        if not isinstance(entry["address"], str) or not entry["address"]:
+            fail(f"pool endpoint {index} 'address' must be a non-empty "
+                 f"string")
+        if entry["circuit"] not in CIRCUIT_STATES:
+            fail(f"pool endpoint {index} circuit {entry['circuit']!r} "
+                 f"not in {CIRCUIT_STATES}")
+        for key in ("requests", "failovers", "circuit_opens"):
+            if not isinstance(entry[key], int) or entry[key] < 0:
+                fail(f"pool endpoint {index} {key!r} must be a "
+                     f"non-negative integer")
+
+
 def validate_result(result):
     keys = list(result.keys())
-    # Optional keys: "executor_degradation" right after "executor" (only
-    # when the remote backend fell back), "profile" trailing — clean runs
-    # stay byte-identical to pre-feature builds.
+    # Optional keys: "executor_pool" right after "executor" (only when a
+    # multi-endpoint worker pool is active), "executor_degradation" after
+    # "executor" / "executor_pool" (only when the remote backend fell
+    # back), "profile" trailing — clean runs stay byte-identical to
+    # pre-feature builds.
     base = list(keys)
     degradation = result.get("executor_degradation")
+    pool = result.get("executor_pool")
+    if "executor_pool" in base:
+        if base.index("executor_pool") != base.index("executor") + 1:
+            fail("'executor_pool' must directly follow 'executor'")
+        base.remove("executor_pool")
     if "executor_degradation" in base:
         if base.index("executor_degradation") != base.index("executor") + 1:
-            fail("'executor_degradation' must directly follow 'executor'")
+            fail("'executor_degradation' must directly follow 'executor' "
+                 "(or 'executor_pool' when both are present)")
         base.remove("executor_degradation")
     if base not in (RESULT_KEYS, RESULT_KEYS + ["profile"]):
         fail(f"result document keys {keys} != {RESULT_KEYS} (+ optional "
-             f"'executor_degradation' and trailing 'profile')")
+             f"'executor_pool', 'executor_degradation' and trailing "
+             f"'profile')")
     if result["schema"] != RESULT_SCHEMA:
         fail(f"schema {result['schema']!r} != {RESULT_SCHEMA!r}")
     if not isinstance(result["command"], str) or not result["command"]:
@@ -274,6 +322,10 @@ def validate_result(result):
     if result["executor"] not in KNOWN_EXECUTORS:
         fail(f"result 'executor' {result['executor']!r} not in "
              f"{KNOWN_EXECUTORS}")
+    if pool is not None:
+        if result["executor"] != "remote":
+            fail("'executor_pool' is only valid for the remote executor")
+        validate_executor_pool(pool)
     if degradation is not None:
         if result["executor"] != "remote":
             fail("'executor_degradation' is only valid for the remote "

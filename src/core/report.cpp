@@ -19,7 +19,28 @@ obs::JsonValue result_document(std::string_view command,
   doc.set("command", command);
   doc.set("kernel", kernels::kernel_name());
   doc.set("executor", xbar::executor_name());
-  // "executor_degradation" is an optional key directly after "executor":
+  // "executor_pool" is an optional key directly after "executor": it
+  // appears only when the active backend is a worker pool with more than
+  // one endpoint, so single-endpoint and in-process documents stay
+  // byte-identical to earlier builds.
+  const xbar::ExecutorPoolSummary pool = xbar::executor_pool_summary();
+  if (pool.active) {
+    obs::JsonValue endpoints = obs::JsonValue::array();
+    for (const xbar::PoolEndpointSummary& ep : pool.endpoints) {
+      obs::JsonValue entry = obs::JsonValue::object();
+      entry.set("address", ep.address);
+      entry.set("circuit", ep.circuit);
+      entry.set("requests", ep.requests);
+      entry.set("failovers", ep.failovers);
+      entry.set("circuit_opens", ep.circuit_opens);
+      endpoints.push_back(std::move(entry));
+    }
+    obs::JsonValue pool_doc = obs::JsonValue::object();
+    pool_doc.set("endpoints", std::move(endpoints));
+    doc.set("executor_pool", std::move(pool_doc));
+  }
+  // "executor_degradation" is an optional key after "executor" (following
+  // "executor_pool" when both are present):
   // it appears only when the remote backend fell back to local execution
   // during the run, so documents from clean runs stay byte-identical to
   // the sim goldens (modulo the executor stamp).

@@ -75,6 +75,42 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
   return plan;
 }
 
+std::vector<std::string> split_fault_specs(const std::string& spec,
+                                           std::size_t n) {
+  std::vector<std::string> specs;
+  if (spec.find(';') == std::string::npos) {
+    specs.assign(n, spec);
+    return specs;
+  }
+  std::size_t pos = 0;
+  for (;;) {
+    const std::size_t end = spec.find(';', pos);
+    specs.push_back(spec.substr(
+        pos, end == std::string::npos ? std::string::npos : end - pos));
+    if (end == std::string::npos) {
+      break;
+    }
+    pos = end + 1;
+  }
+  if (specs.size() > n) {
+    throw InvalidArgument("fault spec list names " +
+                          std::to_string(specs.size()) +
+                          " endpoints but the pool has " + std::to_string(n));
+  }
+  specs.resize(n);  // missing trailing segments are clean links
+  return specs;
+}
+
+std::vector<FaultPlan> FaultPlan::parse_list(const std::string& spec,
+                                             std::size_t n) {
+  std::vector<FaultPlan> plans;
+  plans.reserve(n);
+  for (const std::string& s : split_fault_specs(spec, n)) {
+    plans.push_back(parse(s));
+  }
+  return plans;
+}
+
 FaultyTransport::FaultyTransport(std::unique_ptr<Transport> inner,
                                  const FaultPlan& plan, std::uint64_t stream)
     : inner_(std::move(inner)), plan_(plan), rng_(Rng(plan.seed).fork(stream)) {}

@@ -62,6 +62,8 @@ const char* to_string(MsgType type) {
       return "stats";
     case MsgType::kStatsAck:
       return "stats_ack";
+    case MsgType::kExecuteReplay:
+      return "execute_replay";
   }
   return "unknown";
 }
@@ -121,7 +123,7 @@ Frame read_frame(Transport& t, std::chrono::milliseconds timeout) {
   }
   const std::uint8_t type = r.u8();
   if (type < static_cast<std::uint8_t>(MsgType::kHello) ||
-      type > static_cast<std::uint8_t>(MsgType::kStatsAck)) {
+      type > static_cast<std::uint8_t>(MsgType::kExecuteReplay)) {
     throw WireError("unknown frame type " + std::to_string(type));
   }
   r.u8();  // flags (reserved)

@@ -64,6 +64,10 @@ enum class MsgType : std::uint8_t {
   kShutdown = 8,       ///< client -> worker: stop serving after this frame
   kStats = 9,          ///< client -> worker: request a stats snapshot
   kStatsAck = 10,      ///< worker -> client: xbarlife.workerstats.v1 payload
+  /// worker -> client: a kExecuteResult served from the worker's one-deep
+  /// replay cache (same payload bytes, distinct type so the client can
+  /// account replays separately from fresh work).
+  kExecuteReplay = 11,
 };
 
 const char* to_string(MsgType type);

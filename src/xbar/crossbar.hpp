@@ -51,6 +51,13 @@ class Crossbar {
 
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
+
+  /// Process-unique array id, assigned in construction order. The
+  /// executor pool's rendezvous hash keys on it to pick each array's
+  /// owning endpoint; it never influences simulation results (byte
+  /// identity holds on every endpoint), so the thread-ordering race on
+  /// assignment is benign.
+  std::uint64_t uid() const { return uid_; }
   const device::DeviceParams& device_params() const { return params_; }
   const aging::AgingModel& aging_model() const { return model_; }
 
@@ -211,6 +218,7 @@ class Crossbar {
   aging::AgingModel model_;
   std::vector<device::Memristor> cells_;
   aging::RepresentativeTracker tracker_;
+  std::uint64_t uid_ = 0;
   /// Hoisted per-pulse constants for program_batch; fixed at construction
   /// (depends only on params_/model_).
   device::PulseContext pulse_ctx_;

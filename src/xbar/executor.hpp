@@ -112,4 +112,25 @@ struct ExecutorDegradation {
 /// back.
 ExecutorDegradation executor_degradation();
 
+/// One endpoint's worth of pool accounting, stamped into the optional
+/// "executor_pool" result-envelope key and rendered by `xbarlife
+/// worker-status` fleet mode.
+struct PoolEndpointSummary {
+  std::string address;
+  std::string circuit;  ///< "healthy" / "suspect" / "open"
+  std::uint64_t requests = 0;       ///< sequences this endpoint completed
+  std::uint64_t failovers = 0;      ///< attempts that failed over away
+  std::uint64_t circuit_opens = 0;  ///< times its circuit opened
+};
+
+/// Pool summary for result documents. `active` only when the active
+/// backend is a worker pool with more than one endpoint, so documents
+/// from single-endpoint runs stay byte-identical to earlier builds.
+struct ExecutorPoolSummary {
+  bool active = false;
+  std::vector<PoolEndpointSummary> endpoints;
+};
+
+ExecutorPoolSummary executor_pool_summary();
+
 }  // namespace xbarlife::xbar

@@ -1,0 +1,391 @@
+#include "xbar/pool.hpp"
+
+#include <algorithm>
+#include <map>
+#include <thread>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/shutdown.hpp"
+#include "net/faulty.hpp"
+#include "obs/metrics.hpp"
+#include "xbar/crossbar.hpp"
+
+namespace xbarlife::xbar {
+
+std::vector<std::string> split_endpoints(const std::string& address) {
+  std::vector<std::string> endpoints;
+  std::size_t pos = 0;
+  for (;;) {
+    const std::size_t end = address.find(',', pos);
+    std::string entry = address.substr(
+        pos, end == std::string::npos ? std::string::npos : end - pos);
+    const std::size_t first = entry.find_first_not_of(" \t");
+    const std::size_t last = entry.find_last_not_of(" \t");
+    entry = first == std::string::npos
+                ? std::string()
+                : entry.substr(first, last - first + 1);
+    if (entry.empty()) {
+      throw InvalidArgument(
+          "remote endpoint list '" + address +
+          "' holds an empty entry (expected comma-separated addresses)");
+    }
+    endpoints.push_back(std::move(entry));
+    if (end == std::string::npos) {
+      break;
+    }
+    pos = end + 1;
+  }
+  return endpoints;
+}
+
+std::uint64_t rendezvous_score(std::uint64_t key, std::string_view endpoint,
+                               std::size_t slot) {
+  // FNV-1a over the endpoint slot identity, then one splitmix64 round
+  // folding in the key: cheap, stateless, and well-mixed enough that
+  // ownership spreads evenly across slots.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : endpoint) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  h ^= static_cast<std::uint64_t>(slot) + 0x9e3779b97f4a7c15ULL;
+  h *= 1099511628211ULL;
+  std::uint64_t state = h ^ (key * 0xbf58476d1ce4e5b9ULL);
+  return splitmix64(state);
+}
+
+std::vector<std::size_t> rendezvous_order(
+    std::uint64_t key, const std::vector<std::string>& endpoints) {
+  // Score each slot on (address, occurrence-of-that-address) rather than
+  // its list position: a unique address keeps its score wherever it sits
+  // in the list, which is what makes membership changes move only the
+  // removed endpoint's keys. Duplicate addresses (three "loopback"
+  // workers) get distinct occurrence indices and still spread load.
+  std::vector<std::pair<std::uint64_t, std::size_t>> scored;
+  scored.reserve(endpoints.size());
+  std::map<std::string_view, std::size_t> occurrence;
+  for (std::size_t i = 0; i < endpoints.size(); ++i) {
+    scored.emplace_back(
+        rendezvous_score(key, endpoints[i], occurrence[endpoints[i]]++), i);
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) {
+              return a.first != b.first ? a.first > b.first
+                                        : a.second < b.second;
+            });
+  std::vector<std::size_t> order;
+  order.reserve(scored.size());
+  for (const auto& [score, index] : scored) {
+    order.push_back(index);
+  }
+  return order;
+}
+
+const char* to_string(CircuitState state) {
+  switch (state) {
+    case CircuitState::kHealthy:
+      return "healthy";
+    case CircuitState::kSuspect:
+      return "suspect";
+    case CircuitState::kOpen:
+      return "open";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// CircuitBreaker.
+
+CircuitBreaker::CircuitBreaker(const Config& config, Rng jitter)
+    : config_(config),
+      jitter_(std::move(jitter)),
+      probe_backoff_(config.probe_backoff_initial) {
+  if (config_.failure_threshold < 1) {
+    throw InvalidArgument("circuit breaker: failure_threshold must be >= 1");
+  }
+}
+
+std::chrono::milliseconds CircuitBreaker::jittered(
+    std::chrono::milliseconds base) {
+  const double factor = 0.5 + 0.5 * jitter_.uniform();
+  return std::chrono::milliseconds(static_cast<std::int64_t>(
+      static_cast<double>(base.count()) * factor));
+}
+
+void CircuitBreaker::record_success() {
+  state_ = CircuitState::kHealthy;
+  consecutive_failures_ = 0;
+  probe_backoff_ = config_.probe_backoff_initial;
+}
+
+bool CircuitBreaker::record_failure(
+    std::chrono::steady_clock::time_point now) {
+  ++consecutive_failures_;
+  if (state_ == CircuitState::kOpen) {
+    // A due half-open probe failed: stay open, double the capped probe
+    // backoff so a dead endpoint is bothered less and less often.
+    probe_backoff_ =
+        std::min(probe_backoff_ * 2, config_.probe_backoff_max);
+    probe_after_ = now + jittered(probe_backoff_);
+    return false;
+  }
+  if (consecutive_failures_ >= config_.failure_threshold) {
+    state_ = CircuitState::kOpen;
+    ++opens_;
+    probe_backoff_ = config_.probe_backoff_initial;
+    probe_after_ = now + jittered(probe_backoff_);
+    return true;
+  }
+  state_ = CircuitState::kSuspect;
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// PoolExecutor.
+
+struct PoolExecutor::Endpoint {
+  std::string address;
+  std::unique_ptr<RemoteExecutor> exec;
+  CircuitBreaker circuit;         ///< guarded by the pool mutex
+  std::uint64_t requests = 0;     ///< completed sequences
+  std::uint64_t failovers = 0;    ///< failed attempts routed elsewhere
+
+  Endpoint(std::string addr, std::unique_ptr<RemoteExecutor> e,
+           CircuitBreaker c)
+      : address(std::move(addr)), exec(std::move(e)), circuit(std::move(c)) {}
+};
+
+PoolExecutor::PoolExecutor(RemoteConfig config)
+    : config_(std::move(config)),
+      jitter_(fork_jitter_stream(config_.jitter_seed)) {
+  if (config_.max_attempts < 1) {
+    throw InvalidArgument("executor pool: max_attempts must be >= 1");
+  }
+  addresses_ = split_endpoints(config_.address);
+  const std::vector<std::string> specs =
+      net::split_fault_specs(config_.fault_spec, addresses_.size());
+  const CircuitBreaker::Config breaker{config_.circuit_failure_threshold,
+                                       config_.probe_backoff_initial,
+                                       config_.probe_backoff_max};
+  for (std::size_t i = 0; i < addresses_.size(); ++i) {
+    RemoteConfig ec = config_;
+    ec.address = addresses_[i];
+    ec.fault_spec = specs[i];
+    // One shot per failover step: the retry budget (and the decision to
+    // degrade) belongs to the pool, never to a single endpoint.
+    ec.max_attempts = 1;
+    ec.fallback_to_sim = false;
+    ec.metric_prefix = "executor.pool." + std::to_string(i);
+    // One shared span name: per-endpoint ownership follows the crossbar
+    // uid counter, whose assignment order threaded runs interleave, and
+    // profile skeletons must stay thread-count invariant.
+    ec.span_prefix = "executor.pool";
+    endpoints_.push_back(std::make_unique<Endpoint>(
+        addresses_[i], std::make_unique<RemoteExecutor>(ec),
+        CircuitBreaker(breaker, fork_jitter_stream(config_.jitter_seed))));
+  }
+}
+
+PoolExecutor::~PoolExecutor() = default;
+
+void PoolExecutor::count(std::size_t index, const char* suffix) const {
+  if (obs::Registry* reg = remote_metrics_registry()) {
+    reg->counter("executor.pool." + std::to_string(index) + "." + suffix)
+        .add(1);
+  }
+}
+
+void PoolExecutor::set_circuit_gauge(std::size_t index,
+                                     CircuitState state) const {
+  // Lazily created on the first state *transition*, so clean runs emit no
+  // circuit gauges and stay byte-identical to single-endpoint goldens.
+  if (obs::Registry* reg = remote_metrics_registry()) {
+    reg->gauge("executor.pool." + std::to_string(index) + ".circuit_state")
+        .set(static_cast<double>(static_cast<std::uint8_t>(state)));
+  }
+}
+
+void PoolExecutor::backoff_sleep(int round) const {
+  // Same shape as the single-endpoint retry backoff: exponential base
+  // capped at backoff_max, multiplicative jitter in [0.5, 1.0), sliced
+  // sleeps polling the cooperative shutdown flag.
+  std::chrono::milliseconds base = config_.backoff_initial;
+  for (int i = 1; i < round && base < config_.backoff_max; ++i) {
+    base *= 2;
+  }
+  base = std::min(base, config_.backoff_max);
+  double factor = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    factor = 0.5 + 0.5 * jitter_.uniform();
+  }
+  auto remaining = std::chrono::milliseconds(
+      static_cast<std::int64_t>(static_cast<double>(base.count()) * factor));
+  constexpr std::chrono::milliseconds kSlice{10};
+  while (remaining.count() > 0) {
+    if (shutdown_requested()) {
+      throw InterruptedError(
+          "shutdown requested during executor pool retry backoff");
+    }
+    const auto nap = std::min(remaining, kSlice);
+    std::this_thread::sleep_for(nap);
+    remaining -= nap;
+  }
+}
+
+ExecReport PoolExecutor::run_local(Crossbar& xb,
+                                   const ProgramSequence& seq) const {
+  return SimExecutor{}.execute(xb, seq);
+}
+
+ExecReport PoolExecutor::execute(Crossbar& xb,
+                                 const ProgramSequence& seq) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pinned_) {
+      return run_local(xb, seq);
+    }
+    ++stats_.requests;
+  }
+  // The owner and failover order are a pure function of the array uid and
+  // the endpoint list: the same array always prefers the same worker, and
+  // membership changes move only the keys the changed endpoint owned.
+  const std::vector<std::size_t> order =
+      rendezvous_order(xb.uid(), addresses_);
+  // One budget round = one pass over the live pool. Failing over to the
+  // next endpoint is free; only "everyone failed" burns a round, so the
+  // local fallback engages exactly when the entire pool is down for
+  // max_attempts consecutive rounds.
+  for (int round = 0; round < config_.max_attempts; ++round) {
+    if (round > 0) {
+      backoff_sleep(round);
+    }
+    // Candidate pass under the lock: admitted endpoints in preference
+    // order. When every circuit is open and none is probe-due yet, fall
+    // through to the full order — the pool must keep knocking rather
+    // than silently degrade while workers might be back.
+    std::vector<std::size_t> candidates;
+    std::vector<bool> needs_probe(endpoints_.size(), false);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto now = std::chrono::steady_clock::now();
+      for (const std::size_t i : order) {
+        if (endpoints_[i]->circuit.admits(now)) {
+          candidates.push_back(i);
+          needs_probe[i] =
+              endpoints_[i]->circuit.state() == CircuitState::kOpen;
+        }
+      }
+      if (candidates.empty()) {
+        candidates.assign(order.begin(), order.end());
+        for (const std::size_t i : candidates) {
+          needs_probe[i] = true;
+        }
+      }
+    }
+    for (const std::size_t i : candidates) {
+      Endpoint& ep = *endpoints_[i];
+      if (needs_probe[i]) {
+        // Half-open re-admission: prove the endpoint answers a heartbeat
+        // before trusting it with a (large) full-state request. The
+        // existing RemoteExecutor heartbeat machinery does the probing.
+        if (!ep.exec->probe()) {
+          std::lock_guard<std::mutex> lock(mu_);
+          ep.circuit.record_failure(std::chrono::steady_clock::now());
+          set_circuit_gauge(i, ep.circuit.state());
+          continue;
+        }
+      }
+      try {
+        ExecReport report = ep.exec->execute(xb, seq);
+        std::lock_guard<std::mutex> lock(mu_);
+        const bool was_healthy =
+            ep.circuit.state() == CircuitState::kHealthy;
+        ep.circuit.record_success();
+        if (!was_healthy) {
+          set_circuit_gauge(i, CircuitState::kHealthy);
+        }
+        ++ep.requests;
+        return report;
+      } catch (const RemoteWorkerError&) {
+        // Deterministic worker-side rejection: every endpoint runs the
+        // same code on the same bits, so rerouting would only repeat it.
+        throw;
+      } catch (const net::TransportError&) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++ep.failovers;
+        ++stats_.retries;
+        count(i, "failovers");
+        if (ep.circuit.record_failure(std::chrono::steady_clock::now())) {
+          count(i, "circuit_opens");
+        }
+        set_circuit_gauge(i, ep.circuit.state());
+      }
+    }
+  }
+  if (!config_.fallback_to_sim) {
+    throw net::TransportError(
+        "executor pool: all " + std::to_string(endpoints_.size()) +
+        " worker endpoint(s) of '" + config_.address +
+        "' unreachable after " + std::to_string(config_.max_attempts) +
+        " round(s) and local fallback is disabled");
+  }
+  // Pool-wide exhaustion: same graceful degradation as the single link —
+  // no attempt mutated local state, so local execution now is
+  // byte-identical to what any worker would have produced.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    degraded_ = true;
+    ++stats_.fallbacks;
+  }
+  if (obs::Registry* reg = remote_metrics_registry()) {
+    reg->counter("executor.pool.fallbacks").add(1);
+  }
+  return run_local(xb, seq);
+}
+
+bool PoolExecutor::degraded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return degraded_;
+}
+
+bool PoolExecutor::pin_local_fallback() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pinned_) {
+    return false;
+  }
+  pinned_ = true;
+  degraded_ = true;
+  return true;
+}
+
+RemoteLinkStats PoolExecutor::link_stats() const {
+  RemoteLinkStats out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = stats_;
+  }
+  for (const auto& ep : endpoints_) {
+    out.reconnects += ep->exec->link_stats().reconnects;
+  }
+  return out;
+}
+
+std::vector<PoolEndpointSummary> PoolExecutor::endpoint_summaries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PoolEndpointSummary> out;
+  out.reserve(endpoints_.size());
+  for (const auto& ep : endpoints_) {
+    PoolEndpointSummary summary;
+    summary.address = ep->address;
+    summary.circuit = to_string(ep->circuit.state());
+    summary.requests = ep->requests;
+    summary.failovers = ep->failovers;
+    summary.circuit_opens = ep->circuit.opens();
+    out.push_back(std::move(summary));
+  }
+  return out;
+}
+
+}  // namespace xbarlife::xbar

@@ -1,0 +1,176 @@
+// Multi-worker executor pool: the fleet form of the "remote" backend.
+//
+// A PoolExecutor shards sequence dispatch across N workers named by a
+// comma-separated endpoint list ("unix:/a,unix:/b,host:port,loopback").
+// Each array has a deterministic owning endpoint — rendezvous (highest-
+// random-weight) hashing of the array uid against every endpoint slot, so
+// adding or removing an endpoint moves only the keys that endpoint owned —
+// and every endpoint carries its own health state machine:
+//
+//   healthy --failure--> suspect --(threshold consecutive)--> open
+//      ^                    |                                  |
+//      +----- success ------+        half-open heartbeat probe +
+//                                    (jittered exponential backoff)
+//
+// Dispatch walks the array's rendezvous preference order, skipping
+// endpoints whose circuit is open (not yet probe-due), and fails over to
+// the next live endpoint *before* burning the global max_attempts budget:
+// one budget round means "the entire pool was tried and failed", so
+// local-sim fallback — and the executor_degradation stamp — engages only
+// when every worker is down. Byte-identity is preserved by construction:
+// every worker runs the stock SimExecutor on shipped full pre-state, so
+// which endpoint (or the local fallback) executes a sequence can never
+// change its results.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "xbar/executor.hpp"
+#include "xbar/remote.hpp"
+
+namespace xbarlife::xbar {
+
+/// Splits a comma-separated endpoint list, trimming surrounding spaces.
+/// Throws InvalidArgument on an empty list or an empty entry.
+std::vector<std::string> split_endpoints(const std::string& address);
+
+/// Highest-random-weight score of `key` against one endpoint slot. `slot`
+/// is the occurrence index of `endpoint` within the list (0 for a unique
+/// address): duplicates (three "loopback" workers) still spread load,
+/// while a unique address scores the same wherever it sits in the list —
+/// the property that makes membership changes move minimal load.
+std::uint64_t rendezvous_score(std::uint64_t key, std::string_view endpoint,
+                               std::size_t slot);
+
+/// Endpoint indices in descending score order for `key`: element 0 is the
+/// owner, the rest the deterministic failover order. Removing an endpoint
+/// from the list leaves every other key's relative order intact (the
+/// minimal-movement property of rendezvous hashing).
+std::vector<std::size_t> rendezvous_order(
+    std::uint64_t key, const std::vector<std::string>& endpoints);
+
+/// Health state of one pool endpoint.
+enum class CircuitState : std::uint8_t {
+  kHealthy = 0,  ///< no outstanding failures
+  kSuspect = 1,  ///< failing, but below the open threshold
+  kOpen = 2,     ///< skipped by dispatch until the half-open probe is due
+};
+
+const char* to_string(CircuitState state);
+
+/// Per-endpoint health state machine. Time-point driven (no internal
+/// clock) so tests pin transitions without sleeping; not thread-safe —
+/// the pool serializes access under its own mutex.
+class CircuitBreaker {
+ public:
+  struct Config {
+    /// Consecutive failures before the circuit opens (the first failure
+    /// always moves healthy -> suspect).
+    int failure_threshold = 2;
+    /// Half-open probe schedule: initial * 2^k, capped, with
+    /// multiplicative jitter in [0.5, 1.0) from the seeded stream.
+    std::chrono::milliseconds probe_backoff_initial{100};
+    std::chrono::milliseconds probe_backoff_max{2000};
+  };
+
+  CircuitBreaker(const Config& config, Rng jitter);
+
+  CircuitState state() const { return state_; }
+
+  /// True when dispatch may target the endpoint: healthy and suspect
+  /// circuits always, an open circuit only once its probe window is due
+  /// (the half-open state).
+  bool admits(std::chrono::steady_clock::time_point now) const {
+    return state_ != CircuitState::kOpen || now >= probe_after_;
+  }
+
+  /// Any successful round trip fully re-admits the endpoint.
+  void record_success();
+
+  /// Records a failed attempt (or a failed half-open probe). Returns true
+  /// exactly when this failure opened the circuit; an already-open
+  /// circuit instead doubles its (capped, jittered) probe backoff.
+  bool record_failure(std::chrono::steady_clock::time_point now);
+
+  /// Times the circuit has opened over the breaker's lifetime.
+  std::uint64_t opens() const { return opens_; }
+
+  std::chrono::steady_clock::time_point probe_after() const {
+    return probe_after_;
+  }
+
+ private:
+  std::chrono::milliseconds jittered(std::chrono::milliseconds base);
+
+  Config config_;
+  Rng jitter_;
+  CircuitState state_ = CircuitState::kHealthy;
+  int consecutive_failures_ = 0;
+  std::chrono::milliseconds probe_backoff_;
+  std::chrono::steady_clock::time_point probe_after_{};
+  std::uint64_t opens_ = 0;
+};
+
+/// The pool backend. Still named "remote" — the pool is a deployment
+/// shape of the remote backend, not a different science — and built by
+/// the executor registry whenever the remote address holds a comma.
+class PoolExecutor final : public ProgramExecutor {
+ public:
+  /// `config.address` is the comma-separated endpoint list;
+  /// `config.fault_spec` may be a ';'-separated per-endpoint list (see
+  /// net::split_fault_specs). Endpoint executors inherit the remaining
+  /// knobs with max_attempts pinned to 1 and fallback disabled: retry
+  /// budget and degradation are pool-wide decisions.
+  explicit PoolExecutor(RemoteConfig config);
+  ~PoolExecutor() override;
+
+  const char* name() const override { return "remote"; }
+  ExecReport execute(Crossbar& xb, const ProgramSequence& seq) const override;
+
+  /// True once at least one sequence exhausted the whole pool and fell
+  /// back to local execution (or the pool was pinned).
+  bool degraded() const override;
+  bool pin_local_fallback() const override;
+
+  /// Pool-aggregated link health: requests are logical sequences,
+  /// retries count failed endpoint attempts that failed over, reconnects
+  /// sum the endpoints' own reconnects, fallbacks count pool-wide
+  /// exhaustions.
+  RemoteLinkStats link_stats() const;
+
+  /// Per-endpoint request/failover/circuit accounting for the
+  /// `executor_pool` envelope stamp and `worker-status` fleet rendering.
+  std::vector<PoolEndpointSummary> endpoint_summaries() const;
+
+  std::size_t size() const { return endpoints_.size(); }
+  const RemoteConfig& config() const { return config_; }
+  const std::vector<std::string>& addresses() const { return addresses_; }
+
+ private:
+  struct Endpoint;
+
+  void backoff_sleep(int round) const;
+  ExecReport run_local(Crossbar& xb, const ProgramSequence& seq) const;
+  /// Lazily creates per-endpoint telemetry in the registry installed via
+  /// set_remote_metrics (no-op when detached).
+  void count(std::size_t index, const char* suffix) const;
+  void set_circuit_gauge(std::size_t index, CircuitState state) const;
+
+  RemoteConfig config_;
+  std::vector<std::string> addresses_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  mutable std::mutex mu_;  ///< circuits + stats; never held across I/O
+  mutable RemoteLinkStats stats_;
+  mutable bool degraded_ = false;
+  mutable bool pinned_ = false;
+  mutable Rng jitter_;
+};
+
+}  // namespace xbarlife::xbar

@@ -17,9 +17,12 @@ namespace {
 /// v2 appends the telemetry fields (want_telemetry + trace context on the
 /// request; has_telemetry + span tree + counter deltas on the response)
 /// after the complete v1 layout, so the worker still accepts v1 requests
-/// and answers them in v1 shape.
-constexpr std::uint8_t kRequestVersion = 2;
-constexpr std::uint8_t kResponseVersion = 2;
+/// and answers them in v1 shape. v3 keeps the byte layout of v2 and
+/// signals that the peer distinguishes replay-cache hits with the
+/// kExecuteReplay frame type (a v2 client would skip that type and time
+/// out, so the hello handshake gates on it).
+constexpr std::uint8_t kRequestVersion = 3;
+constexpr std::uint8_t kResponseVersion = 3;
 constexpr std::uint8_t kStatsVersion = 1;
 /// Wire encoding of obs::kNoSpan in a shipped span tree.
 constexpr std::uint64_t kNoSpanWire = ~std::uint64_t{0};
@@ -81,6 +84,10 @@ aging::AgingParams read_aging_params(persist::StateReader& r) {
 
 std::atomic<obs::Registry*> g_remote_metrics{nullptr};
 
+/// fork_jitter_stream instance counter: every executor construction takes
+/// the next stream index, decorrelating backoff schedules process-wide.
+std::atomic<std::uint64_t> g_jitter_instances{0};
+
 /// Versioned hello / hello-ack payload: both directions stamp the wire
 /// version, the execute-request codec version, and the build string. An
 /// empty payload is a legacy peer and is accepted as-is.
@@ -121,6 +128,15 @@ void check_hello_ack(std::string_view payload) {
 }
 
 }  // namespace
+
+Rng fork_jitter_stream(std::uint64_t seed) {
+  return Rng(seed).fork(
+      g_jitter_instances.fetch_add(1, std::memory_order_relaxed));
+}
+
+void reset_jitter_instances_for_test() {
+  g_jitter_instances.store(0, std::memory_order_relaxed);
+}
 
 // ---------------------------------------------------------------------------
 // Worker-side protocol handlers.
@@ -409,9 +425,12 @@ WorkerStatsSnapshot decode_worker_stats(std::string_view payload) {
   return snap;
 }
 
-obs::JsonValue WorkerStatsSnapshot::to_json() const {
+obs::JsonValue WorkerStatsSnapshot::to_json(std::string_view endpoint) const {
   obs::JsonValue doc = obs::JsonValue::object();
   doc.set("schema", "xbarlife.workerstats.v1");
+  if (!endpoint.empty()) {
+    doc.set("endpoint", endpoint);
+  }
   doc.set("build", build);
   doc.set("wire_version", wire_version);
   doc.set("request_version", request_version);
@@ -532,11 +551,21 @@ bool serve_connection(net::Transport& t, const ServeOptions& opts) {
         }
         case net::MsgType::kExecute: {
           if (has_cached && frame.seq_id == cached_id) {
+            // A replay is not fresh work: it answers with the cached bytes
+            // under the kExecuteReplay type and counts only into the
+            // replay-side accounting (replay_hits + worker.replay_served),
+            // never into requests_served — so client and worker totals
+            // reconcile instead of double-counting retried sequences.
             if (opts.stats != nullptr) {
               opts.stats->replay_hits.fetch_add(1,
                                                 std::memory_order_relaxed);
+              opts.stats->metrics.counter("worker.replay_served").add(1);
             }
-          } else {
+            net::write_frame(t, net::MsgType::kExecuteReplay, frame.seq_id,
+                             cached_response);
+            break;
+          }
+          {
             const auto started = std::chrono::steady_clock::now();
             try {
               cached_response = execute_request(frame.payload);
@@ -645,7 +674,7 @@ struct RemoteExecutor::Link {
 RemoteExecutor::RemoteExecutor(RemoteConfig config)
     : config_(std::move(config)),
       fault_plan_(net::FaultPlan::parse(config_.fault_spec)),
-      jitter_(config_.jitter_seed) {
+      jitter_(fork_jitter_stream(config_.jitter_seed)) {
   if (config_.max_attempts < 1) {
     throw InvalidArgument("remote executor: max_attempts must be >= 1");
   }
@@ -659,7 +688,7 @@ RemoteExecutor::~RemoteExecutor() {
 void RemoteExecutor::count(const char* name, std::uint64_t delta) const {
   obs::Registry* reg = g_remote_metrics.load(std::memory_order_acquire);
   if (reg != nullptr) {
-    reg->counter(name).add(delta);
+    reg->counter(config_.metric_prefix + "." + name).add(delta);
   }
 }
 
@@ -679,7 +708,7 @@ void RemoteExecutor::ensure_connected(std::unique_lock<std::mutex>&) const {
   t = net::maybe_wrap_faulty(std::move(t), fault_plan_, 2 * connections_);
   if (connections_ > 0) {
     ++stats_.reconnects;
-    count("executor.remote.reconnects");
+    count("reconnects");
   }
   ++connections_;
   link_ = std::make_unique<Link>(std::move(t));
@@ -720,7 +749,11 @@ net::Frame RemoteExecutor::read_matching(
     if (frame.seq_id != want_id) {
       continue;  // stale frame: a duplicated or late earlier response
     }
-    if (frame.type == want || frame.type == net::MsgType::kError) {
+    if (frame.type == want || frame.type == net::MsgType::kError ||
+        (want == net::MsgType::kExecuteResult &&
+         frame.type == net::MsgType::kExecuteReplay)) {
+      // A kExecuteReplay satisfies a kExecuteResult wait: same payload,
+      // distinct type so the caller can account it as a replay.
       return frame;
     }
     // Matching id but unexpected type: a protocol-confused peer; skip.
@@ -790,9 +823,9 @@ ExecReport RemoteExecutor::execute(Crossbar& xb,
   struct SpanGuard {
     obs::Profiler* profiler;
     std::size_t index = 0;
-    explicit SpanGuard(obs::Profiler* p) : profiler(p) {
+    SpanGuard(obs::Profiler* p, const std::string& name) : profiler(p) {
       if (profiler != nullptr) {
-        index = profiler->begin_span("executor.remote.execute");
+        index = profiler->begin_span(name + ".execute");
       }
     }
     ~SpanGuard() {
@@ -800,7 +833,8 @@ ExecReport RemoteExecutor::execute(Crossbar& xb,
         profiler->end_span(index);
       }
     }
-  } span_guard(profiler);
+  } span_guard(profiler, config_.span_prefix.empty() ? config_.metric_prefix
+                                                     : config_.span_prefix);
   const bool want_telemetry = profiler != nullptr;
   // One id per logical request across all its retries: the replay key
   // (and, with telemetry, the trace id the worker echoes back).
@@ -817,7 +851,7 @@ ExecReport RemoteExecutor::execute(Crossbar& xb,
     // own snapshot boundaries.
     if (attempt > 0) {
       ++stats_.retries;
-      count("executor.remote.retries");
+      count("retries");
       backoff_sleep(attempt);
     }
     try {
@@ -841,9 +875,15 @@ ExecReport RemoteExecutor::execute(Crossbar& xb,
                                 er.str());
       }
       ExecuteResponse resp = decode_execute_response(frame.payload);
+      // Fresh work and replay-cache hits account separately on both
+      // sides of the wire (the worker marks hits with kExecuteReplay),
+      // so <prefix>.requests only ever counts sequences the worker
+      // actually executed and totals reconcile with worker-status.
+      count(frame.type == net::MsgType::kExecuteReplay ? "replay_served"
+                                                       : "requests");
       if (obs::Registry* reg =
               g_remote_metrics.load(std::memory_order_acquire)) {
-        reg->bucketed_histogram("executor.remote.request_ms")
+        reg->bucketed_histogram(config_.metric_prefix + ".request_ms")
             .observe(std::chrono::duration<double, std::milli>(
                          std::chrono::steady_clock::now() - sent_at)
                          .count());
@@ -889,7 +929,7 @@ ExecReport RemoteExecutor::execute(Crossbar& xb,
   // exactly what a successful remote run would have.
   degraded_ = true;
   ++stats_.fallbacks;
-  count("executor.remote.fallbacks");
+  count("fallbacks");
   return run_local(xb, seq);
 }
 
@@ -911,6 +951,21 @@ bool RemoteExecutor::pin_local_fallback() const {
 RemoteLinkStats RemoteExecutor::link_stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+bool RemoteExecutor::probe() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  try {
+    ensure_connected(lock);
+  } catch (const net::TransportError&) {
+    drop_connection();
+    return false;
+  }
+  if (!probe_liveness()) {
+    drop_connection();
+    return false;
+  }
+  return true;
 }
 
 WorkerStatsSnapshot query_worker_status(const RemoteConfig& config) {
@@ -968,6 +1023,10 @@ WorkerStatsSnapshot query_worker_status(const RemoteConfig& config) {
 
 void set_remote_metrics(obs::Registry* registry) {
   g_remote_metrics.store(registry, std::memory_order_release);
+}
+
+obs::Registry* remote_metrics_registry() {
+  return g_remote_metrics.load(std::memory_order_acquire);
 }
 
 }  // namespace xbarlife::xbar

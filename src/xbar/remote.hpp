@@ -130,8 +130,12 @@ struct WorkerStatsSnapshot {
   /// verbatim into the document (the client never re-parses it).
   std::string metrics_json;
 
-  /// Renders the xbarlife.workerstats.v1 document.
-  obs::JsonValue to_json() const;
+  /// Renders the xbarlife.workerstats.v1 document. A non-empty
+  /// `endpoint` adds an "endpoint" key right after "schema" — fleet mode
+  /// (`worker-status` against an endpoint list) emits one document per
+  /// worker and the key says which one answered. Single-endpoint
+  /// documents omit it and stay byte-identical to earlier builds.
+  obs::JsonValue to_json(std::string_view endpoint = {}) const;
 };
 
 WorkerStatsSnapshot decode_worker_stats(std::string_view payload);
@@ -210,14 +214,48 @@ struct RemoteConfig {
   /// Total tries per sequence (first attempt + retries) before degrading.
   int max_attempts = 5;
   /// Exponential backoff between attempts: initial * 2^k, capped, with
-  /// multiplicative jitter in [0.5, 1.0) drawn from jitter_seed.
+  /// multiplicative jitter in [0.5, 1.0). Every executor forks its own
+  /// jitter stream from this seed and a process-wide instance counter
+  /// (fork_jitter_stream), so two executors sharing the default seed
+  /// still draw decorrelated backoff schedules instead of retrying in
+  /// lockstep.
   std::chrono::milliseconds backoff_initial{10};
   std::chrono::milliseconds backoff_max{250};
   std::uint64_t jitter_seed = 0x9e3779b97f4a7c15ULL;
   /// Degrade to the local SimExecutor when all attempts fail; when false
   /// the executor throws TransportError instead (CLI exit 3).
   bool fallback_to_sim = true;
+  /// Metric-name prefix for this executor's lazily created telemetry
+  /// (counters + the request_ms histogram). The pool backend names its
+  /// endpoints "executor.pool.<i>" so their series merge deterministically
+  /// without colliding.
+  std::string metric_prefix = "executor.remote";
+  /// Profiler span-name prefix; empty means "use metric_prefix". The pool
+  /// backend profiles every endpoint under the shared "executor.pool"
+  /// name: which endpoint owns an array depends on construction order
+  /// (the crossbar uid counter), which threaded runs interleave, and
+  /// profile skeletons must stay byte-identical across thread counts —
+  /// only the deterministic pool-wide total is a span, the per-endpoint
+  /// split stays in the metric registry.
+  std::string span_prefix;
+  /// Pool circuit breaker (ignored by a single-endpoint executor):
+  /// consecutive failures before an endpoint's circuit opens
+  /// (healthy -> suspect on the first failure, open at the threshold)...
+  int circuit_failure_threshold = 2;
+  /// ...and the jittered exponential backoff between half-open heartbeat
+  /// probes of an open endpoint.
+  std::chrono::milliseconds probe_backoff_initial{100};
+  std::chrono::milliseconds probe_backoff_max{2000};
 };
+
+/// Forks a per-instance backoff-jitter stream: `seed` is combined with a
+/// process-wide monotonically increasing instance counter, so executors
+/// sharing a (default) seed never draw identical schedules.
+Rng fork_jitter_stream(std::uint64_t seed);
+
+/// Resets the fork_jitter_stream instance counter so a test can pin the
+/// exact fork sequence. Not for production use.
+void reset_jitter_instances_for_test();
 
 /// Link-health counters (process-lifetime totals for this executor).
 struct RemoteLinkStats {
@@ -246,6 +284,11 @@ class RemoteExecutor final : public ProgramExecutor {
 
   RemoteLinkStats link_stats() const;
   const RemoteConfig& config() const { return config_; }
+
+  /// Half-open circuit probe: connects (or reuses the link) and runs one
+  /// heartbeat round trip. True when the endpoint answered; false drops
+  /// the connection. Never ships a request and never counts a fallback.
+  bool probe() const;
 
  private:
   struct Link;
@@ -279,11 +322,17 @@ class RemoteExecutor final : public ProgramExecutor {
 WorkerStatsSnapshot query_worker_status(const RemoteConfig& config);
 
 /// Registry the remote backend lazily creates its link metrics in
-/// (executor.remote.retries / .reconnects / .fallbacks counters plus the
-/// bucketed executor.remote.request_ms round-trip histogram). Metrics are
-/// created only when the corresponding event first occurs, so a clean run
-/// emits no remote metrics and stays byte-identical to `sim` goldens.
-/// Pass nullptr to detach; the registry must outlive remote execution.
+/// (<metric_prefix>.requests / .replay_served / .retries / .reconnects /
+/// .fallbacks counters plus the bucketed <metric_prefix>.request_ms
+/// round-trip histogram). Metrics are created only when the corresponding
+/// event first occurs, so a clean run emits no remote metrics and stays
+/// byte-identical to `sim` goldens. Pass nullptr to detach; the registry
+/// must outlive remote execution.
 void set_remote_metrics(obs::Registry* registry);
+
+/// The registry installed by set_remote_metrics (nullptr when detached).
+/// The pool backend records its per-endpoint counters and circuit-state
+/// gauges here, next to the endpoints' own link metrics.
+obs::Registry* remote_metrics_registry();
 
 }  // namespace xbarlife::xbar

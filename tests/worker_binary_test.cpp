@@ -1,0 +1,110 @@
+// xbarlife-worker startup failure modes (satellite 3): a bind that can
+// never succeed as asked — the address is already bound by a live
+// worker, or the unix socket path is not writable — must exit 2 with a
+// one-line actionable error, so process supervisors fail fast instead of
+// crash-looping on a socket that will never come up.
+//
+// The binary path comes in via XBARLIFE_WORKER_PATH (set in
+// tests/CMakeLists.txt from $<TARGET_FILE:xbarlife_worker>).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#ifndef _WIN32
+#include <sys/wait.h>
+#endif
+
+namespace {
+
+using namespace std::chrono_literals;
+
+std::string worker_path() { return XBARLIFE_WORKER_PATH; }
+
+/// Runs the worker with `args`, capturing stderr to `err_file`, and
+/// returns its exit code (-1 when the shell itself failed).
+int run_worker(const std::string& args, const std::string& err_file) {
+  const std::string cmd = worker_path() + " " + args + " >/dev/null 2>" +
+                          err_file;
+  const int status = std::system(cmd.c_str());
+#ifdef _WIN32
+  return status;
+#else
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+#endif
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(WorkerBinary, MissingListenFlagExitsTwo) {
+  const std::string err = "/tmp/xbarlife-worker-test-noflag.err";
+  EXPECT_EQ(run_worker("", err), 2);
+  EXPECT_NE(slurp(err).find("--listen is required"), std::string::npos);
+  std::remove(err.c_str());
+}
+
+TEST(WorkerBinary, UnwritableUnixSocketPathExitsTwoWithActionableError) {
+  const std::string err = "/tmp/xbarlife-worker-test-unwritable.err";
+  EXPECT_EQ(run_worker(
+                "--listen unix:/nonexistent-xbarlife-dir/worker.sock", err),
+            2);
+  const std::string msg = slurp(err);
+  // One actionable line: names the address and suggests the likely fix.
+  EXPECT_NE(msg.find("cannot listen on "
+                     "'unix:/nonexistent-xbarlife-dir/worker.sock'"),
+            std::string::npos)
+      << msg;
+  EXPECT_NE(msg.find("not writable"), std::string::npos) << msg;
+  std::remove(err.c_str());
+}
+
+TEST(WorkerBinary, AlreadyBoundAddressExitsTwoWithActionableError) {
+  // Worker 1 grabs an ephemeral TCP port; worker 2 asking for the same
+  // port must exit 2 immediately (unix sockets can't express this case —
+  // the listener replaces stale socket files by design).
+  const std::string out = "/tmp/xbarlife-worker-test-bound.out";
+  const std::string err = "/tmp/xbarlife-worker-test-bound.err";
+  const std::string cmd =
+      worker_path() + " --listen 127.0.0.1:0 >" + out + " 2>/dev/null &";
+  ASSERT_EQ(std::system(cmd.c_str()), 0);
+
+  // Wait for "listening on 127.0.0.1:<port>" to learn the bound port.
+  std::string addr;
+  for (int i = 0; i < 100 && addr.empty(); ++i) {
+    std::this_thread::sleep_for(50ms);
+    std::istringstream lines(slurp(out));
+    std::string line;
+    while (std::getline(lines, line)) {
+      const std::string prefix = "listening on ";
+      if (line.rfind(prefix, 0) == 0) {
+        addr = line.substr(prefix.size());
+        break;
+      }
+    }
+  }
+  ASSERT_FALSE(addr.empty()) << "worker 1 never reported its address";
+
+  EXPECT_EQ(run_worker("--listen " + addr, err), 2);
+  const std::string msg = slurp(err);
+  EXPECT_NE(msg.find("cannot listen on '" + addr + "'"), std::string::npos)
+      << msg;
+  EXPECT_NE(msg.find("already bound"), std::string::npos) << msg;
+
+  // Tear worker 1 down (SIGTERM -> graceful exit 0).
+  std::system("pkill -TERM -f 'xbarlife-worker --listen 127.0.0.1:0' "
+              ">/dev/null 2>&1");
+  std::remove(out.c_str());
+  std::remove(err.c_str());
+}
+
+}  // namespace

@@ -11,6 +11,7 @@
 #include "obs/metrics.hpp"
 #include "persist/state_io.hpp"
 #include "xbar/crossbar.hpp"
+#include "xbar/remote.hpp"
 
 namespace xbarlife::xbar {
 namespace {
@@ -175,37 +176,50 @@ TEST(Executors, ProgramCellEqualsOneOpSequence) {
 
 // Satellite 2 (pulse accounting): total_pulses and the attached obs
 // counters must agree exactly across backends — the batched path tallies
-// per batch, the per-cell path per pulse, but the totals are identical.
+// per batch, the per-cell path per pulse, and the remote path credits the
+// client-side counters after restoring the worker's state — but the
+// totals are identical.
 TEST(Executors, PulseAccountingIdenticalAcrossBackends) {
   const ProgramSequence seq = mixed_sequence(9, 9);
 
   obs::Counter pulses_a, traced_a, seqs_a, batches_a;
   obs::Counter pulses_b, traced_b, seqs_b, batches_b;
+  obs::Counter pulses_c, traced_c, seqs_c, batches_c;
 
   Crossbar a(9, 9, dev(), ag());
   Crossbar b(9, 9, dev(), ag());
+  Crossbar c(9, 9, dev(), ag());
   a.attach_pulse_counters(&pulses_a, &traced_a);
   a.attach_executor_counters(&seqs_a, &batches_a);
   b.attach_pulse_counters(&pulses_b, &traced_b);
   b.attach_executor_counters(&seqs_b, &batches_b);
+  c.attach_pulse_counters(&pulses_c, &traced_c);
+  c.attach_executor_counters(&seqs_c, &batches_c);
 
   const ExecReport ra = SimExecutor{}.execute(a, seq);
   const ExecReport rb = PerCellExecutor{}.execute(b, seq);
+  const ExecReport rc = RemoteExecutor{RemoteConfig{}}.execute(c, seq);
 
   EXPECT_EQ(a.total_pulses(), b.total_pulses());
+  EXPECT_EQ(a.total_pulses(), c.total_pulses());
   EXPECT_EQ(a.total_pulses(), ra.stats.pulses);
   EXPECT_EQ(pulses_a.value(), pulses_b.value());
+  EXPECT_EQ(pulses_a.value(), pulses_c.value());
   EXPECT_EQ(pulses_a.value(), ra.stats.pulses);
   EXPECT_EQ(traced_a.value(), traced_b.value());
+  EXPECT_EQ(traced_a.value(), traced_c.value());
   // A 9x9 array traces 1-of-9 cells, so some pulses must be traced.
   EXPECT_GT(traced_a.value(), 0u);
   EXPECT_LT(traced_a.value(), pulses_a.value());
 
   EXPECT_EQ(seqs_a.value(), 1u);
   EXPECT_EQ(seqs_b.value(), 1u);
+  EXPECT_EQ(seqs_c.value(), 1u);
   EXPECT_EQ(batches_a.value(), batches_b.value());
+  EXPECT_EQ(batches_a.value(), batches_c.value());
   EXPECT_EQ(batches_a.value(), ra.stats.batches);
   EXPECT_EQ(ra.stats.batches, rb.stats.batches);
+  EXPECT_EQ(ra.stats.batches, rc.stats.batches);
 }
 
 TEST(Executors, EmptySequenceIsANoOp) {

@@ -203,10 +203,12 @@ TEST(ServeConnection, ReplaysCachedResponseForRepeatedId) {
   ASSERT_EQ(first.type, net::MsgType::kExecuteResult);
 
   // The retry (same id, e.g. the first response was lost) must yield the
-  // byte-identical cached response — not a re-execution.
+  // byte-identical cached response — not a re-execution — and the worker
+  // marks it with the kExecuteReplay frame type so the client can account
+  // replays separately from fresh work.
   net::write_frame(*client, net::MsgType::kExecute, 9, request);
   const net::Frame replay = net::read_frame(*client, 2000ms);
-  EXPECT_EQ(replay.type, net::MsgType::kExecuteResult);
+  EXPECT_EQ(replay.type, net::MsgType::kExecuteReplay);
   EXPECT_EQ(replay.payload, first.payload);
 
   client->close();
@@ -424,6 +426,63 @@ TEST(RemoteExecutor_, ChaosScheduleIsReproducible) {
   EXPECT_EQ(a.fallbacks, b.fallbacks);
 }
 
+// Satellite 2 (replay accounting): a retried request answered from the
+// worker's replay cache must count as `replay_served`, never inflate the
+// fresh-request counter, and the totals must reconcile — every logical
+// submission resolves to exactly one fresh result, one replay, or one
+// fallback. Pulse accounting must not inflate either: each sequence's
+// pulses are credited exactly once no matter how many retries it took.
+TEST(RemoteExecutor_, ReplayAccountingReconcilesUnderLossySchedules) {
+  const std::vector<std::string> specs = {
+      "seed=1,drop=0.2",
+      "seed=6,drop=0.5,disconnect=0.2",
+      "seed=5,drop=0.15,corrupt=0.1,dup=0.1,disconnect=0.05",
+  };
+  bool any_replays = false;
+  for (const std::string& spec : specs) {
+    SCOPED_TRACE("fault spec: " + spec);
+    obs::Registry reg;
+    set_remote_metrics(&reg);
+    RemoteConfig cfg;
+    cfg.fault_spec = spec;
+    cfg.request_deadline = 150ms;
+    cfg.max_attempts = 6;
+    cfg.backoff_initial = 1ms;
+    cfg.backoff_max = 4ms;
+    const RemoteExecutor remote{cfg};
+
+    obs::Counter pulses, traced;
+    Crossbar xb(6, 5, dev(), ag_crosstalk());
+    xb.attach_pulse_counters(&pulses, &traced);
+    constexpr std::uint64_t kSequences = 6;
+    std::uint64_t expected_pulses = 0;
+    for (std::uint64_t i = 0; i < kSequences; ++i) {
+      const ProgramSequence seq = mixed_sequence(6, 5);
+      expected_pulses += seq.stats().pulses;
+      remote.execute(xb, seq);
+    }
+    set_remote_metrics(nullptr);
+
+    const RemoteLinkStats stats = remote.link_stats();
+    const std::uint64_t fresh =
+        reg.counter("executor.remote.requests").value();
+    const std::uint64_t replays =
+        reg.counter("executor.remote.replay_served").value();
+    ASSERT_EQ(stats.requests, kSequences);
+    EXPECT_EQ(fresh + replays + stats.fallbacks, kSequences)
+        << "fresh=" << fresh << " replays=" << replays
+        << " fallbacks=" << stats.fallbacks;
+    // Retries resolved by a replayed response must not have re-credited
+    // the pulse counters: exactly one credit per logical sequence.
+    EXPECT_EQ(pulses.value(), expected_pulses);
+    EXPECT_EQ(xb.total_pulses(), expected_pulses);
+    any_replays = any_replays || replays > 0;
+  }
+  // At least one lossy schedule must actually exercise the replay path,
+  // or this test pins nothing.
+  EXPECT_TRUE(any_replays);
+}
+
 // ---------------------------------------------------------------------------
 // Worker stats endpoint, heartbeat stamping, and the versioned hello.
 
@@ -499,10 +558,11 @@ TEST(ServeConnection, StatsEndpointReportsLiveAccounting) {
   net::write_frame(*client, net::MsgType::kExecute, 11, request);
   ASSERT_EQ(net::read_frame(*client, 2000ms).type,
             net::MsgType::kExecuteResult);
-  // A replayed id answers from the cache: requests_served must not move.
+  // A replayed id answers from the cache (flagged as kExecuteReplay):
+  // requests_served must not move.
   net::write_frame(*client, net::MsgType::kExecute, 11, request);
   ASSERT_EQ(net::read_frame(*client, 2000ms).type,
-            net::MsgType::kExecuteResult);
+            net::MsgType::kExecuteReplay);
   net::write_frame(*client, net::MsgType::kExecute, 12, request);
   ASSERT_EQ(net::read_frame(*client, 2000ms).type,
             net::MsgType::kExecuteResult);
@@ -516,8 +576,11 @@ TEST(ServeConnection, StatsEndpointReportsLiveAccounting) {
   EXPECT_EQ(snap.errors, 0u);
   EXPECT_EQ(snap.active_connections, 1u);
   EXPECT_EQ(snap.connections_total, 1u);
-  // Request latency and wire telemetry accumulate in the worker registry.
+  // Request latency and wire telemetry accumulate in the worker registry,
+  // and the replay above landed in its own worker.replay_served counter.
   EXPECT_NE(snap.metrics_json.find("\"worker.request_ms\""),
+            std::string::npos);
+  EXPECT_NE(snap.metrics_json.find("\"worker.replay_served\""),
             std::string::npos);
   EXPECT_NE(snap.metrics_json.find("\"net.frame_bytes_in\""),
             std::string::npos);
